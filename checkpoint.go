@@ -1,0 +1,288 @@
+package fishstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/expr"
+	"fishstore/internal/hashtable"
+	"fishstore/internal/hlog"
+	"fishstore/internal/parser"
+	"fishstore/internal/psf"
+	"fishstore/internal/record"
+)
+
+// Manifest is the checkpoint metadata written alongside the hash-table
+// image (Appendix E).
+type Manifest struct {
+	// Tail is the log address the checkpoint covers: the hash-table image
+	// contains every chain link below it, and the log is durable below it.
+	Tail uint64
+	// PageBits / MemPages pin the log geometry; recovery validates them.
+	PageBits uint
+	MemPages int
+	// PSFs is the registry snapshot.
+	PSFs []psf.SnapshotEntry
+	// Counters restored into Stats.
+	IngestedRecords int64
+	IngestedBytes   int64
+}
+
+const (
+	manifestFile = "MANIFEST.json"
+	tableFile    = "hash.ckpt"
+)
+
+// Checkpoint persists a consistent cut of the store into dir: the durable
+// log prefix plus an image of the hash index, so recovery can skip
+// rebuilding chains for everything below the checkpoint tail.
+//
+// The paper's C++ implementation takes a *fuzzy* checkpoint using FASTER's
+// version-stamped epoch machinery; here the cut is made by briefly holding
+// the store's ingestion barrier (milliseconds — the table write dominates),
+// which preserves the measured behaviour of Fig 20: checkpoint cost scales
+// with hash-table size, recovery cost with the log suffix ingested since
+// the last checkpoint.
+func (s *Store) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	tail := s.log.TailAddress()
+	if err := s.log.FlushTail(); err != nil {
+		return fmt.Errorf("fishstore: checkpoint flush: %w", err)
+	}
+
+	tf, err := os.Create(filepath.Join(dir, tableFile))
+	if err != nil {
+		return err
+	}
+	if _, err := s.table.WriteTo(tf); err != nil {
+		tf.Close()
+		return fmt.Errorf("fishstore: checkpoint table: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	snap, err := s.registry.Snapshot()
+	if err != nil {
+		return err
+	}
+	m := Manifest{
+		Tail:            tail,
+		PageBits:        s.opts.PageBits,
+		MemPages:        s.opts.MemPages,
+		PSFs:            snap,
+		IngestedRecords: s.ingestedRecords.Load(),
+		IngestedBytes:   s.ingestedBytes.Load(),
+	}
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestFile))
+}
+
+// RecoverOptions configures Recover.
+type RecoverOptions struct {
+	// Options are the store options; Device must be the device holding the
+	// log (it is reused, not truncated).
+	Options Options
+	// CustomPSFs resolves custom PSF functions by name when the checkpoint
+	// contains custom registrations.
+	CustomPSFs map[string]func(*parser.Parsed) expr.Value
+}
+
+// RecoveryInfo reports what recovery did.
+type RecoveryInfo struct {
+	// CheckpointTail is the manifest's covered address.
+	CheckpointTail uint64
+	// RecoveredTail is the final tail after replaying the durable suffix.
+	RecoveredTail uint64
+	// ReplayedRecords is the number of records re-linked from the suffix.
+	ReplayedRecords int64
+}
+
+// Recover rebuilds a Store from a checkpoint directory and the log device.
+// The hash-table image restores every chain below the checkpoint tail; the
+// durable log suffix beyond it is replayed (scanned once, single-threaded,
+// re-installing chain heads) exactly as Appendix E describes.
+func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
+	var info RecoveryInfo
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, info, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, info, fmt.Errorf("fishstore: bad manifest: %w", err)
+	}
+	o, err := ropts.Options.withDefaults()
+	if err != nil {
+		return nil, info, err
+	}
+	if o.Device == nil {
+		return nil, info, fmt.Errorf("fishstore: recovery requires the log device")
+	}
+	if o.PageBits != m.PageBits || o.MemPages != m.MemPages {
+		// Geometry is part of the address space; honor the manifest.
+		o.PageBits = m.PageBits
+		o.MemPages = m.MemPages
+	}
+
+	info.CheckpointTail = m.Tail
+
+	// 1. Find how far the durable suffix extends beyond the checkpoint by
+	// probing record headers page by page.
+	probe, replayEnd, err := probeDurableEnd(o, m.Tail)
+	if err != nil {
+		return nil, info, err
+	}
+	_ = probe
+
+	// 2. Reopen the log at the recovered tail.
+	em := epoch.New()
+	log, err := hlog.Recover(hlog.Config{
+		PageBits: o.PageBits,
+		MemPages: o.MemPages,
+		Device:   o.Device,
+		Epoch:    em,
+	}, replayEnd)
+	if err != nil {
+		return nil, info, err
+	}
+
+	s := &Store{opts: o, epoch: em, log: log, pf: o.Parser}
+	s.registry = psf.NewRegistry(em, log.TailAddress)
+	if err := s.registry.Restore(m.PSFs, ropts.CustomPSFs); err != nil {
+		return nil, info, err
+	}
+
+	// 3. Restore the hash-table image.
+	tf, err := os.Open(filepath.Join(dir, tableFile))
+	if err != nil {
+		return nil, info, err
+	}
+	s.table = hashtable.New(1, 1)
+	if _, err := s.table.ReadFrom(tf); err != nil {
+		tf.Close()
+		return nil, info, fmt.Errorf("fishstore: restoring table: %w", err)
+	}
+	tf.Close()
+
+	// 4. Replay the suffix [m.Tail, replayEnd): scan records in address
+	// order and re-install chain heads. Prev pointers inside the records
+	// are already durable and consistent (no forward links), so setting the
+	// head to each successive key pointer reconstructs every chain.
+	g := em.Acquire()
+	replayed, err := s.replaySuffix(g, m.Tail, replayEnd)
+	g.Release()
+	if err != nil {
+		return nil, info, err
+	}
+	info.ReplayedRecords = replayed
+	info.RecoveredTail = replayEnd
+
+	s.ingestedRecords.Store(m.IngestedRecords + replayed)
+	s.ingestedBytes.Store(m.IngestedBytes)
+	return s, info, nil
+}
+
+// probeDurableEnd scans forward from `from` on the device, walking record
+// headers, and returns the first address that does not hold a plausible
+// record — the end of the recoverable suffix.
+func probeDurableEnd(o Options, from uint64) (pages int, end uint64, err error) {
+	pageSize := uint64(1) << o.PageBits
+	addr := from
+	buf := make([]byte, pageSize)
+	for {
+		pageStart := addr &^ (pageSize - 1)
+		n, rerr := o.Device.ReadAt(buf, int64(pageStart))
+		if n <= 0 {
+			return pages, addr, nil
+		}
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		pages++
+		off := addr - pageStart
+		for off < pageSize {
+			if off+8 > uint64(n) {
+				return pages, pageStart + off, nil
+			}
+			hw := leUint64(buf[off:])
+			h := record.UnpackHeader(hw)
+			if h.SizeWords == 0 || !plausibleHeader(h, pageSize-off) {
+				return pages, pageStart + off, nil
+			}
+			off += uint64(h.SizeWords) * 8
+		}
+		addr = pageStart + pageSize
+		_ = rerr
+	}
+}
+
+func plausibleHeader(h record.Header, roomBytes uint64) bool {
+	if uint64(h.SizeWords)*8 > roomBytes {
+		return false
+	}
+	if h.Filler {
+		return true
+	}
+	// A durable record must have been made visible before any flush.
+	return h.Visible
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// replaySuffix re-links every record in [from, to). Records are visited in
+// ascending address order, so installing each key pointer as its chain's
+// head leaves every head at the highest (= most recent) chain entry.
+func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, error) {
+	var replayed int64
+	err := s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
+		h := v.Header()
+		replayed++
+		for i := 0; i < h.NumPtrs; i++ {
+			kp := v.KeyPointerAt(i)
+			val := v.ValueBytes(kp)
+			var hash uint64
+			if def, ok := s.registry.Lookup(kp.PSFID); ok && def.ShardCount() > 1 {
+				shards := def.ShardCount()
+				hash = psf.ShardHash(kp.PSFID, val, shardOf(addr, shards), shards)
+			} else {
+				hash = hashtable.HashProperty(kp.PSFID, val)
+			}
+			slot, err := s.table.FindOrCreate(hash)
+			if err != nil {
+				return false
+			}
+			kptAddr := addr + uint64(v.PointerWordIndex(i))*8
+			for {
+				old := slot.Load()
+				if hashtable.Unpack(old).Address >= kptAddr {
+					break // already restored at or beyond us
+				}
+				if slot.CompareAndSwapAddress(old, kptAddr) {
+					break
+				}
+			}
+		}
+		return true
+	})
+	return replayed, err
+}

@@ -1,0 +1,251 @@
+package fishstore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.dat")
+	dev, err := storage.OpenFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Device: dev, PageBits: 12, MemPages: 4, TableBuckets: 1 << 8}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := s.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := psf.MustPredicate("pushes", `type == "PushEvent"`)
+	idPred, _, err := s.RegisterPSF(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := s.NewSession()
+	for i := 0; i < 100; i++ {
+		if _, err := sess.Ingest([][]byte{genEvent(i, "PushEvent", "spark")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := s.Checkpoint(ckptDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest more after the checkpoint; make it durable via page flushes and
+	// a final tail flush (simulating data that survived the crash).
+	for i := 100; i < 150; i++ {
+		if _, err := sess.Ingest([][]byte{genEvent(i, "PushEvent", "spark")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	if err := s.Close(); err != nil { // flushes tail; the "crash" loses nothing here
+		t.Fatal(err)
+	}
+
+	// Recover from the same file.
+	dev2, err := storage.OpenFileExisting(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, info, err := Recover(ckptDir, RecoverOptions{Options: Options{Device: dev2, TableBuckets: 1 << 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	if info.ReplayedRecords != 50 {
+		t.Fatalf("replayed %d records, want 50 (info %+v)", info.ReplayedRecords, info)
+	}
+	if info.RecoveredTail <= info.CheckpointTail {
+		t.Fatalf("no suffix recovered: %+v", info)
+	}
+
+	// All 150 records must be retrievable through the restored + replayed
+	// index.
+	var got int
+	if _, err := s2.Scan(PropertyString(id, "spark"), ScanOptions{}, func(Record) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 150 {
+		t.Fatalf("recovered scan matched %d, want 150", got)
+	}
+
+	// The predicate PSF must have been restored too (by source round trip).
+	got = 0
+	if _, err := s2.Scan(PropertyBool(idPred, true), ScanOptions{}, func(Record) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 150 {
+		t.Fatalf("predicate PSF after recovery matched %d, want 150", got)
+	}
+
+	// Recovered store accepts new ingestion and keeps indexing.
+	sess2 := s2.NewSession()
+	if _, err := sess2.Ingest([][]byte{genEvent(999, "PushEvent", "spark")}); err != nil {
+		t.Fatal(err)
+	}
+	sess2.Close()
+	got = 0
+	if _, err := s2.Scan(PropertyString(id, "spark"), ScanOptions{}, func(Record) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 151 {
+		t.Fatalf("post-recovery ingest: matched %d, want 151", got)
+	}
+}
+
+func TestRecoverWithoutSuffix(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := storage.OpenFile(filepath.Join(dir, "log.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Device: dev, PageBits: 12, MemPages: 2, TableBuckets: 1 << 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, _ := s.RegisterPSF(psf.Projection("type"))
+	sess := s.NewSession()
+	for i := 0; i < 40; i++ {
+		if _, err := sess.Ingest([][]byte{genEvent(i, "IssuesEvent", "spark")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	ckpt := filepath.Join(dir, "ckpt")
+	if err := s.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	dev2, err := storage.OpenFileExisting(filepath.Join(dir, "log.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, info, err := Recover(ckpt, RecoverOptions{Options: Options{Device: dev2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if info.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d, want 0", info.ReplayedRecords)
+	}
+	var got int
+	s2.Scan(PropertyString(id, "IssuesEvent"), ScanOptions{}, func(Record) bool { got++; return true })
+	if got != 40 {
+		t.Fatalf("matched %d, want 40", got)
+	}
+}
+
+func TestCheckpointRejectsCustomPSF(t *testing.T) {
+	s := openTestStore(t, Options{})
+	_, _, err := s.RegisterPSF(psf.Custom("c", []string{"x"}, nil))
+	if err == nil {
+		t.Fatal("nil custom fn accepted")
+	}
+}
+
+func TestHistoricalIndexBuild(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 12, MemPages: 2})
+	// Ingest 200 records with NO PSFs: completely unindexed.
+	sess := s.NewSession()
+	want := 0
+	for i := 0; i < 200; i++ {
+		repo := "flink"
+		if i%5 == 0 {
+			repo = "spark"
+			want++
+		}
+		if _, err := sess.Ingest([][]byte{genEvent(i, "PushEvent", repo)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	historicalEnd := s.TailAddress()
+
+	// Register the PSF (indexes future data) and then build the historical
+	// index over the already-ingested range.
+	id, _, err := s.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := s.BuildHistoricalIndex(id, 0, historicalEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 200 { // every record has a repo.name value
+		t.Fatalf("built %d index entries, want 200", built)
+	}
+
+	// Index-only scan over the historical range must now find the matches.
+	var got int
+	st, err := s.Scan(PropertyString(id, "spark"),
+		ScanOptions{To: historicalEnd, Mode: ScanForceIndex},
+		func(r Record) bool { got++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("historical index scan matched %d, want %d (plan %+v)", got, want, st.Plan)
+	}
+
+	// Auto scan over everything must not double count.
+	got = 0
+	if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{}, func(Record) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("auto scan matched %d, want %d", got, want)
+	}
+}
+
+func TestHistoricalIndexPayloadResolution(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 12, MemPages: 2})
+	sess := s.NewSession()
+	if _, err := sess.Ingest([][]byte{genEvent(42, "PushEvent", "spark")}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	end := s.TailAddress()
+	id, _, _ := s.RegisterPSF(psf.Projection("repo.name"))
+	if _, err := s.BuildHistoricalIndex(id, 0, end); err != nil {
+		t.Fatal(err)
+	}
+	var payload []byte
+	if _, err := s.Scan(PropertyString(id, "spark"),
+		ScanOptions{To: end, Mode: ScanForceIndex},
+		func(r Record) bool { payload = r.Payload; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if payload == nil {
+		t.Fatal("no record resolved")
+	}
+	// The payload must be the original record, not the 8-byte indirection.
+	if len(payload) < 20 || payload[0] != '{' {
+		t.Fatalf("resolved payload = %q", payload)
+	}
+}

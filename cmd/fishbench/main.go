@@ -1,0 +1,90 @@
+// Command fishbench regenerates the paper's tables and figures (§8 and
+// appendices) against the Go reimplementation.
+//
+// Usage:
+//
+//	fishbench -exp fig11                 # one experiment
+//	fishbench -exp all                   # everything, in paper order
+//	fishbench -exp fig16a -data-mb 128   # bigger run
+//	fishbench -list                      # available experiment ids
+//
+// Output is tab-separated, one header line per series, matching the rows /
+// series of the corresponding paper artifact. Shapes (who wins, crossover
+// points, scaling trends) are the reproduction target; absolute numbers
+// depend on the host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fishstore/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		dataMB  = flag.Int("data-mb", 64, "data volume per measurement point (MB)")
+		threads = flag.String("threads", "", "comma-separated thread sweep (default: 1,2,4,... up to GOMAXPROCS)")
+		quick   = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		diskBW  = flag.Float64("disk-mbps", 256, "rate-limited 'SSD' write bandwidth (MB/s) for on-disk experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentOrder() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "fishbench: -exp required (or -list); e.g. -exp fig11")
+		os.Exit(2)
+	}
+
+	cfg := harness.DefaultConfig(os.Stdout)
+	cfg.DataMB = *dataMB
+	cfg.Quick = *quick
+	cfg.DiskBandwidth = *diskBW * (1 << 20)
+	if *quick {
+		q := harness.QuickConfig(os.Stdout)
+		q.DataMB = *dataMB
+		cfg = q
+	}
+	if *threads != "" {
+		var sweep []int
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "fishbench: bad -threads element %q\n", part)
+				os.Exit(2)
+			}
+			sweep = append(sweep, n)
+		}
+		cfg.Threads = sweep
+	}
+
+	exps := harness.Experiments()
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.ExperimentOrder()
+	}
+	for _, id := range ids {
+		run, ok := exps[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fishbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fishbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

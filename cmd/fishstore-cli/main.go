@@ -1,0 +1,190 @@
+// Command fishstore-cli is a small interactive demonstration of the
+// FishStore storage layer: it ingests newline-delimited JSON from a file
+// (or generates a synthetic dataset), registers PSFs from the command line,
+// and answers subset-retrieval queries.
+//
+// Examples:
+//
+//	# Ingest a file, group by repo.name, and retrieve one group:
+//	fishstore-cli -in events.ndjson \
+//	    -project repo.name \
+//	    -query 'repo.name=spark'
+//
+//	# Generate 100MB of synthetic Github events, index a predicate, count:
+//	fishstore-cli -gen github -gen-mb 100 \
+//	    -predicate 'type == "PushEvent"' \
+//	    -query 'pred=true' -count
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fishstore"
+	"fishstore/internal/datagen"
+
+	"fishstore/internal/psf"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fishstore-cli: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "newline-delimited JSON input file")
+		gen       = flag.String("gen", "", "generate a synthetic dataset instead: github|twitter|yelp")
+		genMB     = flag.Int("gen-mb", 16, "synthetic data volume (MB)")
+		project   = flag.String("project", "", "register a field-projection PSF on this dotted path")
+		predicate = flag.String("predicate", "", "register a predicate PSF (named 'pred')")
+		query     = flag.String("query", "", "retrieve: 'field=value' for -project, 'pred=true' for -predicate")
+		count     = flag.Bool("count", false, "print only the match count")
+		limit     = flag.Int("limit", 10, "max records to print (0 = all)")
+	)
+	flag.Parse()
+
+	s, err := fishstore.Open(fishstore.Options{})
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer s.Close()
+
+	ids := map[string]psf.ID{}
+	if *project != "" {
+		id, _, err := s.RegisterPSF(psf.Projection(*project))
+		if err != nil {
+			fatalf("register projection: %v", err)
+		}
+		ids[*project] = id
+	}
+	if *predicate != "" {
+		def, err := psf.Predicate("pred", *predicate)
+		if err != nil {
+			fatalf("compile predicate: %v", err)
+		}
+		id, _, err := s.RegisterPSF(def)
+		if err != nil {
+			fatalf("register predicate: %v", err)
+		}
+		ids["pred"] = id
+	}
+
+	// Ingest.
+	sess := s.NewSession()
+	start := time.Now()
+	var records, bytes int64
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		var batch [][]byte
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			st, err := sess.Ingest(batch)
+			if err != nil {
+				fatalf("ingest: %v", err)
+			}
+			records += int64(st.Records)
+			bytes += st.Bytes
+			batch = batch[:0]
+		}
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			if len(line) > 0 {
+				batch = append(batch, line)
+			}
+			if len(batch) == 256 {
+				flush()
+			}
+		}
+		flush()
+		f.Close()
+	case *gen != "":
+		var g datagen.Generator
+		switch *gen {
+		case "github":
+			g = datagen.NewGithub(1, 0)
+		case "twitter":
+			g = datagen.NewTwitter(1, 0)
+		case "yelp":
+			g = datagen.NewYelp(1, 0)
+		default:
+			fatalf("unknown -gen %q", *gen)
+		}
+		remaining := int64(*genMB) << 20
+		for remaining > 0 {
+			batch := datagen.Batch(g, 256)
+			st, err := sess.Ingest(batch)
+			if err != nil {
+				fatalf("ingest: %v", err)
+			}
+			records += int64(st.Records)
+			bytes += st.Bytes
+			remaining -= st.Bytes
+		}
+	default:
+		fatalf("need -in FILE or -gen DATASET")
+	}
+	sess.Close()
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "ingested %d records (%.1f MB) in %v — %.1f MB/s\n",
+		records, float64(bytes)/(1<<20), elapsed.Round(time.Millisecond),
+		float64(bytes)/(1<<20)/elapsed.Seconds())
+
+	if *query == "" {
+		return
+	}
+	name, value, ok := strings.Cut(*query, "=")
+	if !ok {
+		fatalf("bad -query %q (want name=value)", *query)
+	}
+	id, ok := ids[name]
+	if !ok {
+		fatalf("query name %q matches no registered PSF", name)
+	}
+	var prop fishstore.Property
+	switch value {
+	case "true":
+		prop = fishstore.PropertyBool(id, true)
+	case "false":
+		prop = fishstore.PropertyBool(id, false)
+	default:
+		prop = fishstore.PropertyString(id, value)
+		// Numeric values are common for projections; try to detect.
+		var f float64
+		if _, err := fmt.Sscanf(value, "%g", &f); err == nil && fmt.Sprintf("%g", f) == value {
+			prop = fishstore.PropertyNumber(id, f)
+		}
+	}
+
+	qStart := time.Now()
+	var matched int64
+	printed := 0
+	st, err := s.Scan(prop, fishstore.ScanOptions{}, func(r fishstore.Record) bool {
+		matched++
+		if !*count && (*limit == 0 || printed < *limit) {
+			fmt.Printf("%s\n", r.Payload)
+			printed++
+		}
+		return true
+	})
+	if err != nil {
+		fatalf("scan: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "matched %d records in %v (visited %d, plan %v)\n",
+		matched, time.Since(qStart).Round(time.Microsecond), st.Visited, st.Plan)
+	if *count {
+		fmt.Println(matched)
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: open a store, register a projection and a predicate PSF,
+// ingest a handful of JSON records, and retrieve subsets three ways.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fishstore"
+	"fishstore/internal/psf"
+)
+
+func main() {
+	// An in-memory store with defaults (partial JSON parser, null device).
+	store, err := fishstore.Open(fishstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// PSF 1: group records by the value of a (nested) field.
+	repoID, _, err := store.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// PSF 2: index records satisfying a predicate.
+	def, err := psf.Predicate("spark-prs", `repo.name == "spark" && type == "PullRequestEvent"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prID, _, err := store.RegisterPSF(def)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest a batch of raw JSON records through a worker session.
+	batch := [][]byte{
+		[]byte(`{"id": 1, "type": "PullRequestEvent", "actor": {"name": "das"}, "repo": {"name": "spark"}}`),
+		[]byte(`{"id": 2, "type": "PushEvent", "actor": {"name": "matei"}, "repo": {"name": "spark"}}`),
+		[]byte(`{"id": 3, "type": "PushEvent", "actor": {"name": "matei"}, "repo": {"name": "storm"}}`),
+		[]byte(`{"id": 4, "type": "PullRequestEvent", "actor": {"name": "karthik"}, "repo": {"name": "spark"}}`),
+		[]byte(`{"id": 5, "type": "PushEvent", "actor": {"name": "karthik"}, "repo": {"name": "heron"}}`),
+	}
+	sess := store.NewSession()
+	stats, err := sess.Ingest(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.Close()
+	fmt.Printf("ingested %d records, %d index entries\n", stats.Records, stats.Properties)
+
+	// Retrieve: all records in repo "spark".
+	fmt.Println("\nrepo.name == spark:")
+	if _, err := store.Scan(fishstore.PropertyString(repoID, "spark"), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool {
+			fmt.Printf("  %s\n", r.Payload)
+			return true
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Retrieve: records matching the predicate.
+	fmt.Println("\nspark pull requests:")
+	if _, err := store.Scan(fishstore.PropertyBool(prID, true), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool {
+			fmt.Printf("  %s\n", r.Payload)
+			return true
+		}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Early stop ("Touch"): grab just one sample record.
+	fmt.Println("\nfirst spark record only:")
+	if _, err := store.Scan(fishstore.PropertyString(repoID, "spark"), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool {
+			fmt.Printf("  %s\n", r.Payload)
+			return false // stop after the first match
+		}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Machine telemetry — the running example of §1 and §2.2 (Fig 1).
+//
+// Machines report CPU and memory utilization. An analyst registers:
+//
+//	f1: cpu < 15 && mem > 75     (low CPU, high memory — suspicious)
+//	f2: Π_machine                (group by machine name, for drill-down)
+//	f3: bucket(cpu, 25)          (CPU usage ranges 0-25, 25-50, 50-75, 75-100)
+//
+// and immediately retrieves the matching subsets while data keeps flowing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fishstore"
+	"fishstore/internal/psf"
+)
+
+func telemetryRecord(rng *rand.Rand, t int) []byte {
+	machine := fmt.Sprintf("m%d", rng.Intn(6))
+	cpu := rng.Float64() * 100
+	mem := rng.Float64() * 100
+	return []byte(fmt.Sprintf(
+		`{"time": "1:%02dpm", "machine": %q, "cpu": %.2f, "mem": %.2f}`,
+		t%60, machine, cpu, mem))
+}
+
+func main() {
+	store, err := fishstore.Open(fishstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	f1, err := psf.Predicate("lowcpu-highmem", `cpu < 15 && mem > 75`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id1, _, err := store.RegisterPSF(f1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id2, _, err := store.RegisterPSF(psf.Projection("machine"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	id3, _, err := store.RegisterPSF(psf.RangeBucket("cpu", 25))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest a stream of telemetry.
+	rng := rand.New(rand.NewSource(7))
+	sess := store.NewSession()
+	var batch [][]byte
+	for t := 0; t < 5000; t++ {
+		batch = append(batch, telemetryRecord(rng, t))
+		if len(batch) == 100 {
+			if _, err := sess.Ingest(batch); err != nil {
+				log.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	sess.Close()
+
+	// f1: investigate machines with low CPU and high memory.
+	var suspicious int
+	store.Scan(fishstore.PropertyBool(id1, true), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool { suspicious++; return true })
+	fmt.Printf("low-CPU/high-MEM records: %d\n", suspicious)
+
+	// f2: drill into one machine's logs.
+	fmt.Println("\nfirst 3 records from machine m3:")
+	shown := 0
+	store.Scan(fishstore.PropertyString(id2, "m3"), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool {
+			fmt.Printf("  %s\n", r.Payload)
+			shown++
+			return shown < 3
+		})
+
+	// f3: CPU usage histogram via the range-bucket PSF.
+	fmt.Println("\nCPU usage buckets:")
+	for _, lo := range []float64{0, 25, 50, 75} {
+		var n int
+		store.Scan(fishstore.PropertyNumber(id3, lo), fishstore.ScanOptions{},
+			func(fishstore.Record) bool { n++; return true })
+		fmt.Printf("  [%3.0f%%, %3.0f%%): %d records\n", lo, lo+25, n)
+	}
+}

@@ -1,0 +1,3 @@
+module fishstore
+
+go 1.22

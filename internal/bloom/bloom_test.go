@@ -1,0 +1,80 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(10000, 10)
+	for i := 0; i < 10000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key should give ~1%; allow up to 5%.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(100, 10)
+	for i := 0; i < 100; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	g := Unmarshal(f.Marshal())
+	for i := 0; i < 100; i++ {
+		if !g.MayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("false negative after round trip: k%d", i)
+		}
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(0, 0)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter claimed containment")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	f := Unmarshal([]byte{1, 2, 3})
+	if f == nil {
+		t.Fatal("nil filter from garbage")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<20, 10)
+	key := []byte("benchmark-key-123456")
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(1<<20, 10)
+	f.Add([]byte("present"))
+	key := []byte("absent-key-99")
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key)
+	}
+}

@@ -1,0 +1,206 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCurrentStartsAtOne(t *testing.T) {
+	m := New()
+	if got := m.Current(); got != 1 {
+		t.Fatalf("Current() = %d, want 1", got)
+	}
+}
+
+func TestBumpIncrements(t *testing.T) {
+	m := New()
+	prev := m.Bump()
+	if prev != 1 {
+		t.Fatalf("Bump() returned %d, want 1", prev)
+	}
+	if got := m.Current(); got != 2 {
+		t.Fatalf("Current() = %d, want 2", got)
+	}
+}
+
+func TestSafeEpochWithNoWorkers(t *testing.T) {
+	m := New()
+	m.Bump()
+	m.Bump()
+	if safe := m.SafeEpoch(); safe != m.Current()-1 {
+		t.Fatalf("SafeEpoch() = %d, want %d", safe, m.Current()-1)
+	}
+}
+
+func TestProtectedWorkerHoldsBackSafeEpoch(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	defer g.Release()
+
+	e0 := m.Current() // g is protected at e0
+	m.Bump()
+	m.Bump()
+	if safe := m.SafeEpoch(); safe != e0-1 {
+		t.Fatalf("SafeEpoch() = %d, want %d (held back by protected worker)", safe, e0-1)
+	}
+	g.Refresh()
+	if safe := m.SafeEpoch(); safe != m.Current()-1 {
+		t.Fatalf("after Refresh SafeEpoch() = %d, want %d", safe, m.Current()-1)
+	}
+}
+
+func TestBumpWithRunsActionWhenSafe(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	defer g.Release()
+
+	var ran atomic.Bool
+	m.BumpWith(func() { ran.Store(true) })
+	if ran.Load() {
+		t.Fatal("action ran before worker refreshed")
+	}
+	g.Refresh()
+	if !ran.Load() {
+		t.Fatal("action did not run after all workers refreshed")
+	}
+	if m.DrainPending() != 0 {
+		t.Fatalf("DrainPending() = %d, want 0", m.DrainPending())
+	}
+}
+
+func TestBumpWithNoWorkersRunsImmediately(t *testing.T) {
+	m := New()
+	var ran atomic.Bool
+	m.BumpWith(func() { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("action should run immediately when no worker is protected")
+	}
+}
+
+func TestActionRunsExactlyOnce(t *testing.T) {
+	m := New()
+	g1 := m.Acquire()
+	g2 := m.Acquire()
+	var count atomic.Int64
+	m.BumpWith(func() { count.Add(1) })
+	g1.Refresh()
+	g1.Refresh()
+	g2.Refresh()
+	g2.Refresh()
+	g1.Release()
+	g2.Release()
+	if got := count.Load(); got != 1 {
+		t.Fatalf("action ran %d times, want 1", got)
+	}
+}
+
+func TestUnprotectedWorkerDoesNotBlock(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	g.Unprotect()
+	var ran atomic.Bool
+	m.BumpWith(func() { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("unprotected worker should not hold back drain")
+	}
+	g.Release()
+}
+
+func TestWaitForSafe(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	target := m.Bump() // previous epoch; safe once g refreshes
+
+	done := make(chan struct{})
+	go func() {
+		m.WaitForSafe(target)
+		close(done)
+	}()
+	g.Refresh()
+	<-done
+	g.Release()
+}
+
+func TestGuardSlotRecycling(t *testing.T) {
+	m := New()
+	// Acquire and release more guards than MaxWorkers to prove recycling.
+	for i := 0; i < MaxWorkers*3; i++ {
+		g := m.Acquire()
+		g.Release()
+	}
+}
+
+func TestConcurrentRefreshAndBump(t *testing.T) {
+	m := New()
+	const workers = 8
+	const bumps = 200
+
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := m.Acquire()
+			defer g.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.Refresh()
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < bumps; i++ {
+		m.BumpWith(func() { ran.Add(1) })
+	}
+	close(stop)
+	wg.Wait()
+	m.WaitForSafe(m.Current() - 1)
+	if got := ran.Load(); got != bumps {
+		t.Fatalf("ran %d actions, want %d", got, bumps)
+	}
+}
+
+func TestSafeEpochMonotonic(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		m.Bump()
+		g.Refresh()
+		s := m.SafeEpoch()
+		if s < prev {
+			t.Fatalf("safe epoch went backwards: %d -> %d", prev, s)
+		}
+		prev = s
+	}
+	g.Release()
+}
+
+func BenchmarkRefresh(b *testing.B) {
+	m := New()
+	g := m.Acquire()
+	defer g.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Refresh()
+	}
+}
+
+func BenchmarkProtectUnprotect(b *testing.B) {
+	m := New()
+	g := m.Acquire()
+	defer g.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Protect()
+		g.Unprotect()
+	}
+}

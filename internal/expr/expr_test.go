@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"testing"
+)
+
+func mapLookup(m map[string]Value) Lookup {
+	return func(path string) Value {
+		if v, ok := m[path]; ok {
+			return v
+		}
+		return Missing()
+	}
+}
+
+func TestParsePaperWorkloads(t *testing.T) {
+	// All predicates from Table 1 must parse.
+	srcs := []string{
+		`type == "IssuesEvent" && payload.action == "opened"`,
+		`type == "PullRequestEvent" && payload.pull_request.head.repo.language == "C++"`,
+		`user.lang == "ja" && user.followers_count > 3000`,
+		`in_reply_to_screen_name = "realDonaldTrump" && possibly_sensitive == true`,
+		`lang == "en"`,
+		`stars > 3 && useful > 5`,
+		`useful > 10`,
+	}
+	for _, s := range srcs {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	rec := mapLookup(map[string]Value{
+		"type":           StringVal("PushEvent"),
+		"stars":          NumberVal(4),
+		"useful":         NumberVal(6),
+		"public":         BoolVal(true),
+		"payload.action": StringVal("opened"),
+	})
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`type == "PushEvent"`, true},
+		{`type != "PushEvent"`, false},
+		{`type == "IssuesEvent"`, false},
+		{`stars > 3`, true},
+		{`stars > 4`, false},
+		{`stars >= 4`, true},
+		{`stars < 10`, true},
+		{`stars <= 3`, false},
+		{`stars > 3 && useful > 5`, true},
+		{`stars > 3 && useful > 100`, false},
+		{`stars > 100 || useful > 5`, true},
+		{`public == true`, true},
+		{`public != true`, false},
+		{`!(stars > 100)`, true},
+		{`(stars > 3) && (payload.action == "opened")`, true},
+		{`type == "PushEvent" && public == true && stars > 3`, true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := e.EvalBool(rec); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMissingFieldsGiveMissing(t *testing.T) {
+	rec := mapLookup(map[string]Value{"a": NumberVal(1)})
+	e := MustParse(`b > 3`)
+	if v := e.Eval(rec); v.Kind != KindMissing {
+		t.Fatalf("missing field comparison = %v, want missing", v)
+	}
+	// Short-circuit: a false conjunct dominates a missing one.
+	e2 := MustParse(`a > 100 && b > 3`)
+	if v := e2.Eval(rec); !(v.Kind == KindBool && !v.Bool) {
+		t.Fatalf("false && missing = %v, want false", v)
+	}
+	// true && missing = missing.
+	e3 := MustParse(`a > 0 && b > 3`)
+	if v := e3.Eval(rec); v.Kind != KindMissing {
+		t.Fatalf("true && missing = %v, want missing", v)
+	}
+	// true || missing = true.
+	e4 := MustParse(`a > 0 || b > 3`)
+	if !e4.EvalBool(rec) {
+		t.Fatal("true || missing should be true")
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	rec := mapLookup(map[string]Value{"x": StringVal("5")})
+	if MustParse(`x == 5`).EvalBool(rec) {
+		t.Fatal(`string "5" must not equal number 5`)
+	}
+	if !MustParse(`x != 5`).EvalBool(rec) {
+		t.Fatal(`string "5" must be != number 5`)
+	}
+	if v := MustParse(`x > 3`).Eval(rec); v.Kind != KindMissing {
+		t.Fatalf("ordering across types = %v, want missing", v)
+	}
+}
+
+func TestNullComparisons(t *testing.T) {
+	rec := mapLookup(map[string]Value{"n": Null(), "s": StringVal("x")})
+	if !MustParse(`n == null`).EvalBool(rec) {
+		t.Fatal("null == null")
+	}
+	if MustParse(`s == null`).EvalBool(rec) {
+		t.Fatal("string == null must be false")
+	}
+	if !MustParse(`s != null`).EvalBool(rec) {
+		t.Fatal("string != null must be true")
+	}
+}
+
+func TestFieldsDeduplicated(t *testing.T) {
+	e := MustParse(`a.b > 1 && a.b < 10 && c == "x"`)
+	fields := e.Fields()
+	if len(fields) != 2 || fields[0] != "a.b" || fields[1] != "c" {
+		t.Fatalf("Fields() = %v", fields)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	e := MustParse(`name == "quo\"te"`)
+	rec := mapLookup(map[string]Value{"name": StringVal(`quo"te`)})
+	if !e.EvalBool(rec) {
+		t.Fatal("escaped quote in literal")
+	}
+}
+
+func TestNumericForms(t *testing.T) {
+	rec := mapLookup(map[string]Value{"x": NumberVal(-1.5e3)})
+	if !MustParse(`x == -1500`).EvalBool(rec) {
+		t.Fatal("scientific notation / negative numbers")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `&&`, `a ==`, `(a > 1`, `a > 1)`, `a # b`, `"unterminated`,
+		`a == 12..3..4e`, `a b`,
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	rec := mapLookup(map[string]Value{"a": NumberVal(1), "b": NumberVal(2), "c": NumberVal(3)})
+	// || binds looser than &&: false && true || true = true.
+	if !MustParse(`a > 5 && b > 0 || c > 0`).EvalBool(rec) {
+		t.Fatal("precedence: (false && true) || true should be true")
+	}
+	// With parens forcing the other grouping: false && (true || true) = false.
+	if MustParse(`a > 5 && (b > 0 || c > 0)`).EvalBool(rec) {
+		t.Fatal("parenthesized grouping should be false")
+	}
+}
+
+func TestSingleEqualsAccepted(t *testing.T) {
+	rec := mapLookup(map[string]Value{"lang": StringVal("en")})
+	if !MustParse(`lang = "en"`).EvalBool(rec) {
+		t.Fatal("single '=' should act as equality")
+	}
+}
+
+func TestStringOrdering(t *testing.T) {
+	rec := mapLookup(map[string]Value{"s": StringVal("m")})
+	if !MustParse(`s > "a" && s < "z"`).EvalBool(rec) {
+		t.Fatal("lexicographic ordering")
+	}
+}
+
+func BenchmarkEvalTypical(b *testing.B) {
+	e := MustParse(`type == "IssuesEvent" && payload.action == "opened"`)
+	rec := mapLookup(map[string]Value{
+		"type":           StringVal("IssuesEvent"),
+		"payload.action": StringVal("opened"),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.EvalBool(rec) {
+			b.Fatal("should be true")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `user.lang == "ja" && user.followers_count > 3000`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fasterkv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fishstore/internal/storage"
+)
+
+func openKV(t testing.TB) *Store {
+	t.Helper()
+	s, err := Open(Options{PageBits: 13, MemPages: 3, TableBuckets: 256, Device: storage.NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestUpsertRead(t *testing.T) {
+	s := openKV(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	if err := sess.Upsert([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := sess.Read([]byte("alpha"))
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("Read = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := sess.Read([]byte("missing")); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestUpsertOverwrites(t *testing.T) {
+	s := openKV(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	for i := 0; i < 10; i++ {
+		if err := sess.Upsert([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, _ := sess.Read([]byte("k"))
+	if !ok || string(v) != "v9" {
+		t.Fatalf("Read = %q", v)
+	}
+}
+
+func TestReadFromDisk(t *testing.T) {
+	s := openKV(t)
+	sess := s.NewSession()
+	defer sess.Close()
+	val := make([]byte, 512)
+	for i := 0; i < 200; i++ { // force eviction
+		if err := sess.Upsert([]byte(fmt.Sprintf("key-%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.log.SafeHeadAddress() == hlogBegin {
+		t.Skip("no eviction; increase volume")
+	}
+	// Early keys now live on disk.
+	v, ok, err := sess.Read([]byte("key-0000"))
+	if err != nil || !ok || len(v) != 512 {
+		t.Fatalf("disk read = %d bytes, %v, %v", len(v), ok, err)
+	}
+}
+
+const hlogBegin = 64
+
+func TestConcurrentUpserts(t *testing.T) {
+	s := openKV(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("key-%03d", i)) // heavy key contention
+				if err := sess.Upsert(key, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sess := s.NewSession()
+	defer sess.Close()
+	for i := 0; i < 300; i++ {
+		if _, ok, err := sess.Read([]byte(fmt.Sprintf("key-%03d", i))); !ok || err != nil {
+			t.Fatalf("key-%03d missing (%v)", i, err)
+		}
+	}
+}
+
+func BenchmarkUpsert(b *testing.B) {
+	s, err := Open(Options{PageBits: 22, MemPages: 8, TableBuckets: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	// A bounded key population (upserts overwrite), so the fixed-size hash
+	// table is exercised realistically regardless of b.N.
+	const keys = 50000
+	keyBuf := make([][]byte, keys)
+	for i := range keyBuf {
+		keyBuf[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	val := make([]byte, 100)
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Upsert(keyBuf[i%keys], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

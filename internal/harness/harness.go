@@ -1,0 +1,303 @@
+// Package harness drives the paper's evaluation (§8 and appendices): it
+// defines the Table 1 workloads over the synthetic datasets, provides
+// shared measurement machinery (multi-threaded ingestion drivers, query
+// timing on the simulated SSD), and implements one runner per table/figure.
+// cmd/fishbench exposes the runners on the command line; bench_test.go runs
+// reduced-scale versions under `go test -bench`.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fishstore"
+	"fishstore/internal/datagen"
+	"fishstore/internal/parser"
+	"fishstore/internal/parser/pcsv"
+	"fishstore/internal/parser/pjson"
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+// Config scales and directs an experiment run.
+type Config struct {
+	// Out receives the experiment's table.
+	Out io.Writer
+	// DataMB is the approximate data volume per measurement point.
+	DataMB int
+	// Threads is the worker-count sweep for scaling experiments.
+	Threads []int
+	// DiskBandwidth caps the rate-limited device (bytes/sec) for "on disk"
+	// experiments. The paper's SSD writes ~2GB/s; the default here is
+	// 256MB/s so saturation is reachable at harness scale.
+	DiskBandwidth float64
+	// Quick trims sweeps for smoke tests.
+	Quick bool
+}
+
+// DefaultConfig returns full-harness defaults.
+func DefaultConfig(out io.Writer) Config {
+	return Config{
+		Out:           out,
+		DataMB:        64,
+		Threads:       defaultThreadSweep(),
+		DiskBandwidth: 256 << 20,
+	}
+}
+
+// QuickConfig returns a reduced configuration for tests and benches.
+func QuickConfig(out io.Writer) Config {
+	return Config{
+		Out:           out,
+		DataMB:        4,
+		Threads:       []int{1, 2, 4},
+		DiskBandwidth: 64 << 20,
+		Quick:         true,
+	}
+}
+
+func defaultThreadSweep() []int {
+	max := runtime.GOMAXPROCS(0)
+	sweep := []int{1, 2, 4, 8, 16, 24, 32}
+	out := sweep[:0]
+	for _, t := range sweep {
+		if t <= max {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Workload is one of the paper's default workloads (Table 1): a dataset, a
+// set of field-projection PSFs, and predicated properties of interest.
+type Workload struct {
+	Name        string
+	NewGen      func(seed int64) datagen.Generator
+	Parser      parser.Factory
+	Projections []string
+	Predicates  []string // expression sources
+	// KeyField is the primary key used by the KV baselines.
+	KeyField string
+	// AvgRecordBytes is the dataset's nominal record size.
+	AvgRecordBytes int
+}
+
+// PSFDefs compiles the workload's PSF definitions (projections then
+// predicates).
+func (w Workload) PSFDefs() []psf.Definition {
+	var defs []psf.Definition
+	for _, f := range w.Projections {
+		defs = append(defs, psf.Projection(f))
+	}
+	for i, p := range w.Predicates {
+		defs = append(defs, psf.MustPredicate(fmt.Sprintf("%s-pred-%d", w.Name, i), p))
+	}
+	return defs
+}
+
+// Table1 returns the four default workloads keyed by dataset name,
+// mirroring Table 1 of the paper.
+func Table1() map[string]Workload {
+	return map[string]Workload{
+		"github": {
+			Name:        "github",
+			NewGen:      func(seed int64) datagen.Generator { return datagen.NewGithub(seed, 3072) },
+			Parser:      pjson.New(),
+			Projections: []string{"id", "actor.id", "repo.id", "type"},
+			Predicates: []string{
+				`type == "IssuesEvent" && payload.action == "opened"`,
+				`type == "PullRequestEvent" && payload.pull_request.head.repo.language == "C++"`,
+			},
+			KeyField:       "id",
+			AvgRecordBytes: 3072,
+		},
+		"twitter": {
+			Name:        "twitter",
+			NewGen:      func(seed int64) datagen.Generator { return datagen.NewTwitter(seed, 5120) },
+			Parser:      pjson.New(),
+			Projections: []string{"id", "user.id", "in_reply_to_status_id", "in_reply_to_user_id", "lang"},
+			Predicates: []string{
+				`user.lang == "ja" && user.followers_count > 3000`,
+				`in_reply_to_screen_name == "realDonaldTrump" && possibly_sensitive == true`,
+			},
+			KeyField:       "id",
+			AvgRecordBytes: 5120,
+		},
+		"twitter-simple": {
+			Name:           "twitter-simple",
+			NewGen:         func(seed int64) datagen.Generator { return datagen.NewTwitterSimple(seed) },
+			Parser:         pjson.New(),
+			Projections:    []string{"id", "in_reply_to_user_id"},
+			Predicates:     []string{`lang == "en"`},
+			KeyField:       "id",
+			AvgRecordBytes: 300,
+		},
+		"yelp": {
+			Name:        "yelp",
+			NewGen:      func(seed int64) datagen.Generator { return datagen.NewYelp(seed, 700) },
+			Parser:      pjson.New(),
+			Projections: []string{"review_id", "user_id", "business_id", "stars"},
+			Predicates: []string{
+				`stars > 3 && useful > 5`,
+				`useful > 10`,
+			},
+			KeyField:       "review_id",
+			AvgRecordBytes: 700,
+		},
+	}
+}
+
+// YelpCSVWorkload is the Appendix G CSV workload.
+func YelpCSVWorkload() Workload {
+	return Workload{
+		Name:           "yelp-csv",
+		NewGen:         func(seed int64) datagen.Generator { return datagen.NewYelpCSV(seed, 700) },
+		Parser:         pcsv.New(datagen.YelpCSVHeader),
+		Projections:    []string{"review_id", "user_id", "business_id", "stars"},
+		Predicates:     []string{`stars > 3 && useful > 5`, `useful > 10`},
+		KeyField:       "review_id",
+		AvgRecordBytes: 700,
+	}
+}
+
+// ---- measurement helpers ----
+
+// PregenBatches materializes per-worker record batches totalling ~bytes
+// per worker (inputs are preloaded into memory, as in §8.1).
+func PregenBatches(w Workload, workers int, bytesPerWorker int, batchRecords int) [][][][]byte {
+	out := make([][][][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := w.NewGen(int64(1000 + i))
+			var batches [][][]byte
+			total := 0
+			for total < bytesPerWorker {
+				batch := datagen.Batch(gen, batchRecords)
+				for _, r := range batch {
+					total += len(r)
+				}
+				batches = append(batches, batch)
+			}
+			out[i] = batches
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Throughput is one measurement point.
+type Throughput struct {
+	Threads int
+	MBps    float64
+	Elapsed time.Duration
+	Bytes   int64
+}
+
+// IngestFunc ingests one batch on behalf of worker id.
+type IngestFunc func(worker int, batch [][]byte) error
+
+// MeasureIngest drives `threads` workers over pre-generated batches and
+// reports aggregate throughput. newWorker creates a per-worker ingestion
+// function (closed over the worker's session); cleanup is called per worker
+// afterwards.
+func MeasureIngest(threads int, batches [][][][]byte,
+	newWorker func(worker int) (func(batch [][]byte) error, func(), error)) (Throughput, error) {
+
+	var totalBytes atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ingest, cleanup, err := newWorker(w)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			defer cleanup()
+			for _, batch := range batches[w] {
+				if err := ingest(batch); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				var n int64
+				for _, r := range batch {
+					n += int64(len(r))
+				}
+				totalBytes.Add(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Throughput{}, err
+	}
+	return Throughput{
+		Threads: threads,
+		MBps:    float64(totalBytes.Load()) / (1 << 20) / elapsed.Seconds(),
+		Elapsed: elapsed,
+		Bytes:   totalBytes.Load(),
+	}, nil
+}
+
+// FishStoreIngestWorker adapts a fishstore.Store to MeasureIngest.
+func FishStoreIngestWorker(s *fishstore.Store) func(worker int) (func([][]byte) error, func(), error) {
+	return func(worker int) (func([][]byte) error, func(), error) {
+		sess := s.NewSession()
+		return func(batch [][]byte) error {
+			_, err := sess.Ingest(batch)
+			return err
+		}, sess.Close, nil
+	}
+}
+
+// OpenFishStore opens a store configured for a workload with its PSFs
+// registered.
+func OpenFishStore(w Workload, opts fishstore.Options) (*fishstore.Store, []psf.ID, error) {
+	if opts.Parser == nil {
+		opts.Parser = w.Parser
+	}
+	s, err := fishstore.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ids []psf.ID
+	for _, def := range w.PSFDefs() {
+		id, _, err := s.RegisterPSF(def)
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	return s, ids, nil
+}
+
+// NewRateLimitedSSD builds the "on disk" device: an in-memory backing store
+// behind a bandwidth cap.
+func NewRateLimitedSSD(bw float64) storage.Device {
+	return storage.NewRateLimited(storage.NewNull(), bw)
+}
+
+// NewSimSSD builds the retrieval-experiment device.
+func NewSimSSD() *storage.SimSSD {
+	return storage.NewSimSSD(storage.NewMem(), storage.DefaultSSDProfile())
+}
+
+// row prints one formatted table row.
+func row(out io.Writer, format string, args ...any) {
+	fmt.Fprintf(out, format+"\n", args...)
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:           buf,
+		DataMB:        1,
+		Threads:       []int{1, 2},
+		DiskBandwidth: 512 << 20,
+		Quick:         true,
+	}
+}
+
+func TestTable1WorkloadsCompile(t *testing.T) {
+	for name, w := range Table1() {
+		defs := w.PSFDefs()
+		if len(defs) != len(w.Projections)+len(w.Predicates) {
+			t.Fatalf("%s: %d defs", name, len(defs))
+		}
+		gen := w.NewGen(1)
+		if len(gen.Next()) == 0 {
+			t.Fatalf("%s: empty record", name)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"github", "twitter", "yelp", "selectivity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig11Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig11(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FishStore(MB/s)") || !strings.Contains(out, "RDB-Mison++") {
+		t.Fatalf("fig11 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig13Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig13(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CPU breakdown") {
+		t.Fatalf("fig13 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig14Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig14(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#fields") {
+		t.Fatalf("fig14 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig15Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig15(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "storage-overhead") {
+		t.Fatalf("fig15 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig16aQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig16a(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "index+AP") {
+		t.Fatalf("fig16a output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig16bQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig16b(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "selectivity") {
+		t.Fatalf("fig16b output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig16eQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig16e(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "attempt") || !strings.Contains(out, "indexed") {
+		t.Fatalf("fig16e output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig17Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig17(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "badCAS") {
+		t.Fatalf("fig17 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig18Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := RunFig18a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFig18b(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CSV ingestion") || !strings.Contains(out, "Yelp3") {
+		t.Fatalf("fig18 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig19Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig19(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "opened") || !strings.Contains(out, "push") {
+		t.Fatalf("fig19 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig20Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := RunFig20a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFig20b(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recovery") || !strings.Contains(out, "checkpoint") {
+		t.Fatalf("fig20 output malformed:\n%s", out)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	for _, id := range ExperimentOrder() {
+		if _, ok := exps[id]; !ok {
+			t.Fatalf("experiment %q in order but not registered", id)
+		}
+	}
+	if len(exps) != len(ExperimentOrder()) {
+		t.Fatalf("registry/order mismatch: %d vs %d", len(exps), len(ExperimentOrder()))
+	}
+}
+
+func TestRunFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses a rate-limited device")
+	}
+	var buf bytes.Buffer
+	if err := RunFig10(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FASTER-RJ") {
+		t.Fatalf("fig10 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses a rate-limited device")
+	}
+	var buf bytes.Buffer
+	if err := RunFig12(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "on disk") {
+		t.Fatalf("fig12 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig16cQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig16c(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "memoryMB") {
+		t.Fatalf("fig16c output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig16dQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig16d(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Kops/s") {
+		t.Fatalf("fig16d output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunMongoQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMongo(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slowdown") {
+		t.Fatalf("mongo output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunAppFQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAppF(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sharded hash chains") {
+		t.Fatalf("appF output malformed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,655 @@
+package harness
+
+import (
+	"fmt"
+
+	"fishstore"
+	"fishstore/internal/baselines"
+	"fishstore/internal/fasterkv"
+	"fishstore/internal/lsm"
+	"fishstore/internal/parser/fulljson"
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+// lsmOptsFor scales the LSM configuration to the harness data volume (the
+// paper uses a 1GB write buffer against ~50GB datasets; we keep the same
+// ~2% ratio).
+func (cfg Config) lsmOpts(dev storage.Device) lsm.Options {
+	buf := int64(cfg.DataMB) << 20 / 50
+	if buf < 256<<10 {
+		buf = 256 << 10
+	}
+	return lsm.Options{
+		Device:            dev,
+		MemtableBytes:     buf,
+		BaseLevelBytes:    4 * buf,
+		TargetTableBytes:  buf,
+		CompactionWorkers: 4,
+	}
+}
+
+func (cfg Config) fsOpts(dev storage.Device) fishstore.Options {
+	return fishstore.Options{Device: dev, PageBits: 20, MemPages: 16}
+}
+
+// runSweep measures one system across the thread sweep, reusing
+// pre-generated batches. openSys creates a fresh system per point and
+// returns the per-worker factory plus a closer.
+func (cfg Config) runSweep(w Workload, name string,
+	openSys func() (func(worker int) (func([][]byte) error, func(), error), func() error, error)) ([]Throughput, error) {
+
+	var out []Throughput
+	for _, threads := range cfg.Threads {
+		perWorker := cfg.DataMB << 20 / threads
+		batches := PregenBatches(w, threads, perWorker, 64)
+		newWorker, closeSys, err := openSys()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		tp, err := MeasureIngest(threads, batches, newWorker)
+		if cerr := closeSys(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s @%d threads: %w", name, threads, err)
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// baselineWorkerFactory adapts baselines.System to MeasureIngest.
+func baselineWorkerFactory(sys baselines.System) func(worker int) (func([][]byte) error, func(), error) {
+	return func(worker int) (func([][]byte) error, func(), error) {
+		ing, err := sys.NewIngestor()
+		if err != nil {
+			return nil, nil, err
+		}
+		return ing.Ingest, ing.Close, nil
+	}
+}
+
+func printSeries(cfg Config, title string, series map[string][]Throughput, order []string) {
+	row(cfg.Out, "## %s", title)
+	header := "threads"
+	for _, name := range order {
+		header += fmt.Sprintf("\t%s(MB/s)", name)
+	}
+	row(cfg.Out, "%s", header)
+	for i, threads := range cfg.Threads {
+		line := fmt.Sprintf("%d", threads)
+		for _, name := range order {
+			if i < len(series[name]) {
+				line += fmt.Sprintf("\t%.1f", series[name][i].MBps)
+			} else {
+				line += "\t-"
+			}
+		}
+		row(cfg.Out, "%s", line)
+	}
+	row(cfg.Out, "")
+}
+
+// RunTable1 prints the default workloads and their measured selectivities.
+func RunTable1(cfg Config) error {
+	row(cfg.Out, "## Table 1: default workloads")
+	row(cfg.Out, "dataset\tfield projections\tpredicate\tselectivity")
+	n := 2000
+	if cfg.Quick {
+		n = 500
+	}
+	for _, name := range []string{"github", "twitter", "twitter-simple", "yelp"} {
+		w := Table1()[name]
+		for i, pred := range w.Predicates {
+			def := psf.MustPredicate("t", pred)
+			sess, err := w.Parser.NewSession(def.Fields)
+			if err != nil {
+				return err
+			}
+			gen := w.NewGen(7)
+			match := 0
+			for j := 0; j < n; j++ {
+				p, err := sess.Parse(gen.Next())
+				if err != nil {
+					continue
+				}
+				if def.Evaluate(p).IsTrue() {
+					match++
+				}
+			}
+			proj := ""
+			if i == 0 {
+				proj = fmt.Sprintf("%v", w.Projections)
+			}
+			row(cfg.Out, "%s\t%s\t%s\t%.2f%%", w.Name, proj, pred, 100*float64(match)/float64(n))
+		}
+	}
+	row(cfg.Out, "")
+	return nil
+}
+
+// RunFig10 compares FishStore with FASTER-RJ, RDB-Mison and RDB-RJ
+// ingesting to the bandwidth-capped disk, on Github and Yelp, with one
+// key-field projection PSF (matching §8.2's fair-comparison setup).
+func RunFig10(cfg Config) error {
+	for _, ds := range []string{"github", "yelp"} {
+		w := Table1()[ds]
+		series := map[string][]Throughput{}
+		order := []string{"FishStore", "FASTER-RJ", "RDB-Mison", "RDB-RJ"}
+
+		var err error
+		series["FishStore"], err = cfg.runSweep(w, "FishStore", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+			opts := cfg.fsOpts(NewRateLimitedSSD(cfg.DiskBandwidth))
+			opts.Parser = w.Parser
+			s, ferr := fishstore.Open(opts)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			if _, _, ferr := s.RegisterPSF(psf.Projection(w.KeyField)); ferr != nil {
+				return nil, nil, ferr
+			}
+			return FishStoreIngestWorker(s), s.Close, nil
+		})
+		if err != nil {
+			return err
+		}
+
+		series["FASTER-RJ"], err = cfg.runSweep(w, "FASTER-RJ", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+			sys, ferr := baselines.NewFasterRJ(fasterkv.Options{
+				PageBits: 20, MemPages: 16, TableBuckets: 1 << 14,
+				Device: NewRateLimitedSSD(cfg.DiskBandwidth),
+			}, fulljson.New(), w.KeyField)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			return baselineWorkerFactory(sys), sys.Close, nil
+		})
+		if err != nil {
+			return err
+		}
+
+		for _, rdb := range []struct {
+			name string
+			full bool
+		}{{"RDB-Mison", false}, {"RDB-RJ", true}} {
+			rdb := rdb
+			series[rdb.name], err = cfg.runSweep(w, rdb.name, func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+				pf := w.Parser
+				if rdb.full {
+					pf = fulljson.New()
+				}
+				sys := baselines.NewRDBKV(rdb.name,
+					cfg.lsmOpts(storage.NewRateLimited(storage.NewMem(), cfg.DiskBandwidth)),
+					pf, w.KeyField)
+				return baselineWorkerFactory(sys), sys.Close, nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		printSeries(cfg, fmt.Sprintf("Fig 10 (%s): ingestion on disk, existing solutions", ds), series, order)
+	}
+	return nil
+}
+
+// inMemoryTrio runs FishStore, RDB-Mison++ and FishStore-RJ on dataset ds
+// with the full default workload, using the given device factory.
+func (cfg Config) trioSweep(ds string, dev func() storage.Device) (map[string][]Throughput, []string, error) {
+	w := Table1()[ds]
+	series := map[string][]Throughput{}
+	order := []string{"FishStore", "RDB-Mison++", "FishStore-RJ"}
+
+	var err error
+	series["FishStore"], err = cfg.runSweep(w, "FishStore", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+		s, _, ferr := OpenFishStore(w, cfg.fsOpts(dev()))
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		return FishStoreIngestWorker(s), s.Close, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	series["RDB-Mison++"], err = cfg.runSweep(w, "RDB-Mison++", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+		sys, ferr := baselines.NewRDBMisonPP(baselines.RDBMisonPPOptions{
+			PageBits: 20, MemPages: 16, Device: dev(), LSM: cfg.lsmOpts(nil),
+		}, w.Parser, w.PSFDefs())
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		return baselineWorkerFactory(sys), sys.Close, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	series["FishStore-RJ"], err = cfg.runSweep(w, "FishStore-RJ", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+		opts := cfg.fsOpts(dev())
+		opts.Parser = fulljson.New()
+		s, ferr := fishstore.Open(opts)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		for _, def := range w.PSFDefs() {
+			if _, _, ferr := s.RegisterPSF(def); ferr != nil {
+				return nil, nil, ferr
+			}
+		}
+		return FishStoreIngestWorker(s), s.Close, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, order, nil
+}
+
+// RunFig11 measures in-memory (null device) ingestion scaling of FishStore,
+// RDB-Mison++ and FishStore-RJ across all four datasets.
+func RunFig11(cfg Config) error {
+	datasets := []string{"github", "twitter", "twitter-simple", "yelp"}
+	if cfg.Quick {
+		datasets = []string{"github", "yelp"}
+	}
+	for _, ds := range datasets {
+		series, order, err := cfg.trioSweep(ds, func() storage.Device { return storage.NewNull() })
+		if err != nil {
+			return err
+		}
+		printSeries(cfg, fmt.Sprintf("Fig 11 (%s): ingestion throughput in main memory", ds), series, order)
+	}
+	return nil
+}
+
+// RunFig12 repeats Fig 11 against the bandwidth-capped disk.
+func RunFig12(cfg Config) error {
+	datasets := []string{"github", "twitter", "twitter-simple", "yelp"}
+	if cfg.Quick {
+		datasets = []string{"github", "yelp"}
+	}
+	for _, ds := range datasets {
+		series, order, err := cfg.trioSweep(ds, func() storage.Device { return NewRateLimitedSSD(cfg.DiskBandwidth) })
+		if err != nil {
+			return err
+		}
+		printSeries(cfg, fmt.Sprintf("Fig 12 (%s): ingestion throughput on disk", ds), series, order)
+	}
+	return nil
+}
+
+// RunFig13 prints the per-phase CPU breakdown of 8-thread in-memory
+// ingestion, normalized to FishStore's total, for all four workloads.
+func RunFig13(cfg Config) error {
+	datasets := []string{"github", "twitter", "twitter-simple", "yelp"}
+	if cfg.Quick {
+		datasets = []string{"github", "yelp"}
+	}
+	threads := 8
+	if cfg.Quick {
+		threads = 2
+	}
+	for _, ds := range datasets {
+		w := Table1()[ds]
+		perWorker := cfg.DataMB << 20 / threads
+		batches := PregenBatches(w, threads, perWorker, 64)
+
+		row(cfg.Out, "## Fig 13 (%s): CPU breakdown (normalized to FishStore total)", ds)
+		row(cfg.Out, "system\tParse\tIndex\tPSF-Eval\tMemcpy\tOthers\ttotal")
+
+		var fsTotal float64
+		for _, sysName := range []string{"FishStore", "RDB-Mison++", "FishStore-RJ"} {
+			var parse, index, eval, memcpy, others float64
+			switch sysName {
+			case "FishStore", "FishStore-RJ":
+				opts := cfg.fsOpts(storage.NewNull())
+				opts.CollectPhaseStats = true
+				if sysName == "FishStore-RJ" {
+					opts.Parser = fulljson.New()
+				} else {
+					opts.Parser = w.Parser
+				}
+				s, err := fishstore.Open(opts)
+				if err != nil {
+					return err
+				}
+				for _, def := range w.PSFDefs() {
+					if _, _, err := s.RegisterPSF(def); err != nil {
+						return err
+					}
+				}
+				var mu = make(chan fishstore.PhaseStats, threads)
+				_, err = MeasureIngest(threads, batches, func(worker int) (func([][]byte) error, func(), error) {
+					sess := s.NewSession()
+					return func(batch [][]byte) error {
+							_, err := sess.Ingest(batch)
+							return err
+						}, func() {
+							mu <- sess.Phases()
+							sess.Close()
+						}, nil
+				})
+				if err != nil {
+					return err
+				}
+				var ph fishstore.PhaseStats
+				for i := 0; i < threads; i++ {
+					ph.Add(<-mu)
+				}
+				s.Close()
+				parse = ph.Parse.Seconds()
+				index = ph.Index.Seconds()
+				eval = ph.PSFEval.Seconds()
+				memcpy = ph.Memcpy.Seconds()
+				others = ph.Others.Seconds()
+			case "RDB-Mison++":
+				sys, err := baselines.NewRDBMisonPP(baselines.RDBMisonPPOptions{
+					PageBits: 20, MemPages: 16, Device: storage.NewNull(),
+					LSM: cfg.lsmOpts(nil), CollectPhases: true,
+				}, w.Parser, w.PSFDefs())
+				if err != nil {
+					return err
+				}
+				if _, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys)); err != nil {
+					return err
+				}
+				p, e, m, ix := sys.Phases()
+				sys.Close()
+				parse, eval, memcpy, index = p.Seconds(), e.Seconds(), m.Seconds(), ix.Seconds()
+			}
+			total := parse + index + eval + memcpy + others
+			if sysName == "FishStore" {
+				fsTotal = total
+			}
+			norm := fsTotal
+			if norm == 0 {
+				norm = 1
+			}
+			row(cfg.Out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f",
+				sysName, parse/norm, index/norm, eval/norm, memcpy/norm, others/norm, total/norm)
+		}
+		row(cfg.Out, "")
+	}
+	return nil
+}
+
+// twitterProjectionFields are the fields used by the Fig 14 sweep.
+var twitterProjectionFields = []string{
+	"id", "user.id", "user.lang", "user.followers_count",
+	"user.statuses_count", "lang", "retweet_count",
+}
+
+// RunFig14 sweeps the number of field-projection PSFs (1..7) on the Twitter
+// dataset for FishStore, RDB-Mison++ and FishStore-RJ.
+func RunFig14(cfg Config) error {
+	w := Table1()["twitter"]
+	threads := 4
+	if cfg.Quick {
+		threads = 2
+	}
+	counts := []int{1, 2, 3, 4, 5, 6, 7}
+	if cfg.Quick {
+		counts = []int{1, 3, 7}
+	}
+	perWorker := cfg.DataMB << 20 / threads
+	batches := PregenBatches(w, threads, perWorker, 64)
+
+	row(cfg.Out, "## Fig 14: throughput vs # field-projection PSFs (twitter, %d threads)", threads)
+	row(cfg.Out, "#fields\tFishStore(MB/s)\tRDB-Mison++(MB/s)\tFishStore-RJ(MB/s)")
+	for _, k := range counts {
+		var defs []psf.Definition
+		for i := 0; i < k; i++ {
+			defs = append(defs, psf.Projection(twitterProjectionFields[i]))
+		}
+		var vals [3]float64
+
+		// FishStore.
+		{
+			opts := cfg.fsOpts(storage.NewNull())
+			opts.Parser = w.Parser
+			s, err := fishstore.Open(opts)
+			if err != nil {
+				return err
+			}
+			for _, def := range defs {
+				if _, _, err := s.RegisterPSF(def); err != nil {
+					return err
+				}
+			}
+			tp, err := MeasureIngest(threads, batches, FishStoreIngestWorker(s))
+			s.Close()
+			if err != nil {
+				return err
+			}
+			vals[0] = tp.MBps
+		}
+		// RDB-Mison++.
+		{
+			sys, err := baselines.NewRDBMisonPP(baselines.RDBMisonPPOptions{
+				PageBits: 20, MemPages: 16, Device: storage.NewNull(), LSM: cfg.lsmOpts(nil),
+			}, w.Parser, defs)
+			if err != nil {
+				return err
+			}
+			tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
+			sys.Close()
+			if err != nil {
+				return err
+			}
+			vals[1] = tp.MBps
+		}
+		// FishStore-RJ.
+		{
+			opts := cfg.fsOpts(storage.NewNull())
+			opts.Parser = fulljson.New()
+			s, err := fishstore.Open(opts)
+			if err != nil {
+				return err
+			}
+			for _, def := range defs {
+				if _, _, err := s.RegisterPSF(def); err != nil {
+					return err
+				}
+			}
+			tp, err := MeasureIngest(threads, batches, FishStoreIngestWorker(s))
+			s.Close()
+			if err != nil {
+				return err
+			}
+			vals[2] = tp.MBps
+		}
+		row(cfg.Out, "%d\t%.1f\t%.1f\t%.1f", k, vals[0], vals[1], vals[2])
+	}
+	row(cfg.Out, "")
+	return nil
+}
+
+// fig15PSFs builds n predicate PSFs over user.statuses_count: the first 250
+// index disjoint ranges of width 200, the rest overlapping ranges of width
+// 400 (mirroring §8.3's PSF-scalability setup).
+func fig15PSFs(n int) []psf.Definition {
+	var defs []psf.Definition
+	for i := 0; i < n; i++ {
+		var lo, hi int
+		if i < 250 {
+			lo, hi = i*200, (i+1)*200
+		} else {
+			lo, hi = (i-250)*200, (i-250)*200+400
+		}
+		defs = append(defs, psf.MustPredicate(
+			fmt.Sprintf("range-%d", i),
+			fmt.Sprintf("user.statuses_count >= %d && user.statuses_count < %d", lo, hi)))
+	}
+	return defs
+}
+
+// RunFig15 sweeps the number of predicate PSFs (0..500) on Twitter,
+// reporting throughput and storage overhead.
+func RunFig15(cfg Config) error {
+	w := Table1()["twitter"]
+	threads := 4
+	if cfg.Quick {
+		threads = 2
+	}
+	counts := []int{0, 100, 200, 300, 400, 500}
+	if cfg.Quick {
+		counts = []int{0, 50, 500}
+	}
+	perWorker := cfg.DataMB << 20 / threads
+	batches := PregenBatches(w, threads, perWorker, 64)
+	var raw int64
+	for _, wb := range batches {
+		for _, b := range wb {
+			for _, r := range b {
+				raw += int64(len(r))
+			}
+		}
+	}
+
+	row(cfg.Out, "## Fig 15: predicate-PSF scalability (twitter, %d threads)", threads)
+	row(cfg.Out, "#PSFs\tFishStore(MB/s)\tRDB-Mison++(MB/s)\tstorage-overhead(%%)")
+	for _, n := range counts {
+		defs := fig15PSFs(n)
+		var fsMBps, ppMBps, overhead float64
+		{
+			opts := cfg.fsOpts(storage.NewNull())
+			opts.Parser = w.Parser
+			s, err := fishstore.Open(opts)
+			if err != nil {
+				return err
+			}
+			for _, def := range defs {
+				if _, _, err := s.RegisterPSF(def); err != nil {
+					return err
+				}
+			}
+			tp, err := MeasureIngest(threads, batches, FishStoreIngestWorker(s))
+			if err != nil {
+				return err
+			}
+			fsMBps = tp.MBps
+			st := s.Stats()
+			overhead = 100 * (float64(st.LogSizeBytes)/float64(raw) - 1)
+			s.Close()
+		}
+		{
+			sys, err := baselines.NewRDBMisonPP(baselines.RDBMisonPPOptions{
+				PageBits: 20, MemPages: 16, Device: storage.NewNull(), LSM: cfg.lsmOpts(nil),
+			}, w.Parser, defs)
+			if err != nil {
+				return err
+			}
+			tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
+			sys.Close()
+			if err != nil {
+				return err
+			}
+			ppMBps = tp.MBps
+		}
+		row(cfg.Out, "%d\t%.1f\t%.1f\t%.2f", n, fsMBps, ppMBps, overhead)
+	}
+	row(cfg.Out, "")
+	return nil
+}
+
+// RunFig17 ablates the hash-chain CAS technique: FishStore vs
+// FishStore-badCAS on the Yelp workload, reporting throughput and storage.
+func RunFig17(cfg Config) error {
+	w := Table1()["yelp"]
+	row(cfg.Out, "## Fig 17: effect of the CAS technique (yelp)")
+	row(cfg.Out, "threads\tFishStore(MB/s)\tbadCAS(MB/s)\tFishStore-log(MB)\tbadCAS-log(MB)\tbadCAS-reallocs")
+	for _, threads := range cfg.Threads {
+		perWorker := cfg.DataMB << 20 / threads
+		batches := PregenBatches(w, threads, perWorker, 64)
+		var mbps [2]float64
+		var logMB [2]float64
+		var reallocs int64
+		for i, bad := range []bool{false, true} {
+			opts := cfg.fsOpts(storage.NewNull())
+			opts.Parser = w.Parser
+			opts.BadCAS = bad
+			s, _, err := OpenFishStore(w, opts)
+			if err != nil {
+				return err
+			}
+			tp, err := MeasureIngest(threads, batches, FishStoreIngestWorker(s))
+			if err != nil {
+				return err
+			}
+			st := s.Stats()
+			mbps[i] = tp.MBps
+			logMB[i] = float64(st.LogSizeBytes) / (1 << 20)
+			if bad {
+				reallocs = st.InvalidatedRecs
+			}
+			s.Close()
+		}
+		row(cfg.Out, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d",
+			threads, mbps[0], mbps[1], logMB[0], logMB[1], reallocs)
+	}
+	row(cfg.Out, "")
+	return nil
+}
+
+// RunFig18a measures CSV ingestion scaling (Appendix G).
+func RunFig18a(cfg Config) error {
+	w := YelpCSVWorkload()
+	series := map[string][]Throughput{}
+	var err error
+	series["FishStore-CSV"], err = cfg.runSweep(w, "FishStore-CSV", func() (func(int) (func([][]byte) error, func(), error), func() error, error) {
+		s, _, ferr := OpenFishStore(w, cfg.fsOpts(storage.NewNull()))
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		return FishStoreIngestWorker(s), s.Close, nil
+	})
+	if err != nil {
+		return err
+	}
+	printSeries(cfg, "Fig 18(a): CSV ingestion in main memory", series, []string{"FishStore-CSV"})
+	return nil
+}
+
+// RunMongo reproduces the §8.2 comparison against record-reorganizing
+// stores (MongoDB/AsterixDB analog).
+func RunMongo(cfg Config) error {
+	w := Table1()["github"]
+	threads := 4
+	if cfg.Quick {
+		threads = 2
+	}
+	perWorker := cfg.DataMB << 20 / threads
+	batches := PregenBatches(w, threads, perWorker, 64)
+
+	var fsMBps, reorgMBps float64
+	{
+		s, _, err := OpenFishStore(w, cfg.fsOpts(storage.NewNull()))
+		if err != nil {
+			return err
+		}
+		tp, err := MeasureIngest(threads, batches, FishStoreIngestWorker(s))
+		s.Close()
+		if err != nil {
+			return err
+		}
+		fsMBps = tp.MBps
+	}
+	{
+		sys, err := baselines.NewReorg(20, 8, storage.NewNull())
+		if err != nil {
+			return err
+		}
+		tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
+		sys.Close()
+		if err != nil {
+			return err
+		}
+		reorgMBps = tp.MBps
+	}
+	row(cfg.Out, "## §8.2: reorganizing-store comparison (github, %d threads)", threads)
+	row(cfg.Out, "system\tMB/s\tslowdown-vs-FishStore")
+	row(cfg.Out, "FishStore\t%.1f\t1.0x", fsMBps)
+	row(cfg.Out, "Reorg(Mongo-like)\t%.1f\t%.1fx", reorgMBps, fsMBps/reorgMBps)
+	row(cfg.Out, "")
+	return nil
+}

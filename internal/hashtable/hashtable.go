@@ -1,0 +1,399 @@
+// Package hashtable implements the latch-free, cache-aligned hash table that
+// FishStore borrows from FASTER (§3.1, §6.3 of the paper).
+//
+// The table is an array of 64-byte buckets. Each bucket holds seven 8-byte
+// entries plus one overflow word linking to an overflow bucket. An entry
+// packs a 14-bit tag (additional hash bits used to disambiguate keys that
+// share a bucket) and a 48-bit log address — the head of the hash chain for
+// that (PSF, value) property. All reads and updates of entries are atomic
+// and latch-free; new entries are claimed with a two-phase
+// tentative-bit protocol so that two threads racing to insert the same tag
+// cannot create duplicate entries.
+//
+// The table does not store keys: key material lives in the key pointers on
+// the log, which is why its footprint is independent of data size (Appendix
+// B of the paper).
+package hashtable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// entriesPerBucket is the number of usable entries per 64-byte bucket;
+	// the eighth word links to an overflow bucket.
+	entriesPerBucket = 7
+	wordsPerBucket   = 8
+
+	tentativeBit = uint64(1) << 63
+	occupiedBit  = uint64(1) << 62
+	tagShift     = 48
+	tagBits      = 14
+	tagMask      = (uint64(1)<<tagBits - 1) << tagShift
+	addressMask  = uint64(1)<<48 - 1
+)
+
+// Entry is the decoded form of a hash-table entry word.
+type Entry struct {
+	Tag       uint16
+	Address   uint64
+	Tentative bool
+	Occupied  bool
+}
+
+// pack encodes an entry into its word form.
+func pack(tag uint16, address uint64, tentative bool) uint64 {
+	w := occupiedBit | (uint64(tag) << tagShift & tagMask) | (address & addressMask)
+	if tentative {
+		w |= tentativeBit
+	}
+	return w
+}
+
+// Unpack decodes an entry word.
+func Unpack(w uint64) Entry {
+	return Entry{
+		Tag:       uint16((w & tagMask) >> tagShift),
+		Address:   w & addressMask,
+		Tentative: w&tentativeBit != 0,
+		Occupied:  w&occupiedBit != 0,
+	}
+}
+
+// Slot is a stable reference to a single table entry. Its methods are safe
+// for concurrent use.
+type Slot struct{ p *uint64 }
+
+// Valid reports whether the slot references an entry.
+func (s Slot) Valid() bool { return s.p != nil }
+
+// Load atomically reads the entry word.
+func (s Slot) Load() uint64 { return atomic.LoadUint64(s.p) }
+
+// Address atomically reads the chain-head address of the entry.
+func (s Slot) Address() uint64 { return atomic.LoadUint64(s.p) & addressMask }
+
+// CompareAndSwapAddress installs newAddr as the chain head iff the current
+// word equals old. The tag and flag bits of old are preserved.
+func (s Slot) CompareAndSwapAddress(old uint64, newAddr uint64) bool {
+	newWord := (old &^ addressMask) | (newAddr & addressMask)
+	return atomic.CompareAndSwapUint64(s.p, old, newWord)
+}
+
+// Table is a latch-free hash table. Create with New.
+type Table struct {
+	buckets []uint64 // numBuckets * wordsPerBucket words
+	mask    uint64   // numBuckets - 1
+
+	overflow     []uint64 // overflowCap * wordsPerBucket words
+	overflowNext atomic.Uint64
+}
+
+// ErrTableFull is returned when the overflow bucket pool is exhausted.
+var ErrTableFull = errors.New("hashtable: overflow bucket pool exhausted")
+
+// New creates a table with numBuckets main buckets (rounded up to a power of
+// two) and capacity for overflowCap overflow buckets.
+func New(numBuckets int, overflowCap int) *Table {
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	nb := 1 << bits.Len(uint(numBuckets-1))
+	if nb < numBuckets {
+		nb <<= 1
+	}
+	if overflowCap < 1 {
+		overflowCap = 1
+	}
+	t := &Table{
+		buckets:  make([]uint64, nb*wordsPerBucket),
+		mask:     uint64(nb - 1),
+		overflow: make([]uint64, overflowCap*wordsPerBucket),
+	}
+	t.overflowNext.Store(1) // overflow index 0 means "none"
+	return t
+}
+
+// NumBuckets returns the number of main buckets.
+func (t *Table) NumBuckets() int { return len(t.buckets) / wordsPerBucket }
+
+// SizeBytes returns the main-array footprint in bytes.
+func (t *Table) SizeBytes() int { return len(t.buckets) * 8 }
+
+// bucketWords returns the word slice of main bucket b.
+func (t *Table) bucketWords(b uint64) []uint64 {
+	off := b * wordsPerBucket
+	return t.buckets[off : off+wordsPerBucket]
+}
+
+func (t *Table) overflowWords(idx uint64) []uint64 {
+	off := idx * wordsPerBucket
+	return t.overflow[off : off+wordsPerBucket]
+}
+
+func splitHash(h uint64, mask uint64) (bucket uint64, tag uint16) {
+	bucket = h & mask
+	tag = uint16((h >> 48) & (1<<tagBits - 1))
+	return
+}
+
+// FindEntry locates the entry for hash h, if present. Tentative entries are
+// treated as absent.
+func (t *Table) FindEntry(h uint64) (Slot, bool) {
+	bkt, tag := splitHash(h, t.mask)
+	words := t.bucketWords(bkt)
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			w := atomic.LoadUint64(&words[i])
+			e := Unpack(w)
+			if e.Occupied && !e.Tentative && e.Tag == tag {
+				return Slot{p: &words[i]}, true
+			}
+		}
+		next := atomic.LoadUint64(&words[entriesPerBucket])
+		if next == 0 {
+			return Slot{}, false
+		}
+		words = t.overflowWords(next)
+	}
+}
+
+// FindOrCreate locates the entry for hash h, creating it (with address 0) if
+// absent. Creation uses the two-phase tentative protocol: claim a free slot
+// with the tentative bit set, re-scan for a concurrent duplicate, then clear
+// the tentative bit.
+func (t *Table) FindOrCreate(h uint64) (Slot, error) {
+	bkt, tag := splitHash(h, t.mask)
+	for {
+		// Pass 1: look for an existing entry and remember a free slot.
+		var free *uint64
+		words := t.bucketWords(bkt)
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				w := atomic.LoadUint64(&words[i])
+				e := Unpack(w)
+				if e.Occupied && !e.Tentative && e.Tag == tag {
+					return Slot{p: &words[i]}, nil
+				}
+				if w == 0 && free == nil {
+					free = &words[i]
+				}
+			}
+			next := atomic.LoadUint64(&words[entriesPerBucket])
+			if next == 0 {
+				break
+			}
+			words = t.overflowWords(next)
+		}
+
+		if free == nil {
+			var err error
+			free, err = t.appendOverflow(words)
+			if err != nil {
+				return Slot{}, err
+			}
+			if free == nil {
+				continue // another thread linked a new overflow bucket; rescan
+			}
+		}
+
+		// Phase 1: claim the slot tentatively.
+		if !atomic.CompareAndSwapUint64(free, 0, pack(tag, 0, true)) {
+			continue // lost the slot; rescan
+		}
+
+		// Phase 2: check for a duplicate (tentative or final) with our tag.
+		if t.hasDuplicate(bkt, tag, free) {
+			atomic.StoreUint64(free, 0) // back off
+			continue
+		}
+
+		// Finalize.
+		atomic.StoreUint64(free, pack(tag, 0, false))
+		return Slot{p: free}, nil
+	}
+}
+
+// hasDuplicate scans the whole bucket chain for another entry with the same
+// tag, excluding self.
+func (t *Table) hasDuplicate(bkt uint64, tag uint16, self *uint64) bool {
+	words := t.bucketWords(bkt)
+	for {
+		for i := 0; i < entriesPerBucket; i++ {
+			if &words[i] == self {
+				continue
+			}
+			e := Unpack(atomic.LoadUint64(&words[i]))
+			if e.Occupied && e.Tag == tag {
+				return true
+			}
+		}
+		next := atomic.LoadUint64(&words[entriesPerBucket])
+		if next == 0 {
+			return false
+		}
+		words = t.overflowWords(next)
+	}
+}
+
+// appendOverflow links a fresh overflow bucket after the last bucket in the
+// chain (whose words are given) and returns a pointer to its first entry
+// word. It returns (nil, nil) if another thread raced to link one first.
+func (t *Table) appendOverflow(last []uint64) (*uint64, error) {
+	idx := t.overflowNext.Add(1) - 1
+	if int(idx+1)*wordsPerBucket > len(t.overflow) {
+		return nil, ErrTableFull
+	}
+	if !atomic.CompareAndSwapUint64(&last[entriesPerBucket], 0, idx) {
+		// Lost the race. The pre-claimed overflow bucket is leaked; this is
+		// rare and bounded by thread count, matching FASTER's behaviour of
+		// trading a small leak for latch-freedom.
+		return nil, nil
+	}
+	w := t.overflowWords(idx)
+	return &w[0], nil
+}
+
+// Delete clears the entry for hash h (used by tests and PSF deregistration
+// cleanup). Returns true if an entry was cleared.
+func (t *Table) Delete(h uint64) bool {
+	s, ok := t.FindEntry(h)
+	if !ok {
+		return false
+	}
+	for {
+		w := s.Load()
+		if atomic.CompareAndSwapUint64(s.p, w, 0) {
+			return true
+		}
+	}
+}
+
+// Stats describes table occupancy.
+type Stats struct {
+	UsedEntries     int
+	OverflowBuckets int
+}
+
+// Stats scans the table; not linearizable, intended for reporting.
+func (t *Table) Stats() Stats {
+	var st Stats
+	nb := t.NumBuckets()
+	for b := 0; b < nb; b++ {
+		words := t.bucketWords(uint64(b))
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				if atomic.LoadUint64(&words[i]) != 0 {
+					st.UsedEntries++
+				}
+			}
+			next := atomic.LoadUint64(&words[entriesPerBucket])
+			if next == 0 {
+				break
+			}
+			st.OverflowBuckets++
+			words = t.overflowWords(next)
+		}
+	}
+	return st
+}
+
+// Range calls fn for every occupied, non-tentative entry.
+func (t *Table) Range(fn func(hashBucket uint64, e Entry, s Slot) bool) {
+	nb := t.NumBuckets()
+	for b := 0; b < nb; b++ {
+		words := t.bucketWords(uint64(b))
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				w := atomic.LoadUint64(&words[i])
+				e := Unpack(w)
+				if e.Occupied && !e.Tentative {
+					if !fn(uint64(b), e, Slot{p: &words[i]}) {
+						return
+					}
+				}
+			}
+			next := atomic.LoadUint64(&words[entriesPerBucket])
+			if next == 0 {
+				break
+			}
+			words = t.overflowWords(next)
+		}
+	}
+}
+
+// WriteTo serializes the table (fuzzy checkpoint, Appendix E). Entries are
+// written with plain loads; because entries are only mutated by atomic CAS,
+// the snapshot is always physically consistent.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(t.buckets)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.overflow)))
+	binary.LittleEndian.PutUint64(hdr[16:], t.overflowNext.Load())
+	n, err := w.Write(hdr[:])
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8*4096)
+	for _, arr := range [][]uint64{t.buckets, t.overflow} {
+		for off := 0; off < len(arr); {
+			chunk := len(arr) - off
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			for i := 0; i < chunk; i++ {
+				binary.LittleEndian.PutUint64(buf[i*8:], atomic.LoadUint64(&arr[off+i]))
+			}
+			n, err := w.Write(buf[:chunk*8])
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			off += chunk
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom restores a table serialized by WriteTo, replacing t's contents.
+func (t *Table) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	total := int64(24)
+	nb := binary.LittleEndian.Uint64(hdr[0:])
+	no := binary.LittleEndian.Uint64(hdr[8:])
+	next := binary.LittleEndian.Uint64(hdr[16:])
+	if nb%wordsPerBucket != 0 || no%wordsPerBucket != 0 {
+		return total, fmt.Errorf("hashtable: corrupt checkpoint header (%d,%d)", nb, no)
+	}
+	t.buckets = make([]uint64, nb)
+	t.overflow = make([]uint64, no)
+	t.mask = nb/wordsPerBucket - 1
+	t.overflowNext.Store(next)
+	buf := make([]byte, 8*4096)
+	for _, arr := range [][]uint64{t.buckets, t.overflow} {
+		for off := 0; off < len(arr); {
+			chunk := len(arr) - off
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+				return total, err
+			}
+			for i := 0; i < chunk; i++ {
+				arr[off+i] = binary.LittleEndian.Uint64(buf[i*8:])
+			}
+			total += int64(chunk * 8)
+			off += chunk
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,300 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"fishstore/internal/skiplist"
+)
+
+// flushWorker drains the immutable memtable queue into L0 tables.
+func (db *DB) flushWorker() {
+	defer db.bg.Done()
+	for {
+		db.mu.Lock()
+		for len(db.imm) == 0 && !db.closing {
+			db.mu.Unlock()
+			<-db.flushWake
+			db.mu.Lock()
+		}
+		if len(db.imm) == 0 && db.closing {
+			db.mu.Unlock()
+			return
+		}
+		mem := db.imm[0]
+		db.mu.Unlock()
+
+		if err := db.flushOne(mem); err != nil {
+			db.bgErr.Store(err)
+		}
+
+		db.mu.Lock()
+		db.imm = db.imm[1:]
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		db.wake(db.compactWake)
+	}
+}
+
+// flushOne writes a memtable as one L0 table (newest-first ordering in the
+// L0 slice preserves precedence).
+func (db *DB) flushOne(mem *skiplist.List) error {
+	b := newTableBuilder(db.ts)
+	it := mem.NewIterator()
+	it.SeekToFirst()
+	for it.Valid() {
+		b.add(it.Key(), it.Value())
+		it.Next()
+	}
+	if b.empty() {
+		return nil
+	}
+	db.mu.Lock()
+	id := db.nextID
+	db.nextID++
+	db.mu.Unlock()
+	meta, err := b.finish(id, db.opts.BitsPerKey)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.levels[0] = append([]*tableMeta{meta}, db.levels[0]...)
+	db.mu.Unlock()
+	return nil
+}
+
+// compactionWorker runs level compactions until close.
+func (db *DB) compactionWorker() {
+	defer db.bg.Done()
+	for {
+		worked, err := db.maybeCompact()
+		if err != nil {
+			db.bgErr.Store(err)
+		}
+		if worked {
+			continue
+		}
+		db.mu.Lock()
+		closing := db.closing && len(db.imm) == 0
+		db.mu.Unlock()
+		if closing {
+			return
+		}
+		<-db.compactWake
+		// Re-broadcast for sibling workers so they can also drain and exit.
+		db.wake(db.compactWake)
+		db.mu.Lock()
+		if db.closing && len(db.imm) == 0 {
+			need, _ := db.pickCompactionLocked()
+			if need == nil {
+				db.mu.Unlock()
+				return
+			}
+		}
+		db.mu.Unlock()
+	}
+}
+
+// compaction describes one unit of compaction work.
+type compaction struct {
+	level   int // source level
+	inputs  []*tableMeta
+	outputs []*tableMeta // filled after merge
+	overlap []*tableMeta // from level+1
+}
+
+// levelBytes sums table sizes at level l (mu held).
+func (db *DB) levelBytes(l int) int64 {
+	var n int64
+	for _, t := range db.levels[l] {
+		n += t.sizeHint
+	}
+	return n
+}
+
+// levelTarget is the size target for level l (mu held).
+func (db *DB) levelTarget(l int) int64 {
+	t := db.opts.BaseLevelBytes
+	for i := 1; i < l; i++ {
+		t *= int64(db.opts.LevelSizeMultiplier)
+	}
+	return t
+}
+
+// pickCompactionLocked chooses work: L0→L1 when L0 hits the trigger,
+// otherwise the most oversized deeper level. mu must be held.
+func (db *DB) pickCompactionLocked() (*compaction, int) {
+	if len(db.levels[0]) >= db.opts.L0CompactionTrigger {
+		c := &compaction{level: 0, inputs: append([]*tableMeta(nil), db.levels[0]...)}
+		return c, 0
+	}
+	for l := 1; l < numLevels-1; l++ {
+		if db.levelBytes(l) > db.levelTarget(l) && len(db.levels[l]) > 0 {
+			c := &compaction{level: l, inputs: db.levels[l][:1]}
+			return c, l
+		}
+	}
+	return nil, -1
+}
+
+// compacting guards against two workers picking overlapping work; one
+// compaction at a time keeps the invariants simple (RocksDB parallelizes
+// by key range; the paper's bottleneck — compaction bandwidth — persists
+// either way, and additional workers still parallelize flush vs compact).
+func (db *DB) maybeCompact() (bool, error) {
+	db.mu.Lock()
+	if db.compactionActive {
+		db.mu.Unlock()
+		return false, nil
+	}
+	c, _ := db.pickCompactionLocked()
+	if c == nil {
+		db.mu.Unlock()
+		return false, nil
+	}
+	db.compactionActive = true
+	// Determine overlapping tables at the next level.
+	lo, hi := c.inputs[0].minKey, c.inputs[0].maxKey
+	for _, t := range c.inputs[1:] {
+		if bytes.Compare(t.minKey, lo) < 0 {
+			lo = t.minKey
+		}
+		if bytes.Compare(t.maxKey, hi) > 0 {
+			hi = t.maxKey
+		}
+	}
+	for _, t := range db.levels[c.level+1] {
+		if t.overlaps(lo, hi) {
+			c.overlap = append(c.overlap, t)
+		}
+	}
+	db.mu.Unlock()
+
+	err := db.runCompaction(c)
+
+	db.mu.Lock()
+	db.compactionActive = false
+	if err == nil {
+		db.installCompactionLocked(c)
+	}
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.wake(db.compactWake)
+	return true, err
+}
+
+// runCompaction merges inputs and overlap into new tables for level+1.
+func (db *DB) runCompaction(c *compaction) error {
+	// Build iterators: L0 inputs are newest-first, so precedence i < j.
+	var iters []*tableIterator
+	for _, t := range c.inputs {
+		it, err := t.iterate(db.ts)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, it)
+	}
+	for _, t := range c.overlap {
+		it, err := t.iterate(db.ts)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, it)
+	}
+
+	h := &mergeHeap{}
+	for pri, it := range iters {
+		if it.ok {
+			heap.Push(h, mergeItem{it: it, pri: pri})
+		}
+	}
+	b := newTableBuilder(db.ts)
+	var lastKey []byte
+	flushOut := func() error {
+		if b.empty() {
+			return nil
+		}
+		db.mu.Lock()
+		id := db.nextID
+		db.nextID++
+		db.mu.Unlock()
+		meta, err := b.finish(id, db.opts.BitsPerKey)
+		if err != nil {
+			return err
+		}
+		c.outputs = append(c.outputs, meta)
+		b = newTableBuilder(db.ts)
+		return nil
+	}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		key, val := item.it.key, item.it.val
+		if lastKey == nil || !bytes.Equal(key, lastKey) {
+			b.add(key, val)
+			lastKey = append(lastKey[:0], key...)
+			if int64(b.sizeBytes()) >= db.opts.TargetTableBytes {
+				if err := flushOut(); err != nil {
+					return err
+				}
+			}
+		}
+		item.it.next()
+		if item.it.ok {
+			heap.Push(h, item)
+		} else if item.it.err != nil {
+			return item.it.err
+		}
+	}
+	return flushOut()
+}
+
+// installCompactionLocked swaps the inputs/overlap for the outputs.
+func (db *DB) installCompactionLocked(c *compaction) {
+	remove := func(tables []*tableMeta, gone []*tableMeta) []*tableMeta {
+		out := tables[:0]
+		for _, t := range tables {
+			dead := false
+			for _, g := range gone {
+				if g.id == t.id {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	db.levels[c.level] = remove(db.levels[c.level], c.inputs)
+	next := remove(db.levels[c.level+1], c.overlap)
+	next = append(next, c.outputs...)
+	// Keep L1+ sorted by minKey.
+	for i := 1; i < len(next); i++ {
+		for j := i; j > 0 && bytes.Compare(next[j].minKey, next[j-1].minKey) < 0; j-- {
+			next[j], next[j-1] = next[j-1], next[j]
+		}
+	}
+	db.levels[c.level+1] = next
+}
+
+// mergeItem / mergeHeap implement the k-way merge with precedence: lower
+// pri wins on equal keys (inputs are ordered newest-first).
+type mergeItem struct {
+	it  *tableIterator
+	pri int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].it.key, h[j].it.key)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].pri < h[j].pri
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,180 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"fishstore/internal/skiplist"
+)
+
+// source abstracts a sorted input for the merge iterator.
+type source interface {
+	valid() bool
+	key() []byte
+	value() []byte
+	next()
+}
+
+type memSource struct{ it *skiplist.Iterator }
+
+func (m *memSource) valid() bool   { return m.it.Valid() }
+func (m *memSource) key() []byte   { return m.it.Key() }
+func (m *memSource) value() []byte { return m.it.Value() }
+func (m *memSource) next()         { m.it.Next() }
+
+type tableSource struct{ it *tableIterator }
+
+func (t *tableSource) valid() bool   { return t.it.ok }
+func (t *tableSource) key() []byte   { return t.it.key }
+func (t *tableSource) value() []byte { return t.it.val }
+func (t *tableSource) next()         { t.it.next() }
+
+// Iterator merges all live sources in key order; on duplicate keys the
+// newest source wins. Create with NewIterator, position with Seek.
+type Iterator struct {
+	db   *DB
+	h    srcHeap
+	cur  source
+	err  error
+	key_ []byte
+	val_ []byte
+}
+
+// NewIterator snapshots the DB's structure. Call Seek before use.
+func (db *DB) NewIterator() *Iterator { return &Iterator{db: db} }
+
+// Seek positions the iterator at the first key >= target.
+func (it *Iterator) Seek(target []byte) {
+	db := it.db
+	db.mu.Lock()
+	mem := db.mem
+	imm := append([]*skiplist.List(nil), db.imm...)
+	var tables []*tableMeta
+	var pris []int
+	pri := 0
+	// mem gets priority 0, imm newest-first, then L0 newest-first, then
+	// deeper levels.
+	memIts := []*skiplist.List{mem}
+	for i := len(imm) - 1; i >= 0; i-- {
+		memIts = append(memIts, imm[i])
+	}
+	for _, t := range db.levels[0] {
+		tables = append(tables, t)
+		pris = append(pris, len(memIts)+len(pris))
+	}
+	for l := 1; l < numLevels; l++ {
+		for _, t := range db.levels[l] {
+			if bytes.Compare(t.maxKey, target) >= 0 {
+				tables = append(tables, t)
+				pris = append(pris, len(memIts)+len(pris))
+			}
+		}
+	}
+	db.mu.Unlock()
+	_ = pri
+
+	it.h = it.h[:0]
+	for i, m := range memIts {
+		si := m.NewIterator()
+		si.Seek(target)
+		src := &memSource{it: si}
+		if src.valid() {
+			heap.Push(&it.h, srcItem{src: src, pri: i})
+		}
+	}
+	for i, t := range tables {
+		ti, err := t.iterateFrom(db.ts, target)
+		if err != nil {
+			it.err = err
+			return
+		}
+		src := &tableSource{it: ti}
+		if src.valid() {
+			heap.Push(&it.h, srcItem{src: src, pri: pris[i]})
+		}
+	}
+	it.advance(nil)
+}
+
+// advance pops the next key strictly greater than prevKey (dedup).
+func (it *Iterator) advance(prevKey []byte) {
+	it.cur = nil
+	for it.h.Len() > 0 {
+		item := heap.Pop(&it.h).(srcItem)
+		k := item.src.key()
+		if prevKey != nil && bytes.Equal(k, prevKey) {
+			item.src.next()
+			if item.src.valid() {
+				heap.Push(&it.h, item)
+			}
+			continue
+		}
+		it.key_ = append(it.key_[:0], k...)
+		it.val_ = append(it.val_[:0], item.src.value()...)
+		item.src.next()
+		if item.src.valid() {
+			heap.Push(&it.h, item)
+		}
+		it.cur = item.src
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.cur != nil && it.err == nil }
+
+// Err returns any iteration error.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current key (valid until Next/Seek).
+func (it *Iterator) Key() []byte { return it.key_ }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.val_ }
+
+// Next advances to the next distinct key.
+func (it *Iterator) Next() { it.advance(it.key_) }
+
+// srcItem / srcHeap implement the priority merge.
+type srcItem struct {
+	src source
+	pri int
+}
+
+type srcHeap []srcItem
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].src.key(), h[j].src.key())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].pri < h[j].pri
+}
+func (h srcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x any)   { *h = append(*h, x.(srcItem)) }
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// PrefixScan iterates all entries whose key starts with prefix, invoking fn
+// until it returns false. This is the access path RDB-Mison++ uses to
+// retrieve a property's postings.
+func (db *DB) PrefixScan(prefix []byte, fn func(key, value []byte) bool) error {
+	it := db.NewIterator()
+	it.Seek(prefix)
+	for it.Valid() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return it.Err()
+}

@@ -1,0 +1,324 @@
+// Package lsm is a compact, real LSM-tree key-value store standing in for
+// RocksDB in the paper's baselines (RDB-RJ, RDB-Mison, RDB-Mison++). It has
+// the pieces whose costs the paper's comparison depends on:
+//
+//   - a skiplist memtable with a write-buffer size, rotated to an immutable
+//     queue and flushed to L0 by a background worker;
+//   - leveled SSTables with sparse indexes and per-table Bloom filters;
+//   - level-style background compaction with a size multiplier, performed
+//     by a pool of compaction workers;
+//   - RocksDB-style *write stalls*: ingestion slows when L0 piles up and
+//     blocks when the immutable queue is full — the mechanism behind the
+//     flat/declining RDB curves in Figs 10–12;
+//   - write-amplification accounting (every byte persisted by flushes and
+//     compactions), driving the Fig 17-style storage comparisons.
+//
+// Keys and values are opaque byte strings; iteration is ordered, enabling
+// the prefix scans RDB-Mison++ uses as a secondary index. Deletes are not
+// implemented (the paper's workloads are insert-and-scan only).
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fishstore/internal/skiplist"
+	"fishstore/internal/storage"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Device stores SSTables. nil means an in-memory device.
+	Device storage.Device
+	// MemtableBytes is the write buffer size (paper config: 1GB; scale
+	// down for tests).
+	MemtableBytes int64
+	// MaxImmutable is the immutable-memtable queue bound; a full queue
+	// blocks writers (write stall).
+	MaxImmutable int
+	// L0CompactionTrigger starts compaction at this many L0 tables.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger delays writers when L0 reaches this many tables.
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writers at this many L0 tables.
+	L0StopTrigger int
+	// LevelSizeMultiplier is the per-level size ratio (RocksDB default 10).
+	LevelSizeMultiplier int
+	// BaseLevelBytes is the L1 size target.
+	BaseLevelBytes int64
+	// TargetTableBytes splits compaction outputs into tables of this size.
+	TargetTableBytes int64
+	// BitsPerKey sizes Bloom filters.
+	BitsPerKey int
+	// CompactionWorkers is the background compaction pool size (paper
+	// config: 16).
+	CompactionWorkers int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Device == nil {
+		out.Device = storage.NewMem()
+	}
+	if out.MemtableBytes == 0 {
+		out.MemtableBytes = 4 << 20
+	}
+	if out.MaxImmutable == 0 {
+		out.MaxImmutable = 2
+	}
+	if out.L0CompactionTrigger == 0 {
+		out.L0CompactionTrigger = 4
+	}
+	if out.L0SlowdownTrigger == 0 {
+		out.L0SlowdownTrigger = 8
+	}
+	if out.L0StopTrigger == 0 {
+		out.L0StopTrigger = 12
+	}
+	if out.LevelSizeMultiplier == 0 {
+		out.LevelSizeMultiplier = 10
+	}
+	if out.BaseLevelBytes == 0 {
+		out.BaseLevelBytes = 4 * out.MemtableBytes
+	}
+	if out.TargetTableBytes == 0 {
+		out.TargetTableBytes = out.MemtableBytes
+	}
+	if out.BitsPerKey == 0 {
+		out.BitsPerKey = 10
+	}
+	if out.CompactionWorkers == 0 {
+		out.CompactionWorkers = 2
+	}
+	return out
+}
+
+const numLevels = 7
+
+// DB is the LSM-tree store.
+type DB struct {
+	opts Options
+	ts   *tableStore
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals state changes (stalls, queue space)
+	mem     *skiplist.List
+	imm     []*skiplist.List
+	levels  [numLevels][]*tableMeta // L0 newest-first; L1+ key-ordered
+	nextID  uint64
+	closing bool
+
+	compactionActive bool
+
+	flushWake   chan struct{}
+	compactWake chan struct{}
+	bg          sync.WaitGroup
+	bgErr       atomic.Value // error
+
+	userBytes atomic.Int64 // logical bytes Put by the user
+	stallNS   atomic.Int64
+}
+
+// Open creates an LSM DB and starts its background workers.
+func Open(opts Options) *DB {
+	o := opts.withDefaults()
+	db := &DB{
+		opts:        o,
+		ts:          newTableStore(o.Device),
+		mem:         skiplist.New(1),
+		flushWake:   make(chan struct{}, 1),
+		compactWake: make(chan struct{}, 1),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	db.bg.Add(1 + o.CompactionWorkers)
+	go db.flushWorker()
+	for i := 0; i < o.CompactionWorkers; i++ {
+		go db.compactionWorker()
+	}
+	return db
+}
+
+// Close stops background work after draining pending flushes.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closing {
+		db.mu.Unlock()
+		return nil
+	}
+	// Rotate the active memtable so everything becomes durable.
+	if db.mem.Len() > 0 {
+		db.imm = append(db.imm, db.mem)
+		db.mem = skiplist.New(int64(db.nextID) + 2)
+	}
+	db.closing = true
+	db.mu.Unlock()
+	db.wake(db.flushWake)
+	db.wake(db.compactWake)
+	db.cond.Broadcast()
+	db.bg.Wait()
+	if err, _ := db.bgErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (db *DB) wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// ErrClosed is returned for operations on a closed DB.
+var ErrClosed = errors.New("lsm: closed")
+
+// Put inserts key -> value, applying RocksDB-style stall behaviour.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	for {
+		if db.closing {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		l0 := len(db.levels[0])
+		switch {
+		case len(db.imm) >= db.opts.MaxImmutable, l0 >= db.opts.L0StopTrigger:
+			// Hard stall: wait for background work.
+			start := time.Now()
+			db.cond.Wait()
+			db.stallNS.Add(int64(time.Since(start)))
+			continue
+		case l0 >= db.opts.L0SlowdownTrigger:
+			// Soft stall: delay this writer ~1ms.
+			db.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			db.stallNS.Add(int64(time.Millisecond))
+			db.mu.Lock()
+			continue
+		}
+		break
+	}
+	// Apply the write while holding the metadata lock, so a concurrent
+	// rotation cannot move the memtable out from under it (RocksDB likewise
+	// serializes writers through a single writer group). The skiplist
+	// insert itself is short; readers never take this lock.
+	db.mem.Put(key, value)
+	rotated := false
+	if db.mem.SizeBytes() >= db.opts.MemtableBytes {
+		db.imm = append(db.imm, db.mem)
+		db.mem = skiplist.New(int64(db.nextID) + 100)
+		rotated = true
+	}
+	db.mu.Unlock()
+
+	db.userBytes.Add(int64(len(key) + len(value)))
+	if rotated {
+		db.wake(db.flushWake)
+	}
+	return nil
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	mem := db.mem
+	imm := append([]*skiplist.List(nil), db.imm...)
+	var l0 []*tableMeta
+	l0 = append(l0, db.levels[0]...)
+	var deeper [][]*tableMeta
+	for l := 1; l < numLevels; l++ {
+		if len(db.levels[l]) > 0 {
+			deeper = append(deeper, append([]*tableMeta(nil), db.levels[l]...))
+		}
+	}
+	db.mu.Unlock()
+
+	if v, ok := mem.Get(key); ok {
+		return v, true, nil
+	}
+	for i := len(imm) - 1; i >= 0; i-- {
+		if v, ok := imm[i].Get(key); ok {
+			return v, true, nil
+		}
+	}
+	for _, t := range l0 { // newest first
+		if v, ok, err := t.get(db.ts, key); err != nil || ok {
+			return v, ok, err
+		}
+	}
+	for _, tables := range deeper {
+		// Binary search the non-overlapping run.
+		lo, hi := 0, len(tables)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bytes.Compare(tables[mid].maxKey, key) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(tables) {
+			if v, ok, err := tables[lo].get(db.ts, key); err != nil || ok {
+				return v, ok, err
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Stats reports accounting used by the experiment harness.
+type Stats struct {
+	UserBytes    int64 // logical bytes written by callers
+	StorageBytes int64 // bytes persisted by flushes and compactions
+	StallTime    time.Duration
+	LevelTables  [numLevels]int
+}
+
+// WriteAmplification returns StorageBytes / UserBytes.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserBytes == 0 {
+		return 0
+	}
+	return float64(s.StorageBytes) / float64(s.UserBytes)
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		UserBytes:    db.userBytes.Load(),
+		StorageBytes: db.ts.written.Load(),
+		StallTime:    time.Duration(db.stallNS.Load()),
+	}
+	db.mu.Lock()
+	for l := 0; l < numLevels; l++ {
+		st.LevelTables[l] = len(db.levels[l])
+	}
+	db.mu.Unlock()
+	return st
+}
+
+// WaitIdle blocks until all immutable memtables are flushed and no level is
+// over its compaction trigger (used by tests and benchmarks to settle).
+func (db *DB) WaitIdle() {
+	for {
+		db.mu.Lock()
+		idle := len(db.imm) == 0 && len(db.levels[0]) < db.opts.L0CompactionTrigger
+		if idle {
+			over := false
+			for l := 1; l < numLevels-1; l++ {
+				if db.levelBytes(l) > db.levelTarget(l) {
+					over = true
+				}
+			}
+			idle = !over
+		}
+		db.mu.Unlock()
+		if idle {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,253 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fishstore/internal/storage"
+)
+
+func smallOpts() Options {
+	return Options{
+		MemtableBytes:       16 << 10, // 16KB: force frequent flushes
+		BaseLevelBytes:      64 << 10,
+		TargetTableBytes:    16 << 10,
+		L0CompactionTrigger: 2,
+		CompactionWorkers:   2,
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get key-%03d = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := db.Get([]byte("absent")); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestGetAfterFlushAndCompaction(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	val := make([]byte, 256)
+	const n = 2000 // ~512KB: multiple flushes and compactions
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.WaitIdle()
+	st := db.Stats()
+	if st.LevelTables[0] >= db.opts.L0CompactionTrigger {
+		t.Fatalf("L0 not compacted: %+v", st.LevelTables)
+	}
+	deeper := 0
+	for l := 1; l < numLevels; l++ {
+		deeper += st.LevelTables[l]
+	}
+	if deeper == 0 {
+		t.Fatal("nothing reached L1+; compaction never ran")
+	}
+	// Every key still readable.
+	for i := 0; i < n; i += 37 {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("key-%06d", i))); !ok || err != nil {
+			t.Fatalf("key-%06d lost after compaction (%v)", i, err)
+		}
+	}
+}
+
+func TestOverwriteAcrossLevels(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	pad := make([]byte, 200)
+	// First version, then enough churn to push it down, then overwrite.
+	db.Put([]byte("target"), append([]byte("v1-"), pad...))
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("fill-%04d", i)), pad)
+	}
+	db.WaitIdle()
+	db.Put([]byte("target"), []byte("v2"))
+	v, ok, err := db.Get([]byte("target"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("fill2-%04d", i)), pad)
+	}
+	db.WaitIdle()
+	v, ok, err = db.Get([]byte("target"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("after churn Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestIteratorMergesAllLevels(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	rng := rand.New(rand.NewSource(3))
+	want := map[string]string{}
+	pad := make([]byte, 100)
+	for i := 0; i < 1500; i++ {
+		k := fmt.Sprintf("key-%05d", rng.Intn(3000))
+		v := fmt.Sprintf("val-%d", i)
+		want[k] = v
+		db.Put([]byte(k), append([]byte(v+"|"), pad...))
+	}
+	db.WaitIdle()
+
+	it := db.NewIterator()
+	it.Seek(nil)
+	got := 0
+	var prev []byte
+	for it.Valid() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violation: %q then %q", prev, it.Key())
+		}
+		k := string(it.Key())
+		wantV := want[k]
+		if gotV := string(it.Value()); gotV[:len(wantV)+1] != wantV+"|" {
+			t.Fatalf("key %s = %q, want prefix %q (stale version surfaced)", k, gotV[:20], wantV)
+		}
+		prev = append(prev[:0], it.Key()...)
+		got++
+		it.Next()
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if got != len(want) {
+		t.Fatalf("iterated %d keys, want %d", got, len(want))
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("a/%03d", i)), []byte("x"))
+		db.Put([]byte(fmt.Sprintf("b/%03d", i)), []byte("y"))
+	}
+	var got int
+	if err := db.PrefixScan([]byte("a/"), func(k, v []byte) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Fatalf("prefix scan matched %d, want 50", got)
+	}
+	// Early stop.
+	got = 0
+	db.PrefixScan([]byte("a/"), func(k, v []byte) bool { got++; return got < 5 })
+	if got != 5 {
+		t.Fatalf("early stop got %d", got)
+	}
+}
+
+func TestWriteAmplificationAccounted(t *testing.T) {
+	db := Open(smallOpts())
+	pad := make([]byte, 200)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i%500)), pad)
+	}
+	db.WaitIdle()
+	st := db.Stats()
+	db.Close()
+	if st.UserBytes == 0 || st.StorageBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.WriteAmplification() <= 1.0 {
+		t.Fatalf("write amplification %.2f; an LSM with compaction must exceed 1", st.WriteAmplification())
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	db := Open(smallOpts())
+	defer db.Close()
+	var wg sync.WaitGroup
+	pad := make([]byte, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("w%d-key-%05d", w, i)), pad); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	db.WaitIdle()
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 500; i += 61 {
+			if _, ok, err := db.Get([]byte(fmt.Sprintf("w%d-key-%05d", w, i))); !ok || err != nil {
+				t.Fatalf("w%d-key-%05d missing (%v)", w, i, err)
+			}
+		}
+	}
+}
+
+func TestPutAfterClose(t *testing.T) {
+	db := Open(smallOpts())
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseFlushesMemtable(t *testing.T) {
+	dev := storage.NewMem()
+	opts := smallOpts()
+	opts.Device = dev
+	db := Open(opts)
+	db.Put([]byte("persist"), []byte("me"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().StorageBytes == 0 {
+		t.Fatal("close did not flush the memtable")
+	}
+}
+
+func BenchmarkLSMPut(b *testing.B) {
+	db := Open(Options{MemtableBytes: 8 << 20, CompactionWorkers: 4})
+	defer db.Close()
+	val := make([]byte, 128)
+	b.SetBytes(int64(len(val)) + 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%010d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSMGet(b *testing.B) {
+	db := Open(Options{MemtableBytes: 8 << 20})
+	defer db.Close()
+	val := make([]byte, 128)
+	for i := 0; i < 100000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%010d", i)), val)
+	}
+	db.WaitIdle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get([]byte(fmt.Sprintf("key-%010d", i%100000)))
+	}
+}

@@ -1,0 +1,220 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"fishstore/internal/bloom"
+	"fishstore/internal/storage"
+)
+
+// tableStore allocates space for SSTables on a storage device. Tables are
+// immutable blobs; the store is an append-only arena.
+type tableStore struct {
+	dev  storage.Device
+	next atomic.Int64
+	// written counts every byte persisted (flushes + compactions): the
+	// write-amplification numerator.
+	written atomic.Int64
+}
+
+func newTableStore(dev storage.Device) *tableStore {
+	return &tableStore{dev: dev}
+}
+
+func (ts *tableStore) alloc(n int64) int64 { return ts.next.Add(n) - n }
+
+// sparse index granularity: one index entry per indexInterval entries.
+const indexInterval = 16
+
+// idxEntry is one sparse-index entry.
+type idxEntry struct {
+	key    []byte
+	offset int64 // offset of the entry within the table's data region
+}
+
+// tableMeta describes one immutable SSTable. The sparse index and Bloom
+// filter are kept in memory (as RocksDB does via its table cache); the
+// key/value data lives on the device.
+type tableMeta struct {
+	id       uint64
+	off      int64 // device offset of the data region
+	dataLen  int64
+	count    int
+	minKey   []byte
+	maxKey   []byte
+	index    []idxEntry
+	filter   *bloom.Filter
+	sizeHint int64 // total bytes incl. metadata (level sizing)
+}
+
+// tableBuilder accumulates sorted entries and persists them as an SSTable.
+type tableBuilder struct {
+	ts      *tableStore
+	buf     bytes.Buffer
+	index   []idxEntry
+	keys    [][]byte
+	count   int
+	minKey  []byte
+	maxKey  []byte
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func newTableBuilder(ts *tableStore) *tableBuilder {
+	return &tableBuilder{ts: ts}
+}
+
+// add appends an entry; keys must arrive in strictly ascending order.
+func (b *tableBuilder) add(key, value []byte) {
+	if b.count%indexInterval == 0 {
+		b.index = append(b.index, idxEntry{key: append([]byte(nil), key...), offset: int64(b.buf.Len())})
+	}
+	n := binary.PutUvarint(b.scratch[:], uint64(len(key)))
+	b.buf.Write(b.scratch[:n])
+	b.buf.Write(key)
+	n = binary.PutUvarint(b.scratch[:], uint64(len(value)))
+	b.buf.Write(b.scratch[:n])
+	b.buf.Write(value)
+	if b.count == 0 {
+		b.minKey = append([]byte(nil), key...)
+	}
+	b.maxKey = append(b.maxKey[:0], key...)
+	b.keys = append(b.keys, append([]byte(nil), key...))
+	b.count++
+}
+
+func (b *tableBuilder) empty() bool { return b.count == 0 }
+
+func (b *tableBuilder) sizeBytes() int { return b.buf.Len() }
+
+// finish persists the table and returns its metadata.
+func (b *tableBuilder) finish(id uint64, bitsPerKey int) (*tableMeta, error) {
+	data := b.buf.Bytes()
+	off := b.ts.alloc(int64(len(data)))
+	if _, err := b.ts.dev.WriteAt(data, off); err != nil {
+		return nil, fmt.Errorf("lsm: table write: %w", err)
+	}
+	b.ts.written.Add(int64(len(data)))
+	f := bloom.New(b.count, bitsPerKey)
+	for _, k := range b.keys {
+		f.Add(k)
+	}
+	return &tableMeta{
+		id:       id,
+		off:      off,
+		dataLen:  int64(len(data)),
+		count:    b.count,
+		minKey:   b.minKey,
+		maxKey:   append([]byte(nil), b.maxKey...),
+		index:    b.index,
+		filter:   f,
+		sizeHint: int64(len(data)),
+	}, nil
+}
+
+// tableIterator streams a table's entries in key order, reading the data
+// region once.
+type tableIterator struct {
+	data []byte
+	pos  int
+	key  []byte
+	val  []byte
+	err  error
+	ok   bool
+}
+
+// iterate loads the whole data region (tables are sized ~MBs; this mirrors
+// RocksDB's readahead during compaction) and returns an iterator.
+func (m *tableMeta) iterate(ts *tableStore) (*tableIterator, error) {
+	data := make([]byte, m.dataLen)
+	if _, err := ts.dev.ReadAt(data, m.off); err != nil {
+		return nil, fmt.Errorf("lsm: table read: %w", err)
+	}
+	it := &tableIterator{data: data}
+	it.next()
+	return it, nil
+}
+
+// iterateFrom positions at the first key >= target using the sparse index.
+func (m *tableMeta) iterateFrom(ts *tableStore, target []byte) (*tableIterator, error) {
+	it, err := m.iterate(ts)
+	if err != nil {
+		return nil, err
+	}
+	// Jump via the sparse index.
+	lo, hi := 0, len(m.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(m.index[mid].key, target) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 {
+		it.pos = int(m.index[lo-1].offset)
+		it.ok = true
+		it.next()
+	}
+	for it.ok && bytes.Compare(it.key, target) < 0 {
+		it.next()
+	}
+	return it, nil
+}
+
+func (it *tableIterator) next() {
+	if it.pos >= len(it.data) {
+		it.ok = false
+		return
+	}
+	kl, n := binary.Uvarint(it.data[it.pos:])
+	if n <= 0 {
+		it.ok = false
+		it.err = fmt.Errorf("lsm: corrupt key length at %d", it.pos)
+		return
+	}
+	it.pos += n
+	it.key = it.data[it.pos : it.pos+int(kl)]
+	it.pos += int(kl)
+	vl, n := binary.Uvarint(it.data[it.pos:])
+	if n <= 0 {
+		it.ok = false
+		it.err = fmt.Errorf("lsm: corrupt value length at %d", it.pos)
+		return
+	}
+	it.pos += n
+	it.val = it.data[it.pos : it.pos+int(vl)]
+	it.pos += int(vl)
+	it.ok = true
+}
+
+// get performs a point lookup within the table.
+func (m *tableMeta) get(ts *tableStore, key []byte) ([]byte, bool, error) {
+	if bytes.Compare(key, m.minKey) < 0 || bytes.Compare(key, m.maxKey) > 0 {
+		return nil, false, nil
+	}
+	if !m.filter.MayContain(key) {
+		return nil, false, nil
+	}
+	it, err := m.iterateFrom(ts, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if it.ok && bytes.Equal(it.key, key) {
+		return append([]byte(nil), it.val...), true, nil
+	}
+	return nil, false, nil
+}
+
+// overlaps reports key-range overlap with [lo, hi].
+func (m *tableMeta) overlaps(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(m.minKey, hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(m.maxKey, lo) < 0 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fishstore/internal/storage"
+)
+
+func buildTestTable(t *testing.T, n int) (*tableMeta, *tableStore) {
+	t.Helper()
+	ts := newTableStore(storage.NewMem())
+	b := newTableBuilder(ts)
+	for i := 0; i < n; i++ {
+		b.add([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	meta, err := b.finish(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta, ts
+}
+
+func TestTableGet(t *testing.T) {
+	meta, ts := buildTestTable(t, 200)
+	for i := 0; i < 200; i += 13 {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		v, ok, err := meta.get(ts, key)
+		if err != nil || !ok {
+			t.Fatalf("get %s: %v %v", key, ok, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %s = %q", key, v)
+		}
+	}
+	if _, ok, _ := meta.get(ts, []byte("key-99999")); ok {
+		t.Fatal("found absent key")
+	}
+	if _, ok, _ := meta.get(ts, []byte("aaa")); ok {
+		t.Fatal("found key below min")
+	}
+	if _, ok, _ := meta.get(ts, []byte("zzz")); ok {
+		t.Fatal("found key above max")
+	}
+}
+
+func TestTableIterateAll(t *testing.T) {
+	meta, ts := buildTestTable(t, 100)
+	it, err := meta.iterate(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var prev []byte
+	for it.ok {
+		if prev != nil && bytes.Compare(prev, it.key) >= 0 {
+			t.Fatal("order violation")
+		}
+		prev = append(prev[:0], it.key...)
+		n++
+		it.next()
+	}
+	if n != 100 {
+		t.Fatalf("iterated %d, want 100", n)
+	}
+}
+
+func TestTableIterateFrom(t *testing.T) {
+	meta, ts := buildTestTable(t, 100)
+	cases := []struct {
+		target string
+		want   string
+	}{
+		{"key-00000", "key-00000"},
+		{"key-00050", "key-00050"},
+		{"key-000505", "key-00051"}, // between keys
+		{"a", "key-00000"},
+		{"key-00099", "key-00099"},
+	}
+	for _, c := range cases {
+		it, err := meta.iterateFrom(ts, []byte(c.target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !it.ok || string(it.key) != c.want {
+			t.Fatalf("iterateFrom(%q) at %q, want %q", c.target, it.key, c.want)
+		}
+	}
+	// Past the end.
+	it, err := meta.iterateFrom(ts, []byte("zzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.ok {
+		t.Fatal("iterateFrom past end should be invalid")
+	}
+}
+
+func TestTableMetaOverlaps(t *testing.T) {
+	meta, _ := buildTestTable(t, 10) // keys key-00000 .. key-00009
+	if !meta.overlaps([]byte("key-00005"), []byte("key-00007")) {
+		t.Fatal("inner range should overlap")
+	}
+	if meta.overlaps([]byte("key-1"), []byte("key-2")) {
+		t.Fatal("disjoint above should not overlap")
+	}
+	if meta.overlaps([]byte("a"), []byte("b")) {
+		t.Fatal("disjoint below should not overlap")
+	}
+	if !meta.overlaps(nil, nil) {
+		t.Fatal("unbounded range should overlap")
+	}
+}
+
+func TestTableWriteAccounting(t *testing.T) {
+	ts := newTableStore(storage.NewMem())
+	b := newTableBuilder(ts)
+	b.add([]byte("k"), []byte("v"))
+	if _, err := b.finish(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if ts.written.Load() == 0 {
+		t.Fatal("write accounting missing")
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	ts := newTableStore(storage.NewMem())
+	b := newTableBuilder(ts)
+	if !b.empty() {
+		t.Fatal("fresh builder not empty")
+	}
+}

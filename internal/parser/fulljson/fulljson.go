@@ -1,0 +1,94 @@
+// Package fulljson is a full-DOM JSON parser session built on
+// encoding/json. It stands in for RapidJSON in the paper's baselines
+// (FASTER-RJ, RDB-RJ, FishStore-RJ): it parses the *entire* document into an
+// allocated tree and then walks it for the requested fields — deliberately
+// paying the full-parsing and allocation costs that the partial parser
+// avoids, so the Fig 11–13 comparisons reproduce the paper's bottleneck.
+package fulljson
+
+import (
+	"encoding/json"
+	"strings"
+
+	"fishstore/internal/expr"
+	"fishstore/internal/parser"
+)
+
+// Factory creates full-DOM sessions.
+type Factory struct{}
+
+// New returns the full JSON parser factory.
+func New() *Factory { return &Factory{} }
+
+// Name implements parser.Factory.
+func (*Factory) Name() string { return "fulljson" }
+
+// NewSession implements parser.Factory.
+func (*Factory) NewSession(fields []string) (parser.Session, error) {
+	paths := make([][]string, len(fields))
+	for i, f := range fields {
+		paths[i] = strings.Split(f, ".")
+	}
+	return &session{fields: fields, paths: paths}, nil
+}
+
+type session struct {
+	fields []string
+	paths  [][]string
+	parsed parser.Parsed
+}
+
+// Parse implements parser.Session by materializing the whole document.
+func (s *session) Parse(payload []byte) (*parser.Parsed, error) {
+	s.parsed.Reset()
+	var doc map[string]any
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return &s.parsed, err
+	}
+	for i, path := range s.paths {
+		v, ok := walk(doc, path)
+		if !ok {
+			continue
+		}
+		// A DOM parser cannot report raw byte offsets (the paper notes
+		// RapidJSON "need[s] to scan the document twice to find the location
+		// of a parsed out field"); Offset=-1 forces materialized values.
+		s.parsed.Add(parser.Field{Path: s.fields[i], Value: toValue(v), Offset: -1})
+	}
+	return &s.parsed, nil
+}
+
+func walk(doc map[string]any, path []string) (any, bool) {
+	var cur any = doc
+	for _, part := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func toValue(v any) expr.Value {
+	switch x := v.(type) {
+	case nil:
+		return expr.Null()
+	case bool:
+		return expr.BoolVal(x)
+	case float64:
+		return expr.NumberVal(x)
+	case string:
+		return expr.StringVal(x)
+	default:
+		// Composite: re-serialize so grouping PSFs get a stable value.
+		b, err := json.Marshal(x)
+		if err != nil {
+			return expr.Missing()
+		}
+		return expr.StringVal(string(b))
+	}
+}

@@ -1,0 +1,75 @@
+package fulljson
+
+import (
+	"testing"
+
+	"fishstore/internal/expr"
+)
+
+const rec = `{"id": 7, "user": {"lang": "ja", "followers_count": 5000}, "flag": true, "none": null, "arr": [1,2]}`
+
+func TestExtract(t *testing.T) {
+	s, err := New().NewSession([]string{"id", "user.lang", "user.followers_count", "flag", "none", "arr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Parse([]byte(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("id").Num != 7 {
+		t.Fatalf("id = %v", p.Lookup("id"))
+	}
+	if p.Lookup("user.lang").Str != "ja" {
+		t.Fatalf("user.lang = %v", p.Lookup("user.lang"))
+	}
+	if p.Lookup("user.followers_count").Num != 5000 {
+		t.Fatalf("followers = %v", p.Lookup("user.followers_count"))
+	}
+	if !p.Lookup("flag").IsTrue() {
+		t.Fatal("flag")
+	}
+	if p.Lookup("none").Kind != expr.KindNull {
+		t.Fatal("null")
+	}
+	if p.Lookup("arr").Str != "[1,2]" {
+		t.Fatalf("arr = %v", p.Lookup("arr"))
+	}
+}
+
+func TestNoOffsets(t *testing.T) {
+	s, _ := New().NewSession([]string{"id"})
+	p, err := s.Parse([]byte(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := p.Get("id")
+	if !ok || f.Offset != -1 {
+		t.Fatalf("DOM parser must not report offsets: %+v", f)
+	}
+}
+
+func TestMissingAndBadJSON(t *testing.T) {
+	s, _ := New().NewSession([]string{"a.b.c"})
+	p, err := s.Parse([]byte(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fields) != 0 {
+		t.Fatal("missing path extracted")
+	}
+	if _, err := s.Parse([]byte(`{broken`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func BenchmarkParseFull(b *testing.B) {
+	s, _ := New().NewSession([]string{"id", "user.lang"})
+	raw := []byte(rec)
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package parser defines FishStore's generic parser interface (§3.2, §6.1).
+//
+// A parser is instantiated per ingestion worker ("thread-local") for a fixed
+// set of dotted field paths — the union of the fields of interest of all
+// active PSFs. Whenever PSF registration changes that set, the worker
+// recreates its session (§6.1). The interface supports the two capabilities
+// FishStore needs from a parser: batched parsing, and the targeted
+// extraction of a few fields.
+//
+// Three implementations ship with this repository:
+//
+//   - pjson: a partial JSON parser in the spirit of Mison, built on
+//     word-parallel structural bitmaps; it never materializes a DOM.
+//   - fulljson: a full DOM parser built on encoding/json, standing in for
+//     RapidJSON in the paper's baselines (deliberately allocation-heavy).
+//   - pcsv: a projecting CSV parser.
+package parser
+
+import (
+	"fishstore/internal/expr"
+)
+
+// Field is one extracted field of interest.
+type Field struct {
+	// Path is the dotted path that was requested.
+	Path string
+	// Value is the typed field value.
+	Value expr.Value
+	// Offset/Len locate the raw value text inside the payload, when the
+	// parser can provide it (enables zero-copy ModePayload key pointers).
+	// Offset is -1 when unavailable. For strings the span excludes quotes.
+	Offset int
+	Len    int
+}
+
+// Parsed holds the extracted fields of one record. The contents are only
+// valid until the session's next Parse call.
+type Parsed struct {
+	Fields []Field
+	byPath map[string]int
+}
+
+// Lookup returns the value of path, or missing.
+func (p *Parsed) Lookup(path string) expr.Value {
+	if i, ok := p.byPath[path]; ok {
+		return p.Fields[i].Value
+	}
+	return expr.Missing()
+}
+
+// Get returns the Field for path.
+func (p *Parsed) Get(path string) (Field, bool) {
+	if i, ok := p.byPath[path]; ok {
+		return p.Fields[i], true
+	}
+	return Field{}, false
+}
+
+// Reset clears p for reuse, keeping allocations.
+func (p *Parsed) Reset() {
+	p.Fields = p.Fields[:0]
+	if p.byPath == nil {
+		p.byPath = make(map[string]int)
+	} else {
+		clear(p.byPath)
+	}
+}
+
+// Add appends a field.
+func (p *Parsed) Add(f Field) {
+	if p.byPath == nil {
+		p.byPath = make(map[string]int)
+	}
+	if _, dup := p.byPath[f.Path]; dup {
+		return // first occurrence wins
+	}
+	p.byPath[f.Path] = len(p.Fields)
+	p.Fields = append(p.Fields, f)
+}
+
+// Session extracts a fixed set of fields from raw records. Sessions are not
+// safe for concurrent use; each ingestion worker owns one.
+type Session interface {
+	// Parse extracts the session's fields of interest from payload. The
+	// returned Parsed is owned by the session and valid until the next call.
+	Parse(payload []byte) (*Parsed, error)
+}
+
+// Factory creates sessions. A Factory is safe for concurrent use.
+type Factory interface {
+	// Name identifies the parser (for reports).
+	Name() string
+	// NewSession compiles a session that extracts the given dotted paths.
+	NewSession(fields []string) (Session, error)
+}
+
+// ParseBatch is a convenience helper that parses a batch of records,
+// invoking fn for each record with its parse result. It mirrors the batched
+// parser interface FishStore feeds data through.
+func ParseBatch(s Session, batch [][]byte, fn func(i int, p *Parsed, err error) bool) {
+	for i, rec := range batch {
+		p, err := s.Parse(rec)
+		if !fn(i, p, err) {
+			return
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package pcsv
+
+import (
+	"testing"
+
+	"fishstore/internal/expr"
+)
+
+var header = []string{"review_id", "user_id", "business_id", "stars", "useful", "text"}
+
+func TestExtractColumns(t *testing.T) {
+	f := New(header)
+	s, err := f.NewSession([]string{"review_id", "stars", "useful"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Parse([]byte("r001,u42,b7,4,11,great food\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("review_id").Str != "r001" {
+		t.Fatalf("review_id = %v", p.Lookup("review_id"))
+	}
+	if p.Lookup("stars").Num != 4 || p.Lookup("useful").Num != 11 {
+		t.Fatalf("stars/useful = %v / %v", p.Lookup("stars"), p.Lookup("useful"))
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	f := New(header)
+	s, _ := f.NewSession([]string{"business_id"})
+	raw := []byte("r001,u42,b777,4,11,text")
+	p, err := s.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, ok := p.Get("business_id")
+	if !ok {
+		t.Fatal("missing column")
+	}
+	if string(raw[fd.Offset:fd.Offset+fd.Len]) != "b777" {
+		t.Fatalf("offset slice = %q", raw[fd.Offset:fd.Offset+fd.Len])
+	}
+}
+
+func TestQuotedFields(t *testing.T) {
+	f := New([]string{"a", "b", "c"})
+	s, _ := f.NewSession([]string{"b", "c"})
+	p, err := s.Parse([]byte(`x,"has, comma",3`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("b").Str != "has, comma" {
+		t.Fatalf("quoted field = %v", p.Lookup("b"))
+	}
+	if p.Lookup("c").Num != 3 {
+		t.Fatalf("after quoted = %v", p.Lookup("c"))
+	}
+}
+
+func TestStopsAtMaxColumn(t *testing.T) {
+	// Only column 0 requested: trailing garbage shouldn't matter.
+	f := New([]string{"a", "b"})
+	s, _ := f.NewSession([]string{"a"})
+	p, err := s.Parse([]byte("hello,\"unterminated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("a").Str != "hello" {
+		t.Fatalf("a = %v", p.Lookup("a"))
+	}
+}
+
+func TestShortRow(t *testing.T) {
+	f := New([]string{"a", "b", "c"})
+	s, _ := f.NewSession([]string{"c"})
+	p, err := s.Parse([]byte("only,two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fields) != 0 {
+		t.Fatal("short row should yield no field for missing column")
+	}
+}
+
+func TestEmptyCellIsNull(t *testing.T) {
+	f := New([]string{"a", "b"})
+	s, _ := f.NewSession([]string{"a", "b"})
+	p, err := s.Parse([]byte(",x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("a").Kind != expr.KindNull {
+		t.Fatalf("empty cell = %v", p.Lookup("a"))
+	}
+}
+
+func TestBoolSniffing(t *testing.T) {
+	f := New([]string{"flag"})
+	s, _ := f.NewSession([]string{"flag"})
+	p, _ := s.Parse([]byte("true"))
+	if !p.Lookup("flag").IsTrue() {
+		t.Fatal("true not sniffed")
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	f := New([]string{"a"})
+	if _, err := f.NewSession([]string{"zzz"}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestTrailingNewlineVariants(t *testing.T) {
+	f := New([]string{"a", "b"})
+	s, _ := f.NewSession([]string{"b"})
+	for _, raw := range []string{"x,y", "x,y\n", "x,y\r\n"} {
+		p, err := s.Parse([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Lookup("b").Str != "y" {
+			t.Fatalf("%q: b = %v", raw, p.Lookup("b"))
+		}
+	}
+}
+
+func BenchmarkParseCSV(b *testing.B) {
+	f := New(header)
+	s, _ := f.NewSession([]string{"review_id", "stars", "useful"})
+	raw := []byte("r00000001,u4242,b700,4,11,the quick brown fox jumped over the lazy dog and reviewed a restaurant")
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package pjson
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fishstore/internal/expr"
+)
+
+// FuzzParseNoPanic feeds arbitrary bytes through the structural-index
+// parser. The parser may reject input with an error but must never panic
+// or read out of bounds, and on *valid* JSON it must agree with
+// encoding/json for the probed fields.
+func FuzzParseNoPanic(f *testing.F) {
+	seeds := []string{
+		`{"a": 1, "b": {"c": "x"}}`,
+		`{"a": [1, {"b": 2}], "b": true}`,
+		`{"a": "esc\"aped", "b": null}`,
+		`{"a":}`,
+		`{{{{`,
+		`}}}}`,
+		`"just a string"`,
+		`{"a": "unterminated`,
+		"{\"a\u0000b\": 1}",
+		`{"a": 1e999}`,
+		`{"a": -}`,
+		"{\"a\"\x00: 1}",
+		`{"b": {"c": {"d": {"e": 1}}}}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	fields := []string{"a", "b", "b.c", "b.c.d"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sess, err := New().NewSession(fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, perr := sess.Parse(data)
+		if perr != nil {
+			return // rejecting is fine
+		}
+		// If stdlib accepts it as an object, cross-check simple scalars.
+		var doc map[string]any
+		if json.Unmarshal(data, &doc) != nil {
+			return
+		}
+		for _, field := range []string{"a", "b"} {
+			want, ok := doc[field]
+			got := p.Lookup(field)
+			if !ok {
+				continue
+			}
+			switch w := want.(type) {
+			case float64:
+				if got.Kind == expr.KindNumber && got.Num != w {
+					t.Fatalf("field %s: %v != %v on %q", field, got.Num, w, data)
+				}
+			case string:
+				if got.Kind == expr.KindString && got.Str != w {
+					t.Fatalf("field %s: %q != %q on %q", field, got.Str, w, data)
+				}
+			case bool:
+				if got.Kind == expr.KindBool && got.Bool != w {
+					t.Fatalf("field %s: %v != %v on %q", field, got.Bool, w, data)
+				}
+			}
+		}
+	})
+}
+
+// FuzzExprParse ensures the predicate compiler never panics.
+func FuzzExprParse(f *testing.F) {
+	for _, s := range []string{
+		`a == "x" && b > 3`, `!(a || b)`, `a.b.c <= -1.5e3`, `((((`, `a ==`,
+		`"unterminated`, `a # b`, `true && false || null == x`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := expr.Parse(src)
+		if err != nil {
+			return
+		}
+		// Evaluate against an empty record; must not panic.
+		_ = e.Eval(func(string) expr.Value { return expr.Missing() })
+		_ = e.Fields()
+		_ = e.String()
+	})
+}

@@ -1,0 +1,608 @@
+// Package pjson is a projecting ("partial") JSON parser in the spirit of
+// Mison (Li et al., VLDB 2017), the parser FishStore plugs in for JSON
+// ingestion (§3.2).
+//
+// Like Mison it works in two steps. First it builds a *structural index*
+// over the raw bytes: word-parallel (SWAR, 8 bytes at a time) bitmaps of
+// quotes and structural characters, a string mask derived from the quote
+// bitmap, and a leveled index of the colon positions outside strings. Then
+// it navigates that index directly to the requested fields — with *schema
+// speculation*: each object remembers at which colon ordinals its requested
+// keys appeared in the previous record and verifies those positions first,
+// falling back to a full object scan (and re-learning) on a miss. It never
+// materializes a DOM and performs no per-token allocation. (The original
+// uses SIMD for step one; we use 64-bit SWAR, the same algorithm at
+// one-eighth the lane width.)
+package pjson
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"fishstore/internal/expr"
+	"fishstore/internal/parser"
+)
+
+// Factory creates pjson sessions.
+type Factory struct {
+	// disableSpeculation turns off the schema-speculation fast path
+	// (exposed for the ablation benchmark).
+	disableSpeculation bool
+}
+
+// New returns the partial JSON parser factory.
+func New() *Factory { return &Factory{} }
+
+// NewWithoutSpeculation returns a factory whose sessions always scan every
+// key of every visited object (Mison without its phase-2 speculation).
+func NewWithoutSpeculation() *Factory { return &Factory{disableSpeculation: true} }
+
+// Name implements parser.Factory.
+func (*Factory) Name() string { return "pjson" }
+
+// NewSession compiles a session extracting the given dotted paths.
+func (f *Factory) NewSession(fields []string) (parser.Session, error) {
+	root := &trieNode{children: map[string]*trieNode{}}
+	maxDepth := 0
+	for _, f := range fields {
+		if f == "" {
+			return nil, fmt.Errorf("pjson: empty field path")
+		}
+		parts := strings.Split(f, ".")
+		if len(parts) > maxDepth {
+			maxDepth = len(parts)
+		}
+		n := root
+		for _, part := range parts {
+			child := n.children[part]
+			if child == nil {
+				child = &trieNode{children: map[string]*trieNode{}}
+				n.children[part] = child
+			}
+			n = child
+		}
+		n.leafPath = f
+	}
+	return &session{trie: root, maxDepth: maxDepth, speculate: !f.disableSpeculation}, nil
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	leafPath string // non-empty if a requested path ends here
+
+	// spec is the node's speculation state (Mison's phase 2): the ordinal,
+	// within the parent object's colon run, at which each requested child
+	// key was found in the previous record. Records from one source
+	// overwhelmingly share a schema, so on the next record the parser jumps
+	// straight to those colons and merely verifies the keys, skipping the
+	// key extraction of every irrelevant field. Any miss falls back to the
+	// full scan of the object and re-learns the pattern.
+	spec map[string]int
+}
+
+type session struct {
+	trie      *trieNode
+	maxDepth  int
+	speculate bool
+
+	// speculation statistics (observable via Stats; used by tests).
+	specHits   int64
+	specMisses int64
+
+	parsed parser.Parsed
+
+	// Reused per-record state.
+	payload    []byte
+	quoteBits  []uint64
+	structBits []uint64 // : { } [ ] outside strings
+	stringMask []uint64
+	colons     [][]int32 // colon positions per level (1-based levels, index 0 = level 1)
+	unescape   []byte
+}
+
+const (
+	ones  = 0x0101010101010101
+	highs = 0x8080808080808080
+)
+
+// eqBits returns a byte whose bit i is set iff byte i of w equals c.
+func eqBits(w uint64, c byte) uint64 {
+	x := w ^ (ones * uint64(c))
+	y := (x - ones) & ^x & highs
+	return ((y >> 7) * 0x0102040810204080) >> 56
+}
+
+func load8(b []byte, i int) uint64 {
+	// Little-endian load of up to 8 bytes, zero padded.
+	if i+8 <= len(b) {
+		return uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+			uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+	}
+	var w uint64
+	for j := 0; i+j < len(b); j++ {
+		w |= uint64(b[i+j]) << (8 * j)
+	}
+	return w
+}
+
+// buildBitmaps fills quoteBits and a raw structural bitmap (before string
+// masking) for the current payload.
+func (s *session) buildBitmaps() {
+	n := len(s.payload)
+	words := (n + 63) / 64
+	s.quoteBits = resize(s.quoteBits, words)
+	s.structBits = resize(s.structBits, words)
+	s.stringMask = resize(s.stringMask, words)
+
+	for w := 0; w < words; w++ {
+		var quote, structural uint64
+		base := w * 64
+		for k := 0; k < 64; k += 8 {
+			i := base + k
+			if i >= n {
+				break
+			}
+			word := load8(s.payload, i)
+			q := eqBits(word, '"')
+			st := eqBits(word, ':') | eqBits(word, '{') | eqBits(word, '}') |
+				eqBits(word, '[') | eqBits(word, ']')
+			quote |= q << k
+			structural |= st << k
+		}
+		s.quoteBits[w] = quote
+		s.structBits[w] = structural
+	}
+}
+
+func resize(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// isEscaped reports whether the quote at pos is preceded by an odd number of
+// backslashes.
+func (s *session) isEscaped(pos int) bool {
+	k := 0
+	for i := pos - 1; i >= 0 && s.payload[i] == '\\'; i-- {
+		k++
+	}
+	return k%2 == 1
+}
+
+// buildStringMask turns the quote bitmap into an in-string mask (bit set for
+// every byte inside a string literal, excluding the quotes themselves) and
+// clears structural bits inside strings.
+func (s *session) buildStringMask() {
+	inString := false
+	start := 0
+	for w := range s.quoteBits {
+		q := s.quoteBits[w]
+		for q != 0 {
+			bit := bits.TrailingZeros64(q)
+			q &^= 1 << bit
+			pos := w*64 + bit
+			if s.isEscaped(pos) {
+				continue
+			}
+			if !inString {
+				inString = true
+				start = pos + 1
+			} else {
+				inString = false
+				s.markRange(start, pos)
+			}
+		}
+	}
+	if inString {
+		s.markRange(start, len(s.payload))
+	}
+	for w := range s.structBits {
+		s.structBits[w] &^= s.stringMask[w]
+	}
+}
+
+// markRange sets stringMask bits for [from, to).
+func (s *session) markRange(from, to int) {
+	for from < to {
+		w := from / 64
+		bit := from % 64
+		run := 64 - bit
+		if run > to-from {
+			run = to - from
+		}
+		var mask uint64
+		if run == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1)<<run - 1) << bit
+		}
+		s.stringMask[w] |= mask
+		from += run
+	}
+}
+
+// buildColonIndex assigns a nesting level to every structural colon and
+// records positions up to maxDepth (the leveled colon bitmap of Mison).
+func (s *session) buildColonIndex() {
+	if cap(s.colons) < s.maxDepth {
+		s.colons = make([][]int32, s.maxDepth)
+	}
+	s.colons = s.colons[:s.maxDepth]
+	for i := range s.colons {
+		s.colons[i] = s.colons[i][:0]
+	}
+	depth := 0
+	for w := range s.structBits {
+		word := s.structBits[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			pos := w*64 + bit
+			switch s.payload[pos] {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			case ':':
+				if depth >= 1 && depth <= s.maxDepth {
+					s.colons[depth-1] = append(s.colons[depth-1], int32(pos))
+				}
+			}
+		}
+	}
+}
+
+// Parse implements parser.Session.
+func (s *session) Parse(payload []byte) (*parser.Parsed, error) {
+	s.parsed.Reset()
+	if len(s.trie.children) == 0 {
+		return &s.parsed, nil
+	}
+	s.payload = payload
+	s.buildBitmaps()
+	s.buildStringMask()
+	s.buildColonIndex()
+	if err := s.walkObject(s.trie, 1, 0, len(payload)); err != nil {
+		return &s.parsed, err
+	}
+	return &s.parsed, nil
+}
+
+// walkObject visits the level-`level` colons within [from, to) — the fields
+// of one object — and extracts or descends per the trie. When the node has
+// a learned speculation pattern, the parser first verifies the pattern's
+// colons directly; only on a miss does it scan the whole object.
+func (s *session) walkObject(node *trieNode, level, from, to int) error {
+	cols := s.colons[level-1]
+	// Binary search the first colon >= from.
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(cols[mid]) < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// hi = first colon >= to.
+	hi = len(cols)
+	for l, h := lo, hi; l < h; {
+		mid := (l + h) / 2
+		if int(cols[mid]) < to {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+		hi = h
+	}
+
+	if s.speculate && node.spec != nil && len(node.spec) == len(node.children) {
+		if ok, err := s.walkSpeculative(node, level, cols, lo, hi, to); ok || err != nil {
+			return err
+		}
+	}
+	return s.walkFull(node, level, cols, lo, hi, to)
+}
+
+// walkSpeculative tries the learned (key -> ordinal) pattern. It returns
+// ok=false (without touching s.parsed beyond successful extractions... it
+// verifies ALL keys before extracting) when the pattern does not match.
+func (s *session) walkSpeculative(node *trieNode, level int, cols []int32, lo, hi, to int) (bool, error) {
+	// Verify every speculated key first so a miss leaves no partial state.
+	for key, ord := range node.spec {
+		idx := lo + ord
+		if idx >= hi {
+			s.specMisses++
+			return false, nil
+		}
+		got, okKey := s.keyBefore(int(cols[idx]))
+		if !okKey || got != key {
+			s.specMisses++
+			return false, nil
+		}
+	}
+	s.specHits++
+	for key, ord := range node.spec {
+		idx := lo + ord
+		colon := int(cols[idx])
+		child := node.children[key]
+		valueEnd := to
+		if idx+1 < hi {
+			valueEnd = int(cols[idx+1])
+		}
+		if child.leafPath != "" {
+			if err := s.extractValue(child.leafPath, colon+1, valueEnd); err != nil {
+				return true, err
+			}
+		}
+		if len(child.children) > 0 {
+			vs := skipWS(s.payload, colon+1, valueEnd)
+			if vs < valueEnd && s.payload[vs] == '{' {
+				if err := s.walkObject(child, level+1, vs+1, valueEnd); err != nil {
+					return true, err
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// walkFull scans every colon of the object, extracting matches and
+// (re)learning the speculation pattern.
+func (s *session) walkFull(node *trieNode, level int, cols []int32, lo, hi, to int) error {
+	var learned map[string]int
+	if s.speculate {
+		learned = make(map[string]int, len(node.children))
+	}
+	for i := lo; i < hi; i++ {
+		colon := int(cols[i])
+		key, ok := s.keyBefore(colon)
+		if !ok {
+			continue
+		}
+		child := node.children[key]
+		if child == nil {
+			continue
+		}
+		if learned != nil {
+			if _, dup := learned[key]; !dup {
+				learned[key] = i - lo
+			}
+		}
+		// Bound of this field's value: the next colon at this level (backed
+		// up over its key) or the enclosing region end.
+		valueEnd := to
+		if i+1 < hi {
+			valueEnd = int(cols[i+1])
+		}
+		if child.leafPath != "" {
+			if err := s.extractValue(child.leafPath, colon+1, valueEnd); err != nil {
+				return err
+			}
+		}
+		if len(child.children) > 0 {
+			vs := skipWS(s.payload, colon+1, valueEnd)
+			if vs < valueEnd && s.payload[vs] == '{' {
+				if err := s.walkObject(child, level+1, vs+1, valueEnd); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if learned != nil && len(learned) == len(node.children) {
+		node.spec = learned
+	} else if learned != nil {
+		node.spec = nil // some requested key absent: do not speculate here
+	}
+	return nil
+}
+
+// SpecStats reports speculation hits and misses (for tests and benches).
+func (s *session) SpecStats() (hits, misses int64) { return s.specHits, s.specMisses }
+
+// keyBefore extracts the object key whose colon is at pos.
+func (s *session) keyBefore(pos int) (string, bool) {
+	i := pos - 1
+	for i >= 0 && isWS(s.payload[i]) {
+		i--
+	}
+	if i < 0 || s.payload[i] != '"' {
+		return "", false
+	}
+	end := i
+	i--
+	for i >= 0 {
+		if s.payload[i] == '"' && !s.isEscaped(i) {
+			return string(s.payload[i+1 : end]), true
+		}
+		i--
+	}
+	return "", false
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func skipWS(b []byte, i, end int) int {
+	for i < end && isWS(b[i]) {
+		i++
+	}
+	return i
+}
+
+// extractValue parses the scalar (or raw composite) value in [from, bound)
+// and records it under path.
+func (s *session) extractValue(path string, from, bound int) error {
+	i := skipWS(s.payload, from, bound)
+	if i >= bound {
+		return fmt.Errorf("pjson: empty value for %q", path)
+	}
+	f := parser.Field{Path: path, Offset: -1}
+	switch c := s.payload[i]; {
+	case c == '"':
+		content, end, escaped := s.scanString(i)
+		if end < 0 {
+			return fmt.Errorf("pjson: unterminated string for %q", path)
+		}
+		f.Value = expr.StringVal(content)
+		if !escaped {
+			f.Offset = i + 1
+			f.Len = end - i - 1
+		}
+	case c == 't':
+		if hasPrefix(s.payload, i, "true") {
+			f.Value = expr.BoolVal(true)
+			f.Offset, f.Len = i, 4
+		} else {
+			return fmt.Errorf("pjson: bad literal for %q", path)
+		}
+	case c == 'f':
+		if hasPrefix(s.payload, i, "false") {
+			f.Value = expr.BoolVal(false)
+			f.Offset, f.Len = i, 5
+		} else {
+			return fmt.Errorf("pjson: bad literal for %q", path)
+		}
+	case c == 'n':
+		if hasPrefix(s.payload, i, "null") {
+			f.Value = expr.Null()
+			f.Offset, f.Len = i, 4
+		} else {
+			return fmt.Errorf("pjson: bad literal for %q", path)
+		}
+	case c == '-' || (c >= '0' && c <= '9'):
+		j := i + 1
+		for j < len(s.payload) {
+			d := s.payload[j]
+			if d >= '0' && d <= '9' || d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-' {
+				j++
+				continue
+			}
+			break
+		}
+		num, err := strconv.ParseFloat(string(s.payload[i:j]), 64)
+		if err != nil {
+			return fmt.Errorf("pjson: bad number for %q: %v", path, err)
+		}
+		f.Value = expr.NumberVal(num)
+		f.Offset, f.Len = i, j-i
+	case c == '{' || c == '[':
+		end := s.skipComposite(i)
+		if end < 0 {
+			return fmt.Errorf("pjson: unterminated composite for %q", path)
+		}
+		f.Value = expr.StringVal(string(s.payload[i:end]))
+		f.Offset, f.Len = i, end-i
+	default:
+		return fmt.Errorf("pjson: unexpected value byte %q for %q", string(c), path)
+	}
+	s.parsed.Add(f)
+	return nil
+}
+
+// scanString scans the string literal opening at i (payload[i] == '"') and
+// returns its decoded content, the index of the closing quote, and whether
+// any escape was present.
+func (s *session) scanString(i int) (string, int, bool) {
+	j := i + 1
+	escaped := false
+	for j < len(s.payload) {
+		switch s.payload[j] {
+		case '\\':
+			escaped = true
+			j += 2
+			continue
+		case '"':
+			if !escaped {
+				return string(s.payload[i+1 : j]), j, false
+			}
+			return s.unescapeString(s.payload[i+1 : j]), j, true
+		}
+		j++
+	}
+	return "", -1, false
+}
+
+func (s *session) unescapeString(raw []byte) string {
+	s.unescape = s.unescape[:0]
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c != '\\' || i+1 >= len(raw) {
+			s.unescape = append(s.unescape, c)
+			continue
+		}
+		i++
+		switch raw[i] {
+		case 'n':
+			s.unescape = append(s.unescape, '\n')
+		case 't':
+			s.unescape = append(s.unescape, '\t')
+		case 'r':
+			s.unescape = append(s.unescape, '\r')
+		case 'b':
+			s.unescape = append(s.unescape, '\b')
+		case 'f':
+			s.unescape = append(s.unescape, '\f')
+		case 'u':
+			if i+4 < len(raw) {
+				if v, err := strconv.ParseUint(string(raw[i+1:i+5]), 16, 32); err == nil {
+					s.unescape = appendRune(s.unescape, rune(v))
+					i += 4
+					continue
+				}
+			}
+			s.unescape = append(s.unescape, 'u')
+		default:
+			s.unescape = append(s.unescape, raw[i])
+		}
+	}
+	return string(s.unescape)
+}
+
+func appendRune(b []byte, r rune) []byte {
+	return append(b, string(r)...)
+}
+
+// skipComposite returns the index just past the composite value starting at
+// i (payload[i] is '{' or '['), using the structural bitmaps to skip string
+// contents.
+func (s *session) skipComposite(i int) int {
+	depth := 0
+	w := i / 64
+	word := s.structBits[w] &^ (uint64(1)<<(i%64) - 1)
+	for {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			pos := w*64 + bit
+			switch s.payload[pos] {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					return pos + 1
+				}
+			}
+		}
+		w++
+		if w >= len(s.structBits) {
+			return -1
+		}
+		word = s.structBits[w]
+	}
+}
+
+func hasPrefix(b []byte, i int, s string) bool {
+	if i+len(s) > len(b) {
+		return false
+	}
+	return string(b[i:i+len(s)]) == s
+}

@@ -1,0 +1,424 @@
+// Package record implements FishStore's physical record layout (Fig 6 of
+// the paper). A record occupies consecutive 8-byte words on the hybrid log:
+//
+//	word 0            header: flags, version, #ptrs, size, value-region size
+//	words 1..2k       k key pointers, 16 bytes each
+//	value region      optional, holds PSF values evaluated at ingestion time
+//	payload region    the raw record bytes (zero-padded to a word boundary)
+//
+// Key pointers — not records — form the hash chains of the subset hash
+// index: each key pointer holds the address of the *key pointer* of the
+// previous record with the same property, plus enough information (PSF id
+// and a way to reach the evaluated value) for a chain reader to filter out
+// hash collisions without consulting anything but the record itself.
+//
+// All fields that participate in concurrency (the header word's visibility
+// bit, each key pointer's first word holding the previous address) are
+// single words mutated only with sync/atomic operations.
+package record
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fishstore/internal/wordio"
+)
+
+// Mode discriminates key pointer classes (Fig 6, "sample key pointer
+// constructions").
+type Mode uint8
+
+const (
+	// ModeBool inlines a boolean PSF value into the key pointer.
+	ModeBool Mode = 0
+	// ModePayload points at the value inside the raw payload (field
+	// projection PSFs, where the value is a field of the record itself).
+	ModePayload Mode = 1
+	// ModeValueRegion points at a value materialized in the record's
+	// optional value region (general PSFs whose value is not a substring of
+	// the payload).
+	ModeValueRegion Mode = 2
+)
+
+// Address is a 48-bit logical address on the hybrid log. 0 is the nil chain
+// terminator.
+const InvalidAddress uint64 = 0
+
+const (
+	// Header word layout.
+	hdrSizeBits    = 24
+	hdrSizeMask    = uint64(1)<<hdrSizeBits - 1
+	hdrPtrsShift   = 24
+	hdrPtrsBits    = 16
+	hdrPtrsMask    = (uint64(1)<<hdrPtrsBits - 1) << hdrPtrsShift
+	hdrPadShift    = 40
+	hdrPadMask     = uint64(7) << hdrPadShift
+	hdrValShift    = 43
+	hdrValBits     = 13
+	hdrValMask     = (uint64(1)<<hdrValBits - 1) << hdrValShift
+	hdrVerShift    = 56
+	hdrVerMask     = uint64(0xf) << hdrVerShift
+	hdrIndirectBit = uint64(1) << 60
+	hdrFillerBit   = uint64(1) << 61
+	hdrInvalidBit  = uint64(1) << 62
+	hdrVisibleBit  = uint64(1) << 63
+	maxPointers    = 1<<hdrPtrsBits - 1
+	maxValueWords  = 1<<hdrValBits - 1
+	maxSizeWords   = 1<<hdrSizeBits - 1
+	maxPtrOffWords = 1<<14 - 1
+
+	// Key pointer word A layout: prevAddress(48) | mode(2) | offsetWords(14).
+	kpAddrMask  = uint64(1)<<48 - 1
+	kpModeShift = 48
+	kpModeMask  = uint64(3) << kpModeShift
+	kpOffShift  = 50
+
+	// Key pointer word B layout: psfID(16) | mode-specific.
+	kpPSFMask     = uint64(0xffff)
+	kpBoolBit     = uint64(1) << 16
+	kpValOffShift = 16
+	kpValOffBits  = 24
+	kpValOffMask  = (uint64(1)<<kpValOffBits - 1) << kpValOffShift
+	kpValSzShift  = 40
+	kpValSzBits   = 24
+	kpValSzMask   = (uint64(1)<<kpValSzBits - 1) << kpValSzShift
+)
+
+// WordsPerPointer is the size of one key pointer in words.
+const WordsPerPointer = 2
+
+// HeaderWords is the size of the record header in words.
+const HeaderWords = 1
+
+// Header is the decoded header word.
+type Header struct {
+	SizeWords  int   // total record size in words, including the header
+	NumPtrs    int   // number of key pointers
+	PayloadPad int   // zero-padding bytes at the end of the payload
+	ValueWords int   // size of the optional value region in words
+	Version    uint8 // checkpoint version (mod 16)
+	Indirect   bool  // historical index record: payload is a log address
+	Filler     bool  // page-fill hole, not a record
+	Invalid    bool  // abandoned allocation (only in realloc/badCAS mode)
+	Visible    bool  // fully ingested and linked
+}
+
+// PackHeader encodes h into its word form.
+func PackHeader(h Header) uint64 {
+	w := uint64(h.SizeWords) & hdrSizeMask
+	w |= uint64(h.NumPtrs) << hdrPtrsShift & hdrPtrsMask
+	w |= uint64(h.PayloadPad) << hdrPadShift & hdrPadMask
+	w |= uint64(h.ValueWords) << hdrValShift & hdrValMask
+	w |= uint64(h.Version&0xf) << hdrVerShift
+	if h.Indirect {
+		w |= hdrIndirectBit
+	}
+	if h.Filler {
+		w |= hdrFillerBit
+	}
+	if h.Invalid {
+		w |= hdrInvalidBit
+	}
+	if h.Visible {
+		w |= hdrVisibleBit
+	}
+	return w
+}
+
+// UnpackHeader decodes a header word.
+func UnpackHeader(w uint64) Header {
+	return Header{
+		SizeWords:  int(w & hdrSizeMask),
+		NumPtrs:    int((w & hdrPtrsMask) >> hdrPtrsShift),
+		PayloadPad: int((w & hdrPadMask) >> hdrPadShift),
+		ValueWords: int((w & hdrValMask) >> hdrValShift),
+		Version:    uint8((w & hdrVerMask) >> hdrVerShift),
+		Indirect:   w&hdrIndirectBit != 0,
+		Filler:     w&hdrFillerBit != 0,
+		Invalid:    w&hdrInvalidBit != 0,
+		Visible:    w&hdrVisibleBit != 0,
+	}
+}
+
+// FillerWord builds a header word describing a page-fill hole of sizeWords
+// words (used to seal the unusable tail of a page).
+func FillerWord(sizeWords int) uint64 {
+	return PackHeader(Header{SizeWords: sizeWords, Filler: true})
+}
+
+// KeyPointer is the decoded form of one 16-byte key pointer.
+type KeyPointer struct {
+	PrevAddress uint64 // address of the previous key pointer in this chain
+	Mode        Mode
+	OffsetWords int    // words from the record header to this key pointer
+	PSFID       uint16 // naming-service id of the PSF
+	BoolValue   bool   // ModeBool: the inline value
+	ValOffset   int    // ModePayload/ModeValueRegion: byte offset of value
+	ValSize     int    // ModePayload/ModeValueRegion: byte size of value
+}
+
+// packA encodes the CAS word (word A) of a key pointer.
+func packA(prev uint64, mode Mode, offsetWords int) uint64 {
+	return prev&kpAddrMask | uint64(mode)<<kpModeShift | uint64(offsetWords)<<kpOffShift
+}
+
+// packB encodes word B.
+func packB(kp KeyPointer) uint64 {
+	w := uint64(kp.PSFID)
+	switch kp.Mode {
+	case ModeBool:
+		if kp.BoolValue {
+			w |= kpBoolBit
+		}
+	case ModePayload, ModeValueRegion:
+		w |= uint64(kp.ValOffset) << kpValOffShift & kpValOffMask
+		w |= uint64(kp.ValSize) << kpValSzShift & kpValSzMask
+	}
+	return w
+}
+
+// UnpackKeyPointer decodes the two words of a key pointer.
+func UnpackKeyPointer(a, b uint64) KeyPointer {
+	kp := KeyPointer{
+		PrevAddress: a & kpAddrMask,
+		Mode:        Mode((a & kpModeMask) >> kpModeShift),
+		OffsetWords: int(a >> kpOffShift),
+		PSFID:       uint16(b & kpPSFMask),
+	}
+	switch kp.Mode {
+	case ModeBool:
+		kp.BoolValue = b&kpBoolBit != 0
+	case ModePayload, ModeValueRegion:
+		kp.ValOffset = int((b & kpValOffMask) >> kpValOffShift)
+		kp.ValSize = int((b & kpValSzMask) >> kpValSzShift)
+	}
+	return kp
+}
+
+// SwapPrevAddress CASes word A (at wordsA) from old to the same word with
+// prevAddress replaced by newPrev. old must be the exact previously-loaded
+// word value.
+func SwapPrevAddress(wordA *uint64, old uint64, newPrev uint64) bool {
+	newWord := (old &^ kpAddrMask) | (newPrev & kpAddrMask)
+	return atomic.CompareAndSwapUint64(wordA, old, newWord)
+}
+
+// PrevAddressOf extracts the previous address from a word-A value.
+func PrevAddressOf(wordA uint64) uint64 { return wordA & kpAddrMask }
+
+// SetPrevAddress unconditionally rewrites word A's previous address,
+// preserving mode and offset. Used by the owner of a not-yet-linked key
+// pointer while it hunts for its splice point.
+func SetPrevAddress(wordA *uint64, newPrev uint64) {
+	for {
+		old := atomic.LoadUint64(wordA)
+		if atomic.CompareAndSwapUint64(wordA, old, (old&^kpAddrMask)|(newPrev&kpAddrMask)) {
+			return
+		}
+	}
+}
+
+// PointerSpec describes one key pointer to be written at ingestion time.
+type PointerSpec struct {
+	PSFID     uint16
+	Mode      Mode
+	BoolValue bool
+	ValOffset int // for ModePayload: offset within payload; for ModeValueRegion: offset within value region
+	ValSize   int
+}
+
+// Spec describes a record to be allocated and written.
+type Spec struct {
+	Payload     []byte
+	Pointers    []PointerSpec
+	ValueRegion []byte // optional materialized PSF values
+	Version     uint8
+	// Indirect marks a historical index record (Appendix A): the payload is
+	// an 8-byte little-endian log address of the actual data record.
+	Indirect bool
+}
+
+// SizeWords returns the number of log words the record will occupy:
+// 1 header + 2 per pointer + value region + payload (padded).
+// This is the byte formula 8 + 16k + ceil(s/8)*8 from §6.2 when the value
+// region is empty.
+func (s *Spec) SizeWords() int {
+	return HeaderWords + WordsPerPointer*len(s.Pointers) +
+		wordio.WordsFor(len(s.ValueRegion)) + wordio.WordsFor(len(s.Payload))
+}
+
+// Validate checks the spec against layout limits.
+func (s *Spec) Validate() error {
+	if len(s.Pointers) > maxPointers {
+		return fmt.Errorf("record: %d pointers exceeds max %d", len(s.Pointers), maxPointers)
+	}
+	if HeaderWords+WordsPerPointer*len(s.Pointers) > maxPtrOffWords {
+		return fmt.Errorf("record: pointer region too large for 14-bit back-offsets")
+	}
+	if vw := wordio.WordsFor(len(s.ValueRegion)); vw > maxValueWords {
+		return fmt.Errorf("record: value region %d words exceeds max %d", vw, maxValueWords)
+	}
+	if s.SizeWords() > maxSizeWords {
+		return fmt.Errorf("record: size %d words exceeds max %d", s.SizeWords(), maxSizeWords)
+	}
+	return nil
+}
+
+// Write serializes the record into dst (which must be exactly SizeWords()
+// long) with the visibility bit clear and every key pointer's previous
+// address set to InvalidAddress. The header word is written with a plain
+// store; the caller must publish the record with SetVisible after linking.
+func (s *Spec) Write(dst []uint64) {
+	n := s.SizeWords()
+	if len(dst) != n {
+		panic(fmt.Sprintf("record: Write dst len %d != size %d", len(dst), n))
+	}
+	valueWords := wordio.WordsFor(len(s.ValueRegion))
+	payloadWords := wordio.WordsFor(len(s.Payload))
+	pad := payloadWords*8 - len(s.Payload)
+	hdr := Header{
+		SizeWords:  n,
+		NumPtrs:    len(s.Pointers),
+		PayloadPad: pad,
+		ValueWords: valueWords,
+		Version:    s.Version,
+		Indirect:   s.Indirect,
+	}
+	dst[0] = PackHeader(hdr)
+	for i, ps := range s.Pointers {
+		kp := KeyPointer{
+			Mode:      ps.Mode,
+			PSFID:     ps.PSFID,
+			BoolValue: ps.BoolValue,
+			ValOffset: ps.ValOffset,
+			ValSize:   ps.ValSize,
+		}
+		w := HeaderWords + i*WordsPerPointer
+		dst[w] = packA(InvalidAddress, ps.Mode, w)
+		dst[w+1] = packB(kp)
+	}
+	off := HeaderWords + len(s.Pointers)*WordsPerPointer
+	if valueWords > 0 {
+		wordio.BytesToWords(dst[off:off+valueWords], s.ValueRegion)
+		off += valueWords
+	}
+	if payloadWords > 0 {
+		wordio.BytesToWords(dst[off:off+payloadWords], s.Payload)
+	}
+}
+
+// View provides structured read access to a record laid out in words. The
+// slice must start at the record's header word and span at least the whole
+// record.
+type View struct {
+	Words []uint64
+}
+
+// HeaderWord atomically loads the raw header word.
+func (v View) HeaderWord() uint64 { return atomic.LoadUint64(&v.Words[0]) }
+
+// Header atomically loads and decodes the header.
+func (v View) Header() Header { return UnpackHeader(v.HeaderWord()) }
+
+// SetVisible atomically publishes the record to readers (phase 4 of
+// ingestion, §6.3).
+func (v View) SetVisible() {
+	for {
+		old := atomic.LoadUint64(&v.Words[0])
+		if atomic.CompareAndSwapUint64(&v.Words[0], old, old|hdrVisibleBit) {
+			return
+		}
+	}
+}
+
+// SetInvalid atomically marks an abandoned allocation (realloc/badCAS mode).
+func (v View) SetInvalid() {
+	for {
+		old := atomic.LoadUint64(&v.Words[0])
+		if atomic.CompareAndSwapUint64(&v.Words[0], old, old|hdrInvalidBit) {
+			return
+		}
+	}
+}
+
+// PointerWordIndex returns the index of key pointer i's word A.
+func (v View) PointerWordIndex(i int) int { return HeaderWords + i*WordsPerPointer }
+
+// KeyPointerAt decodes key pointer i, loading its CAS word atomically.
+func (v View) KeyPointerAt(i int) KeyPointer {
+	w := v.PointerWordIndex(i)
+	a := atomic.LoadUint64(&v.Words[w])
+	b := v.Words[w+1]
+	return UnpackKeyPointer(a, b)
+}
+
+// payloadBounds returns (firstWord, byteLen).
+func (v View) payloadBounds(h Header) (int, int) {
+	first := HeaderWords + h.NumPtrs*WordsPerPointer + h.ValueWords
+	words := h.SizeWords - first
+	return first, words*8 - h.PayloadPad
+}
+
+// PayloadLen returns the raw payload length in bytes.
+func (v View) PayloadLen() int {
+	_, n := v.payloadBounds(v.Header())
+	return n
+}
+
+// Payload copies the raw payload bytes out of the record.
+func (v View) Payload() []byte {
+	h := v.Header()
+	first, n := v.payloadBounds(h)
+	out := make([]byte, n)
+	wordio.WordsToBytes(out, v.Words[first:])
+	return out
+}
+
+// AppendPayload appends the raw payload to buf and returns it.
+func (v View) AppendPayload(buf []byte) []byte {
+	h := v.Header()
+	first, n := v.payloadBounds(h)
+	off := len(buf)
+	buf = append(buf, make([]byte, n)...)
+	wordio.WordsToBytes(buf[off:], v.Words[first:])
+	return buf
+}
+
+// ValueBytes extracts the evaluated PSF value referenced by kp. For
+// ModeBool it returns "t" or "f"; for the other modes it copies the
+// referenced bytes out of the payload or value region.
+func (v View) ValueBytes(kp KeyPointer) []byte {
+	switch kp.Mode {
+	case ModeBool:
+		if kp.BoolValue {
+			return []byte{'t'}
+		}
+		return []byte{'f'}
+	case ModePayload:
+		h := v.Header()
+		first, n := v.payloadBounds(h)
+		if kp.ValOffset+kp.ValSize > n {
+			return nil
+		}
+		// Unpack just the words covering the value.
+		startW := first + kp.ValOffset/8
+		endW := first + (kp.ValOffset+kp.ValSize+7)/8
+		tmp := make([]byte, (endW-startW)*8)
+		wordio.WordsToBytes(tmp, v.Words[startW:endW])
+		inner := kp.ValOffset % 8
+		return tmp[inner : inner+kp.ValSize]
+	case ModeValueRegion:
+		h := v.Header()
+		first := HeaderWords + h.NumPtrs*WordsPerPointer
+		if kp.ValOffset+kp.ValSize > h.ValueWords*8 {
+			return nil
+		}
+		startW := first + kp.ValOffset/8
+		endW := first + (kp.ValOffset+kp.ValSize+7)/8
+		tmp := make([]byte, (endW-startW)*8)
+		wordio.WordsToBytes(tmp, v.Words[startW:endW])
+		inner := kp.ValOffset % 8
+		return tmp[inner : inner+kp.ValSize]
+	}
+	return nil
+}

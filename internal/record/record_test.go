@@ -1,0 +1,258 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(size uint32, ptrs uint16, pad uint8, valWords uint16, ver uint8, filler, invalid, visible bool) bool {
+		h := Header{
+			SizeWords:  int(size) & maxSizeWords,
+			NumPtrs:    int(ptrs),
+			PayloadPad: int(pad % 8),
+			ValueWords: int(valWords) & maxValueWords,
+			Version:    ver & 0xf,
+			Indirect:   filler != invalid,
+			Filler:     filler,
+			Invalid:    invalid,
+			Visible:    visible,
+		}
+		return UnpackHeader(PackHeader(h)) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyPointerRoundTrip(t *testing.T) {
+	kps := []KeyPointer{
+		{PrevAddress: 0, Mode: ModeBool, OffsetWords: 1, PSFID: 42, BoolValue: true},
+		{PrevAddress: 1 << 40, Mode: ModeBool, OffsetWords: 3, PSFID: 7, BoolValue: false},
+		{PrevAddress: 123456, Mode: ModePayload, OffsetWords: 5, PSFID: 999, ValOffset: 100, ValSize: 20},
+		{PrevAddress: 99, Mode: ModeValueRegion, OffsetWords: 7, PSFID: 1, ValOffset: 0, ValSize: 8},
+	}
+	for _, kp := range kps {
+		a := packA(kp.PrevAddress, kp.Mode, kp.OffsetWords)
+		b := packB(kp)
+		got := UnpackKeyPointer(a, b)
+		if got != kp {
+			t.Errorf("round trip: got %+v, want %+v", got, kp)
+		}
+	}
+}
+
+func TestSpecSizeMatchesPaperFormula(t *testing.T) {
+	// Paper §6.2: raw size s with k properties needs 8 + 16k + ceil(s/8)*8
+	// bytes when the value region is empty.
+	for _, k := range []int{0, 1, 2, 5} {
+		for _, s := range []int{0, 1, 7, 8, 9, 100, 1000} {
+			spec := Spec{Payload: make([]byte, s), Pointers: make([]PointerSpec, k)}
+			wantBytes := 8 + 16*k + (s+7)/8*8
+			if got := spec.SizeWords() * 8; got != wantBytes {
+				t.Fatalf("k=%d s=%d: size %d bytes, want %d", k, s, got, wantBytes)
+			}
+		}
+	}
+}
+
+func TestWriteAndView(t *testing.T) {
+	payload := []byte(`{"id": 1, "type": "PushEvent", "repo": "spark"}`)
+	spec := Spec{
+		Payload: payload,
+		Pointers: []PointerSpec{
+			{PSFID: 1, Mode: ModeBool, BoolValue: true},
+			{PSFID: 2, Mode: ModePayload, ValOffset: 11, ValSize: 9},
+		},
+		Version: 3,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+
+	h := v.Header()
+	if h.Visible {
+		t.Fatal("record must be written invisible")
+	}
+	if h.NumPtrs != 2 || h.Version != 3 {
+		t.Fatalf("header = %+v", h)
+	}
+	if got := v.Payload(); !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if v.PayloadLen() != len(payload) {
+		t.Fatalf("PayloadLen = %d, want %d", v.PayloadLen(), len(payload))
+	}
+
+	kp0 := v.KeyPointerAt(0)
+	if kp0.PSFID != 1 || kp0.Mode != ModeBool || !kp0.BoolValue {
+		t.Fatalf("kp0 = %+v", kp0)
+	}
+	if kp0.OffsetWords != 1 {
+		t.Fatalf("kp0.OffsetWords = %d, want 1", kp0.OffsetWords)
+	}
+	kp1 := v.KeyPointerAt(1)
+	if kp1.OffsetWords != 3 {
+		t.Fatalf("kp1.OffsetWords = %d, want 3", kp1.OffsetWords)
+	}
+	// The ModePayload value is bytes [11, 20) of the payload.
+	if got, want := v.ValueBytes(kp1), payload[11:20]; !bytes.Equal(got, want) {
+		t.Fatalf("ValueBytes = %q, want %q", got, want)
+	}
+}
+
+func TestValueBytesBool(t *testing.T) {
+	spec := Spec{Payload: []byte("x"), Pointers: []PointerSpec{
+		{PSFID: 1, Mode: ModeBool, BoolValue: true},
+		{PSFID: 2, Mode: ModeBool, BoolValue: false},
+	}}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	if string(v.ValueBytes(v.KeyPointerAt(0))) != "t" {
+		t.Fatal("true bool value")
+	}
+	if string(v.ValueBytes(v.KeyPointerAt(1))) != "f" {
+		t.Fatal("false bool value")
+	}
+}
+
+func TestValueRegion(t *testing.T) {
+	val := []byte("evaluated-psf-value")
+	spec := Spec{
+		Payload:     []byte("raw payload bytes"),
+		ValueRegion: val,
+		Pointers: []PointerSpec{
+			{PSFID: 9, Mode: ModeValueRegion, ValOffset: 0, ValSize: len(val)},
+			{PSFID: 9, Mode: ModeValueRegion, ValOffset: 10, ValSize: 3},
+		},
+	}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	if got := v.ValueBytes(v.KeyPointerAt(0)); !bytes.Equal(got, val) {
+		t.Fatalf("value region read = %q", got)
+	}
+	if got := v.ValueBytes(v.KeyPointerAt(1)); string(got) != "psf" {
+		t.Fatalf("sub-value = %q", got)
+	}
+	// Payload must still round trip with a value region present.
+	if got := v.Payload(); string(got) != "raw payload bytes" {
+		t.Fatalf("payload with value region = %q", got)
+	}
+}
+
+func TestValueBytesOutOfRange(t *testing.T) {
+	spec := Spec{Payload: []byte("tiny"), Pointers: []PointerSpec{
+		{PSFID: 1, Mode: ModePayload, ValOffset: 100, ValSize: 50},
+	}}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	if got := v.ValueBytes(v.KeyPointerAt(0)); got != nil {
+		t.Fatalf("out-of-range value = %q, want nil", got)
+	}
+}
+
+func TestSetVisibleAndInvalid(t *testing.T) {
+	spec := Spec{Payload: []byte("p")}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	v.SetVisible()
+	if !v.Header().Visible {
+		t.Fatal("SetVisible did not set the bit")
+	}
+	v.SetInvalid()
+	h := v.Header()
+	if !h.Invalid || !h.Visible {
+		t.Fatal("SetInvalid must not clear visibility")
+	}
+}
+
+func TestSwapPrevAddress(t *testing.T) {
+	spec := Spec{Payload: []byte("p"), Pointers: []PointerSpec{{PSFID: 5, Mode: ModeBool, BoolValue: true}}}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	wi := v.PointerWordIndex(0)
+
+	old := words[wi]
+	if !SwapPrevAddress(&words[wi], old, 0xdeadbeef) {
+		t.Fatal("CAS failed with correct expected value")
+	}
+	kp := v.KeyPointerAt(0)
+	if kp.PrevAddress != 0xdeadbeef {
+		t.Fatalf("PrevAddress = %x", kp.PrevAddress)
+	}
+	if kp.PSFID != 5 || kp.Mode != ModeBool || !kp.BoolValue {
+		t.Fatalf("non-address fields corrupted: %+v", kp)
+	}
+	if SwapPrevAddress(&words[wi], old, 0x1111) {
+		t.Fatal("CAS with stale value succeeded")
+	}
+}
+
+func TestFillerWord(t *testing.T) {
+	h := UnpackHeader(FillerWord(512))
+	if !h.Filler || h.SizeWords != 512 || h.Visible {
+		t.Fatalf("filler header = %+v", h)
+	}
+}
+
+func TestValidateLimits(t *testing.T) {
+	ok := Spec{Payload: make([]byte, 100), Pointers: make([]PointerSpec, 10)}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	tooManyPtrs := Spec{Pointers: make([]PointerSpec, maxPointers+1)}
+	if err := tooManyPtrs.Validate(); err == nil {
+		t.Fatal("expected error for too many pointers")
+	}
+	bigValue := Spec{ValueRegion: make([]byte, (maxValueWords+1)*8)}
+	if err := bigValue.Validate(); err == nil {
+		t.Fatal("expected error for oversized value region")
+	}
+}
+
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, nPtrs uint8, value []byte) bool {
+		if len(value) > 1024 {
+			value = value[:1024]
+		}
+		ptrs := make([]PointerSpec, int(nPtrs)%8)
+		for i := range ptrs {
+			ptrs[i] = PointerSpec{PSFID: uint16(i), Mode: ModeBool, BoolValue: i%2 == 0}
+		}
+		spec := Spec{Payload: payload, Pointers: ptrs, ValueRegion: value}
+		words := make([]uint64, spec.SizeWords())
+		spec.Write(words)
+		v := View{Words: words}
+		if !bytes.Equal(v.Payload(), payload) {
+			return false
+		}
+		h := v.Header()
+		return h.NumPtrs == len(ptrs) && h.SizeWords == spec.SizeWords()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpecWrite1KB(b *testing.B) {
+	payload := make([]byte, 1024)
+	spec := Spec{Payload: payload, Pointers: []PointerSpec{
+		{PSFID: 1, Mode: ModeBool, BoolValue: true},
+		{PSFID: 2, Mode: ModePayload, ValOffset: 0, ValSize: 10},
+	}}
+	words := make([]uint64, spec.SizeWords())
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Write(words)
+	}
+}

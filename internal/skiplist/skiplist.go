@@ -1,0 +1,164 @@
+// Package skiplist implements a concurrent-read, mutex-protected-write
+// skiplist keyed by byte slices. It is the memtable of the LSM-tree
+// baseline (internal/lsm), mirroring RocksDB's skiplist memtable.
+//
+// Readers never take the lock: tower pointers are atomic and nodes are
+// immutable after insertion, so iterators and gets can run concurrently
+// with inserts — the same property RocksDB relies on.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+const maxHeight = 12
+
+// node is one skiplist node. key/value are immutable after linking.
+type node struct {
+	key   []byte
+	value []byte
+	tower [maxHeight]atomic.Pointer[node]
+}
+
+// List is a byte-keyed skiplist. The zero value is not usable; call New.
+type List struct {
+	head   *node
+	height atomic.Int32
+
+	mu   sync.Mutex // serializes writers
+	rng  *rand.Rand
+	size atomic.Int64 // approximate bytes of keys+values
+	n    atomic.Int64 // entries
+}
+
+// New creates an empty skiplist with the given RNG seed (height choices).
+func New(seed int64) *List {
+	l := &List{head: &node{}, rng: rand.New(rand.NewSource(seed))}
+	l.height.Store(1)
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return int(l.n.Load()) }
+
+// SizeBytes returns the approximate memory footprint of keys and values.
+func (l *List) SizeBytes() int64 { return l.size.Load() }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= key, filling prev with the
+// predecessor at every level when prev != nil.
+func (l *List) findGE(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.tower[level].Load()
+		if next != nil && bytes.Compare(next.key, key) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Put inserts or overwrites key. Overwrite allocates a new node (the old
+// one stays visible to concurrent iterators, then becomes garbage) — like a
+// memtable, newest version wins via ordering below.
+func (l *List) Put(key, value []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var prev [maxHeight]*node
+	existing := l.findGE(key, &prev)
+	if existing != nil && bytes.Equal(existing.key, key) {
+		// In-place value replacement would race readers; insert a fresh node
+		// that shadows it. Simpler: replace the value pointer atomically is
+		// not possible for []byte, so we re-link a new node at the same key
+		// position before the old one. For a memtable it is sufficient to
+		// update size accounting and splice a new node in front.
+		nn := &node{key: existing.key, value: append([]byte(nil), value...)}
+		// Link at level 0 just before `existing`.
+		nn.tower[0].Store(existing)
+		prev[0].tower[0].Store(nn)
+		l.size.Add(int64(len(value)))
+		return
+	}
+
+	h := l.randomHeight()
+	if int(l.height.Load()) < h {
+		for i := int(l.height.Load()); i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height.Store(int32(h))
+	}
+	nn := &node{key: append([]byte(nil), key...), value: append([]byte(nil), value...)}
+	for i := 0; i < h; i++ {
+		nn.tower[i].Store(prev[i].tower[i].Load())
+		prev[i].tower[i].Store(nn)
+	}
+	l.n.Add(1)
+	l.size.Add(int64(len(key) + len(value)))
+}
+
+// Get returns the value for key. The first node with the key is the newest.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	x := l.findGE(key, nil)
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.value, true
+	}
+	return nil, false
+}
+
+// Iterator walks the list in key order, RocksDB-style: Seek/SeekToFirst
+// position the iterator AT an entry (check Valid), Next advances. It is
+// safe to use concurrently with writers; it observes some consistent
+// recent state. Shadowed older versions of overwritten keys are skipped.
+type Iterator struct {
+	list *List
+	cur  *node
+}
+
+// NewIterator returns an unpositioned iterator; call Seek or SeekToFirst.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// SeekToFirst positions at the smallest key.
+func (it *Iterator) SeekToFirst() { it.cur = it.list.head.tower[0].Load() }
+
+// Seek positions at the first key >= key.
+func (it *Iterator) Seek(key []byte) { it.cur = it.list.findGE(key, nil) }
+
+// Next advances past the current key (skipping shadowed versions).
+func (it *Iterator) Next() {
+	if it.cur == nil {
+		return
+	}
+	prev := it.cur
+	it.cur = it.cur.tower[0].Load()
+	for it.cur != nil && bytes.Equal(it.cur.key, prev.key) {
+		it.cur = it.cur.tower[0].Load()
+	}
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *Iterator) Valid() bool { return it.cur != nil }
+
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.cur.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.cur.value }

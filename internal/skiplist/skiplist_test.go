@@ -1,0 +1,198 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("b"), []byte("2"))
+	l.Put([]byte("a"), []byte("1"))
+	l.Put([]byte("c"), []byte("3"))
+	for k, v := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got, ok := l.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v", k, got, ok)
+		}
+	}
+	if _, ok := l.Get([]byte("zz")); ok {
+		t.Fatal("found absent key")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("k"), []byte("old"))
+	l.Put([]byte("k"), []byte("new"))
+	got, ok := l.Get([]byte("k"))
+	if !ok || string(got) != "new" {
+		t.Fatalf("Get = %q", got)
+	}
+	// Iteration must yield the key exactly once, with the new value.
+	it := l.NewIterator()
+	it.SeekToFirst()
+	count := 0
+	for it.Valid() {
+		if string(it.Key()) == "k" {
+			count++
+			if string(it.Value()) != "new" {
+				t.Fatalf("iterated value = %q", it.Value())
+			}
+		}
+		it.Next()
+	}
+	if count != 1 {
+		t.Fatalf("key seen %d times", count)
+	}
+}
+
+func TestIterationSorted(t *testing.T) {
+	l := New(42)
+	rng := rand.New(rand.NewSource(9))
+	keys := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(1000))
+		keys[k] = true
+		l.Put([]byte(k), []byte("v"))
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	var got []string
+	var prev []byte
+	for it.Valid() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violation: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		got = append(got, string(it.Key()))
+		it.Next()
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d distinct keys, want %d", len(got), len(keys))
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := New(7)
+	for _, k := range []string{"apple", "banana", "cherry", "date"} {
+		l.Put([]byte(k), []byte(k))
+	}
+	it := l.NewIterator()
+	it.Seek([]byte("bz"))
+	if !it.Valid() || string(it.Key()) != "cherry" {
+		t.Fatalf("Seek(bz) at %q", it.Key())
+	}
+	it.Seek([]byte("banana"))
+	if !it.Valid() || string(it.Key()) != "banana" {
+		t.Fatalf("Seek(banana) at %q", it.Key())
+	}
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+}
+
+func TestAgainstSortedSliceProperty(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		l := New(3)
+		for k, v := range pairs {
+			l.Put([]byte(k), []byte(v))
+		}
+		var want []string
+		for k := range pairs {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it := l.NewIterator()
+		it.SeekToFirst()
+		for _, k := range want {
+			if !it.Valid() || string(it.Key()) != k {
+				return false
+			}
+			if string(it.Value()) != pairs[k] {
+				return false
+			}
+			it.Next()
+		}
+		return !it.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	l := New(5)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := l.NewIterator()
+				it.SeekToFirst()
+				var prev []byte
+				for it.Valid() {
+					if prev != nil && bytes.Compare(prev, it.Key()) > 0 {
+						t.Error("order violation under concurrency")
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+					it.Next()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		l.Put([]byte(fmt.Sprintf("key-%05d", i*7919%2000)), []byte("v"))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSizeAccounting(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("abc"), []byte("defg"))
+	if l.SizeBytes() != 7 {
+		t.Fatalf("SizeBytes = %d", l.SizeBytes())
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Put(keys[i%len(keys)], val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New(1)
+	for i := 0; i < 10000; i++ {
+		l.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("key-%08d", i%10000)))
+	}
+}

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNullDiscardsAndCounts(t *testing.T) {
+	d := NewNull()
+	n, err := d.WriteAt(make([]byte, 100), 0)
+	if err != nil || n != 100 {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	if _, err := d.ReadAt(make([]byte, 10), 0); err != ErrReadFromNull {
+		t.Fatalf("ReadAt err = %v, want ErrReadFromNull", err)
+	}
+	if d.BytesWritten() != 100 {
+		t.Fatalf("BytesWritten = %d", d.BytesWritten())
+	}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	d := NewMemSegSize(64)
+	data := []byte("hello, hybrid log! this string spans multiple 64-byte segments for sure......")
+	if _, err := d.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q != %q", got, data)
+	}
+}
+
+func TestMemUnwrittenReadsZero(t *testing.T) {
+	d := NewMem()
+	got := make([]byte, 16)
+	for i := range got {
+		got[i] = 0xff
+	}
+	if _, err := d.ReadAt(got, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemRoundTripProperty(t *testing.T) {
+	d := NewMemSegSize(128)
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off)
+		if _, err := d.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := d.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemConcurrentDisjointWrites(t *testing.T) {
+	d := NewMemSegSize(256)
+	const workers = 8
+	const per = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w + 1)}, per)
+			if _, err := d.WriteAt(buf, int64(w*per)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		got := make([]byte, per)
+		if _, err := d.ReadAt(got, int64(w*per)); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != byte(w+1) {
+				t.Fatalf("worker %d byte %d = %x", w, i, b)
+			}
+		}
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.dat")
+	d, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.WriteAt([]byte("persist me"), 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if _, err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist me" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimSSDChargesCostModel(t *testing.T) {
+	p := Profile{
+		SeqBandwidth: 1 << 20, // 1MB/s
+		RandLatency:  time.Millisecond,
+		SyscallCost:  time.Microsecond,
+		QueueBytes:   1 << 20,
+	}
+	d := NewSimSSD(NewMem(), p)
+	if _, err := d.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Write of 1MB at 1MB/s = 1s + 1µs syscall, no random latency.
+	want := time.Second + time.Microsecond
+	if got := d.SimTime(); got != want {
+		t.Fatalf("SimTime after write = %v, want %v", got, want)
+	}
+	d.ResetClock()
+	if _, err := d.ReadAt(make([]byte, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	// 1KB read: 1µs + 1ms + 1024/1MB s ≈ 1ms + 1µs + ~0.977ms
+	got := d.SimTime()
+	min := time.Millisecond
+	max := 3 * time.Millisecond
+	if got < min || got > max {
+		t.Fatalf("SimTime after read = %v, want in [%v, %v]", got, min, max)
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.ReadBytes != 1024 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSimSSDDataIntegrity(t *testing.T) {
+	d := NewSimSSD(nil, DefaultSSDProfile())
+	data := []byte("through the simulator")
+	if _, err := d.WriteAt(data, 777); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 777); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted through SimSSD")
+	}
+}
+
+func TestSimSSDFewerLargerReadsCheaper(t *testing.T) {
+	p := DefaultSSDProfile()
+	d := NewSimSSD(NewMem(), p)
+	// 64 random 4KB reads...
+	for i := 0; i < 64; i++ {
+		if _, err := d.ReadAt(make([]byte, 4096), int64(i*4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	many := d.SimTime()
+	d.ResetClock()
+	// ...vs one 256KB read.
+	if _, err := d.ReadAt(make([]byte, 64*4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	one := d.SimTime()
+	if one >= many {
+		t.Fatalf("one big read (%v) should be cheaper than many small (%v)", one, many)
+	}
+}
+
+func TestRateLimitedThrottles(t *testing.T) {
+	// 10MB/s cap, write 5MB => should take >= ~400ms (allowing burst).
+	d := NewRateLimited(NewNull(), 10<<20)
+	start := time.Now()
+	chunk := make([]byte, 1<<20)
+	for i := 0; i < 5; i++ {
+		if _, err := d.WriteAt(chunk, int64(i)<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("5MB at 10MB/s finished in %v; limiter not throttling", elapsed)
+	}
+}
+
+func TestRateLimitedReadsNotThrottled(t *testing.T) {
+	mem := NewMem()
+	if _, err := mem.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	d := NewRateLimited(mem, 1) // 1 byte/s write cap
+	start := time.Now()
+	if _, err := d.ReadAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("reads should not be rate limited")
+	}
+}
+
+func TestDefaultProfileSane(t *testing.T) {
+	p := DefaultSSDProfile()
+	if p.SeqBandwidth <= 0 || p.RandLatency <= 0 || p.SyscallCost <= 0 || p.QueueBytes <= 0 {
+		t.Fatalf("default profile has non-positive fields: %+v", p)
+	}
+}

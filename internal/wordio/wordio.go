@@ -1,0 +1,44 @@
+// Package wordio converts between byte slices and little-endian uint64 word
+// slices.
+//
+// FishStore's hybrid log pages are represented as []uint64 rather than
+// []byte so that every 8-byte word — hash-chain key pointers, record
+// headers — can be read and CASed with sync/atomic without unsafe pointer
+// arithmetic. Record payloads are raw bytes, so they are packed into words
+// on ingestion and unpacked on retrieval; with 8-byte loads/stores this is
+// effectively a memcpy.
+package wordio
+
+import "encoding/binary"
+
+// BytesToWords packs src into dst starting at dst[0]. It writes
+// ceil(len(src)/8) words; the final partial word, if any, is zero-padded.
+// dst must have capacity for WordsFor(len(src)) words.
+func BytesToWords(dst []uint64, src []byte) {
+	n := len(src) / 8
+	for i := 0; i < n; i++ {
+		dst[i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+	if rem := len(src) % 8; rem != 0 {
+		var last [8]byte
+		copy(last[:], src[n*8:])
+		dst[n] = binary.LittleEndian.Uint64(last[:])
+	}
+}
+
+// WordsToBytes unpacks exactly len(dst) bytes from src words.
+// src must hold at least WordsFor(len(dst)) words.
+func WordsToBytes(dst []byte, src []uint64) {
+	n := len(dst) / 8
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(dst[i*8:], src[i])
+	}
+	if rem := len(dst) % 8; rem != 0 {
+		var last [8]byte
+		binary.LittleEndian.PutUint64(last[:], src[n])
+		copy(dst[n*8:], last[:rem])
+	}
+}
+
+// WordsFor returns the number of 8-byte words needed to hold n bytes.
+func WordsFor(n int) int { return (n + 7) / 8 }

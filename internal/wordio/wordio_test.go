@@ -1,0 +1,60 @@
+package wordio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		words := make([]uint64, WordsFor(len(data)))
+		BytesToWords(words, data)
+		out := make([]byte, len(data))
+		WordsToBytes(out, words)
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 7: 1, 8: 1, 9: 2, 16: 2, 17: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPartialWordZeroPadded(t *testing.T) {
+	words := []uint64{0xffffffffffffffff}
+	BytesToWords(words, []byte{0xaa})
+	if words[0] != 0xaa {
+		t.Fatalf("partial word = %x, want 0xaa (zero padded)", words[0])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	BytesToWords(nil, nil)
+	WordsToBytes(nil, nil)
+}
+
+func BenchmarkBytesToWords4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]uint64, WordsFor(len(src)))
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		BytesToWords(dst, src)
+	}
+}
+
+func BenchmarkWordsToBytes4K(b *testing.B) {
+	src := make([]uint64, 512)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		WordsToBytes(dst, src)
+	}
+}

@@ -1,0 +1,78 @@
+package fishstore
+
+import (
+	"errors"
+
+	"fishstore/internal/parser"
+	"fishstore/internal/parser/pjson"
+	"fishstore/internal/storage"
+)
+
+// Options configures a Store. The zero value plus defaults gives an
+// in-memory (null device) store with the partial JSON parser — the
+// configuration the paper's in-memory ingestion experiments use.
+type Options struct {
+	// Parser creates thread-local parser sessions for ingestion workers.
+	// Defaults to the partial JSON parser (pjson). Use fulljson.New() for
+	// the FishStore-RJ baseline or pcsv.New(header) for CSV data.
+	Parser parser.Factory
+
+	// Device persists log pages. nil means a discarding null device: the
+	// log is bounded by the in-memory circular buffer and older pages
+	// become unreadable (fine for ingestion benchmarks and streaming use).
+	Device storage.Device
+
+	// PageBits sets the log page size to 1<<PageBits bytes (default 20 =
+	// 1MB).
+	PageBits uint
+
+	// MemPages sets the circular buffer size in pages (default 16; the
+	// paper's default memory budget is 2GB).
+	MemPages int
+
+	// TableBuckets sets the hash table size in 64-byte buckets (default
+	// 1<<16 = 4MB). Rounded up to a power of two.
+	TableBuckets int
+
+	// OverflowBuckets caps overflow buckets (default TableBuckets/4).
+	OverflowBuckets int
+
+	// BadCAS enables the naive invalidate-and-reallocate strategy on hash
+	// chain CAS failures instead of Algorithm 1. Exists only to reproduce
+	// the Fig 17 ablation; never enable it in real use.
+	BadCAS bool
+
+	// CollectPhaseStats turns on per-phase CPU timing (parse / PSF eval /
+	// memcpy / index / others) used by the Fig 13 breakdown. Adds two
+	// clock reads per phase per record.
+	CollectPhaseStats bool
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Parser == nil {
+		out.Parser = pjson.New()
+	}
+	if out.PageBits == 0 {
+		out.PageBits = 20
+	}
+	if out.PageBits < 12 || out.PageBits > 30 {
+		return out, errors.New("fishstore: PageBits out of range [12,30]")
+	}
+	if out.MemPages == 0 {
+		out.MemPages = 16
+	}
+	if out.MemPages < 2 {
+		return out, errors.New("fishstore: MemPages must be >= 2")
+	}
+	if out.TableBuckets == 0 {
+		out.TableBuckets = 1 << 16
+	}
+	if out.OverflowBuckets == 0 {
+		out.OverflowBuckets = out.TableBuckets / 4
+		if out.OverflowBuckets < 64 {
+			out.OverflowBuckets = 64
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package fishstore
+
+import (
+	"encoding/binary"
+
+	"fishstore/internal/hlog"
+	"fishstore/internal/record"
+	"fishstore/internal/storage"
+	"fishstore/internal/wordio"
+)
+
+// chainReader reads hash-chain records from the storage device with
+// adaptive prefetching (§7.2, Fig 9).
+//
+// Chains run from high to low addresses, so when the reader observes
+// locality — the gap between consecutive chain records is below the
+// threshold τ — it speculatively reads a *backward* window ending at the
+// current position, hoping it covers the next several chain records. The
+// threshold comes from the paper's cost model:
+//
+//	Φ = (cost_syscall + latency_rand) × throughput_seq
+//	τ = Φ + avg_record_size
+//
+// i.e., Φ is the number of sequential bytes whose transfer time equals the
+// fixed cost of one random I/O; reading up to that many extra bytes to save
+// one random I/O is a win. Speculation levels grow exponentially from the
+// average record size up to a full device queue, and collapse back to
+// nothing when locality disappears.
+type chainReader struct {
+	log    *hlog.Log
+	useAP  bool
+	tau    uint64
+	minWin int
+	maxWin int
+	window int // current speculation window (0 = no speculation)
+
+	buf      []byte
+	bufStart uint64
+	bufEnd   uint64
+
+	lastBase  uint64 // base address of the previous (higher) chain record
+	avgRec    float64
+	recsSeen  int64
+	ios       int64
+	bytesRead int64
+}
+
+func newChainReader(log *hlog.Log, useAP bool) *chainReader {
+	profile := storage.DefaultSSDProfile()
+	if p, ok := log.Device().(storage.Profiler); ok {
+		profile = p.Profile()
+	}
+	phi := (profile.SyscallCost.Seconds() + profile.RandLatency.Seconds()) * profile.SeqBandwidth
+	cr := &chainReader{
+		log:    log,
+		useAP:  useAP,
+		minWin: 4096,
+		maxWin: profile.QueueBytes,
+		avgRec: 1024,
+	}
+	cr.tau = uint64(phi)
+	if cr.maxWin < cr.minWin {
+		cr.maxWin = cr.minWin
+	}
+	return cr
+}
+
+// record reads the record containing the key pointer at kptAddr and returns
+// its view and base address.
+func (cr *chainReader) record(kptAddr uint64) (record.View, uint64, error) {
+	// 1. The key pointer's first word tells us where the record starts.
+	kw, err := cr.fetch(kptAddr, 16)
+	if err != nil {
+		return record.View{}, 0, err
+	}
+	wordA := binary.LittleEndian.Uint64(kw)
+	offWords := int(wordA >> 50)
+	base := kptAddr - uint64(offWords)*8
+
+	// 2. The header tells us the record size.
+	hb, err := cr.fetch(base, 8)
+	if err != nil {
+		return record.View{}, 0, err
+	}
+	h := record.UnpackHeader(binary.LittleEndian.Uint64(hb))
+	if h.SizeWords == 0 {
+		return record.View{}, 0, errEmptyHeader(base)
+	}
+
+	// 3. Fetch the whole record.
+	rb, err := cr.fetch(base, h.SizeWords*8)
+	if err != nil {
+		return record.View{}, 0, err
+	}
+	words := make([]uint64, h.SizeWords)
+	wordio.BytesToWords(words, rb)
+
+	cr.adapt(base, h.SizeWords*8)
+	return record.View{Words: words}, base, nil
+}
+
+// adapt updates the locality estimate after reading the record at base.
+func (cr *chainReader) adapt(base uint64, size int) {
+	cr.recsSeen++
+	cr.avgRec += (float64(size) - cr.avgRec) / float64(cr.recsSeen)
+	if cr.lastBase != 0 && cr.useAP {
+		// Gap between this record's end and the previous chain record.
+		end := base + uint64(size)
+		var gap uint64
+		if cr.lastBase > end {
+			gap = cr.lastBase - end
+		}
+		// τ includes the average record length: the record's own bytes are
+		// not wasted bandwidth.
+		threshold := cr.tau + uint64(cr.avgRec)
+		if gap <= threshold {
+			// Locality: speculate (more).
+			switch {
+			case cr.window == 0:
+				cr.window = cr.minWin
+				if int(cr.avgRec*4) > cr.window {
+					cr.window = int(cr.avgRec * 4)
+				}
+			default:
+				cr.window *= 4
+			}
+			if cr.window > cr.maxWin {
+				cr.window = cr.maxWin
+			}
+		} else {
+			cr.window = 0 // fall back to exact random I/Os
+		}
+	}
+	cr.lastBase = base
+}
+
+// fetch returns n bytes at addr, serving from the speculation buffer when
+// possible.
+func (cr *chainReader) fetch(addr uint64, n int) ([]byte, error) {
+	if addr >= cr.bufStart && addr+uint64(n) <= cr.bufEnd {
+		off := addr - cr.bufStart
+		return cr.buf[off : off+uint64(n)], nil
+	}
+	start, end := addr, addr+uint64(n)
+	if cr.useAP && cr.window > int(end-start) {
+		// Backward speculative window ending at our read's end.
+		w := uint64(cr.window)
+		if end > w {
+			start = end - w
+		} else {
+			start = 0
+		}
+		if start < hlog.BeginAddress && end > hlog.BeginAddress {
+			start = 0 // reading the reserved prefix is harmless
+		}
+	}
+	size := int(end - start)
+	if cap(cr.buf) < size {
+		cr.buf = make([]byte, size)
+	}
+	cr.buf = cr.buf[:size]
+	if err := cr.log.ReadBytesFromDevice(start, cr.buf); err != nil {
+		return nil, err
+	}
+	cr.ios++
+	cr.bytesRead += int64(size)
+	cr.bufStart, cr.bufEnd = start, end
+	off := addr - start
+	return cr.buf[off : off+uint64(n)], nil
+}
+
+type errEmptyHeader uint64
+
+func (e errEmptyHeader) Error() string {
+	return "fishstore: empty record header on chain"
+}

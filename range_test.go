@@ -1,0 +1,147 @@
+package fishstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+func telemetry(i int, cpu float64) []byte {
+	return []byte(fmt.Sprintf(`{"seq": %d, "machine": "m%d", "cpu": %.3f}`, i, i%5, cpu))
+}
+
+func TestScanRangeCoversBucketsAndPostFilters(t *testing.T) {
+	s := openTestStore(t, Options{})
+	id, _, err := s.RegisterPSF(psf.RangeBucket("cpu", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var batch [][]byte
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+		batch = append(batch, telemetry(i, values[i]))
+	}
+	ingestAll(t, s, batch)
+
+	cases := []struct{ lo, hi float64 }{
+		{0, 100}, {15, 35}, {12.5, 13}, {99, 100}, {47, 53.5}, {0, 0.001},
+	}
+	for _, c := range cases {
+		want := 0
+		for _, v := range values {
+			if v >= c.lo && v < c.hi {
+				want++
+			}
+		}
+		var got int
+		st, err := s.ScanRange(id, c.lo, c.hi, ScanOptions{}, func(Record) bool {
+			got++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("[%g,%g): matched %d, want %d", c.lo, c.hi, got, want)
+		}
+		if st.Matched != int64(want) {
+			t.Fatalf("[%g,%g): stats.Matched %d, want %d", c.lo, c.hi, st.Matched, want)
+		}
+	}
+}
+
+func TestScanRangeRejectsWrongKind(t *testing.T) {
+	s := openTestStore(t, Options{})
+	id, _, _ := s.RegisterPSF(psf.Projection("cpu"))
+	if _, err := s.ScanRange(id, 0, 10, ScanOptions{}, func(Record) bool { return true }); err == nil {
+		t.Fatal("range scan on non-bucket PSF succeeded")
+	}
+	if _, err := s.ScanRange(99, 0, 10, ScanOptions{}, func(Record) bool { return true }); err == nil {
+		t.Fatal("range scan on unknown PSF succeeded")
+	}
+}
+
+func TestScanRangeEmptyAndEarlyStop(t *testing.T) {
+	s := openTestStore(t, Options{})
+	id, _, _ := s.RegisterPSF(psf.RangeBucket("cpu", 10))
+	var batch [][]byte
+	for i := 0; i < 100; i++ {
+		batch = append(batch, telemetry(i, float64(i)))
+	}
+	ingestAll(t, s, batch)
+
+	// Degenerate range.
+	st, err := s.ScanRange(id, 50, 50, ScanOptions{}, func(Record) bool { return true })
+	if err != nil || st.Matched != 0 {
+		t.Fatalf("empty range: %+v, %v", st, err)
+	}
+	// Early stop.
+	var got int
+	st, err = s.ScanRange(id, 0, 100, ScanOptions{}, func(Record) bool {
+		got++
+		return got < 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 || !st.Stopped {
+		t.Fatalf("early stop: got %d, stopped %v", got, st.Stopped)
+	}
+}
+
+func TestIterateVisitsEverything(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 12, MemPages: 2})
+	var batch [][]byte
+	const n = 300
+	for i := 0; i < n; i++ {
+		batch = append(batch, genEvent(i, "PushEvent", "spark"))
+	}
+	ingestAll(t, s, batch)
+	var got int
+	var prev uint64
+	if err := s.Iterate(0, 0, func(r Record) bool {
+		if r.Address <= prev && prev != 0 {
+			t.Fatal("iteration order violation")
+		}
+		prev = r.Address
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("iterated %d, want %d", got, n)
+	}
+}
+
+func TestIterateSkipsIndirectRecords(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 12, MemPages: 2})
+	var batch [][]byte
+	for i := 0; i < 50; i++ {
+		batch = append(batch, genEvent(i, "PushEvent", "spark"))
+	}
+	ingestAll(t, s, batch)
+	end := s.TailAddress()
+	id, _, _ := s.RegisterPSF(psf.Projection("repo.name"))
+	if _, err := s.BuildHistoricalIndex(id, 0, end); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := s.Iterate(0, 0, func(r Record) bool {
+		if len(r.Payload) == 8 {
+			t.Fatal("indirect index record leaked into Iterate")
+		}
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Fatalf("iterated %d, want 50 data records", got)
+	}
+}

@@ -1,0 +1,65 @@
+package fishstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// IngestReader streams newline-delimited records (e.g. NDJSON or CSV rows)
+// from r into the store in batches of batchSize, the shape in which
+// FishStore receives data from collection agents (§4.1 "receives batches
+// of raw records"). Empty lines are skipped. It returns aggregate stats.
+//
+// maxRecordBytes bounds a single record (0 means 16MB).
+func (sess *Session) IngestReader(r io.Reader, batchSize int, maxRecordBytes int) (IngestStats, error) {
+	if batchSize < 1 {
+		batchSize = 256
+	}
+	if maxRecordBytes <= 0 {
+		maxRecordBytes = 16 << 20
+	}
+	sc := bufio.NewScanner(r)
+	initial := 64 << 10
+	if initial > maxRecordBytes {
+		initial = maxRecordBytes
+	}
+	sc.Buffer(make([]byte, initial), maxRecordBytes)
+
+	var agg IngestStats
+	batch := make([][]byte, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		st, err := sess.Ingest(batch)
+		agg.Records += st.Records
+		agg.Bytes += st.Bytes
+		agg.Properties += st.Properties
+		agg.ParseErrors += st.ParseErrors
+		agg.Reallocs += st.Reallocs
+		batch = batch[:0]
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Ingest retains no reference past the call, but lines share the
+		// scanner's buffer across Scan calls, so copy per record.
+		batch = append(batch, append([]byte(nil), line...))
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return agg, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return agg, err
+	}
+	if err := sc.Err(); err != nil {
+		return agg, fmt.Errorf("fishstore: reading input: %w", err)
+	}
+	return agg, nil
+}

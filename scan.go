@@ -1,0 +1,582 @@
+package fishstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/hlog"
+	"fishstore/internal/psf"
+	"fishstore/internal/record"
+)
+
+// Record is one retrieved record.
+type Record struct {
+	// Address is the record's logical address on the log.
+	Address uint64
+	// Payload is the raw record bytes. The slice is owned by the caller.
+	Payload []byte
+}
+
+// ScanMode selects how a subset retrieval executes (§7.1).
+type ScanMode int
+
+const (
+	// ScanAuto splits the range into index scans (where the PSF's index is
+	// complete) and full scans (elsewhere), with adaptive prefetching on
+	// storage. This is FishStore's default behaviour.
+	ScanAuto ScanMode = iota
+	// ScanForceFull scans every record in the range, parsing and evaluating
+	// the PSF on each (no index use).
+	ScanForceFull
+	// ScanForceIndex uses only the index, silently skipping unindexed
+	// portions of the range.
+	ScanForceIndex
+	// ScanIndexNoPrefetch is ScanForceIndex with adaptive prefetching
+	// disabled: every hash-chain hop on storage issues its own small
+	// dependent I/Os (the "Index Scan w/o AP" baseline of Fig 16).
+	ScanIndexNoPrefetch
+)
+
+// ScanOptions bounds and tunes a subset retrieval.
+type ScanOptions struct {
+	// From and To delimit the address range [From, To); zero means the
+	// begin/tail of the log respectively.
+	From, To uint64
+	// Mode selects the execution strategy.
+	Mode ScanMode
+	// Parallelism > 1 splits full-scan segments page-wise across that many
+	// goroutines (Appendix F). Callback invocations are serialized.
+	Parallelism int
+}
+
+// Segment is one piece of a scan plan.
+type Segment struct {
+	From, To uint64
+	Indexed  bool
+}
+
+// ScanStats reports how a scan executed.
+type ScanStats struct {
+	// Matched is the number of records delivered to the callback.
+	Matched int64
+	// Visited is the number of records examined (full-scan records plus
+	// chain entries traversed).
+	Visited int64
+	// IndexHops is the number of hash-chain pointers followed.
+	IndexHops int64
+	// FullScanBytes is the log volume covered by full scans.
+	FullScanBytes int64
+	// IOs / ReadBytes count device reads issued by this scan.
+	IOs, ReadBytes int64
+	// Stopped is set when the callback terminated the scan early (the
+	// paper's Touch early-stop signal).
+	Stopped bool
+	// Plan is the executed segment plan.
+	Plan []Segment
+}
+
+// Scan retrieves all records with the given property within the option
+// range, invoking cb for each match. Returning false from cb stops the scan
+// early. Full-scan segments deliver records in ascending address order;
+// index segments follow hash chains and deliver in descending order.
+func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (ScanStats, error) {
+	from, to := s.clampRange(opts.From, opts.To)
+	var st ScanStats
+	if from >= to {
+		return st, nil
+	}
+	st.Plan = s.planScan(prop.PSF, from, to, opts.Mode)
+
+	def, ok := s.registry.Lookup(prop.PSF)
+	if !ok {
+		return st, fmt.Errorf("fishstore: unknown PSF id %d", prop.PSF)
+	}
+	canon := psf.CanonicalValue(prop.Value)
+
+	g := s.epoch.Acquire()
+	defer g.Release()
+
+	emit := func(r Record) bool {
+		st.Matched++
+		return cb(r)
+	}
+
+	for _, seg := range st.Plan {
+		var stopped bool
+		var err error
+		if seg.Indexed {
+			useAP := opts.Mode != ScanIndexNoPrefetch
+			stopped, err = s.indexScanSegment(g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, emit, &st)
+		} else {
+			stopped, err = s.fullScanSegment(g, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
+		}
+		if err != nil {
+			return st, err
+		}
+		if stopped {
+			st.Stopped = true
+			break
+		}
+	}
+	return st, nil
+}
+
+// Lookup retrieves recent records for a property using only the index (a
+// point-lookup over the live indexed interval, served from memory when the
+// log suffix is resident). cb semantics match Scan.
+func (s *Store) Lookup(prop Property, cb func(r Record) bool) (ScanStats, error) {
+	ivs := s.registry.Intervals(prop.PSF)
+	if len(ivs) == 0 {
+		return ScanStats{}, fmt.Errorf("fishstore: PSF %d has no indexed interval", prop.PSF)
+	}
+	last := ivs[len(ivs)-1]
+	to := last.To
+	if last.Open() {
+		to = 0 // tail
+	}
+	return s.Scan(prop, ScanOptions{From: last.From, To: to, Mode: ScanForceIndex}, cb)
+}
+
+func (s *Store) clampRange(from, to uint64) (uint64, uint64) {
+	if from < hlog.BeginAddress {
+		from = hlog.BeginAddress
+	}
+	if t := s.truncatedUntil.Load(); from < t {
+		from = t
+	}
+	tail := s.log.TailAddress()
+	if to == 0 || to > tail {
+		to = tail
+	}
+	return from, to
+}
+
+// planScan splits [from, to) into indexed and unindexed segments using the
+// PSF's safe registration intervals.
+func (s *Store) planScan(id psf.ID, from, to uint64, mode ScanMode) []Segment {
+	if mode == ScanForceFull {
+		return []Segment{{From: from, To: to, Indexed: false}}
+	}
+	ivs := s.registry.Intervals(id)
+	var plan []Segment
+	cur := from
+	for _, iv := range ivs {
+		lo, hi := iv.From, iv.To
+		if hi > to {
+			hi = to
+		}
+		if lo < cur {
+			lo = cur
+		}
+		if lo >= hi {
+			continue
+		}
+		if lo > cur {
+			plan = append(plan, Segment{From: cur, To: lo, Indexed: false})
+		}
+		plan = append(plan, Segment{From: lo, To: hi, Indexed: true})
+		cur = hi
+	}
+	if cur < to {
+		plan = append(plan, Segment{From: cur, To: to, Indexed: false})
+	}
+	if mode == ScanForceIndex || mode == ScanIndexNoPrefetch {
+		out := plan[:0]
+		for _, seg := range plan {
+			if seg.Indexed {
+				out = append(out, seg)
+			}
+		}
+		plan = out
+	}
+	return plan
+}
+
+// ---- full scan ----
+
+// fullScanSegment walks every record in [from, to), parses the PSF's fields
+// of interest, evaluates the PSF, and emits matches.
+func (s *Store) fullScanSegment(g *epoch.Guard, def psf.Definition, canon []byte,
+	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	st.FullScanBytes += int64(to - from)
+	if parallelism > 1 {
+		return s.parallelFullScan(def, canon, from, to, parallelism, emit, st)
+	}
+	psess, err := s.pf.NewSession(def.Fields)
+	if err != nil {
+		return false, err
+	}
+	stopped := false
+	err = s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
+		st.Visited++
+		payload := v.Payload()
+		parsed, perr := psess.Parse(payload)
+		if perr != nil {
+			return true
+		}
+		val := def.Evaluate(parsed)
+		if !bytes.Equal(psf.CanonicalValue(val), canon) {
+			return true
+		}
+		if !emit(Record{Address: addr, Payload: payload}) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	return stopped, err
+}
+
+// parallelFullScan distributes pages of [from, to) across workers
+// (Appendix F). Matches are emitted through a mutex, in arbitrary order.
+func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
+	from, to uint64, workers int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	pageSize := s.log.PageSize()
+	firstPage := s.log.PageOf(from)
+	lastPage := s.log.PageOf(to - 1)
+	var nextPage atomic.Uint64
+	nextPage.Store(firstPage)
+
+	var mu sync.Mutex
+	var stopped atomic.Bool
+	var visited atomic.Int64
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wg2 := s.epoch.Acquire()
+			defer wg2.Release()
+			psess, err := s.pf.NewSession(def.Fields)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for !stopped.Load() {
+				p := nextPage.Add(1) - 1
+				if p > lastPage {
+					return
+				}
+				lo := p * pageSize
+				if lo < from {
+					lo = from
+				}
+				hi := (p + 1) * pageSize
+				if hi > to {
+					hi = to
+				}
+				err := s.visitRange(wg2, lo, hi, func(addr uint64, v record.View) bool {
+					visited.Add(1)
+					payload := v.Payload()
+					parsed, perr := psess.Parse(payload)
+					if perr != nil {
+						return true
+					}
+					val := def.Evaluate(parsed)
+					if !bytes.Equal(psf.CanonicalValue(val), canon) {
+						return true
+					}
+					mu.Lock()
+					ok := emit(Record{Address: addr, Payload: payload})
+					mu.Unlock()
+					if !ok {
+						stopped.Store(true)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st.Visited += visited.Load()
+	return stopped.Load(), firstErr
+}
+
+// visitRange walks all visible records in [from, to) in address order,
+// reading pages from memory or storage as appropriate. from and to must be
+// record boundaries.
+func (s *Store) visitRange(g *epoch.Guard, from, to uint64, visit func(addr uint64, v record.View) bool) error {
+	pageSize := s.log.PageSize()
+
+	for addr := from; addr < to; {
+		pageStart := addr &^ (pageSize - 1)
+		pageEnd := pageStart + pageSize
+		limit := to
+		if pageEnd < limit {
+			limit = pageEnd
+		}
+		g.Refresh()
+
+		var words []uint64 // page words from addr onward
+		if addr >= s.log.HeadAddress() {
+			words = s.log.PageWordsFrom(addr)
+		} else {
+			n := int(pageEnd-addr) / 8
+			var err error
+			words, err = s.log.ReadWordsFromDevice(addr, n)
+			if err != nil {
+				return fmt.Errorf("fishstore: full scan read at %d: %w", addr, err)
+			}
+		}
+		if !walkRecords(words, addr, limit, visit) {
+			return nil
+		}
+		addr = pageEnd
+	}
+	return nil
+}
+
+// walkRecords iterates the records laid out in words (whose first word is
+// the header at baseAddr), invoking visit for each visible record starting
+// below limit. Returns false if visit stopped the walk.
+func walkRecords(words []uint64, baseAddr, limit uint64, visit func(addr uint64, v record.View) bool) bool {
+	off := 0
+	for off < len(words) {
+		hw := atomic.LoadUint64(&words[off])
+		h := record.UnpackHeader(hw)
+		if h.SizeWords == 0 {
+			return true // unwritten tail region
+		}
+		addr := baseAddr + uint64(off)*8
+		if addr >= limit {
+			return true
+		}
+		if !h.Filler && h.Visible && !h.Invalid {
+			if off+h.SizeWords > len(words) {
+				return true // torn tail record (still being written)
+			}
+			if !visit(addr, record.View{Words: words[off : off+h.SizeWords]}) {
+				return false
+			}
+		}
+		off += h.SizeWords
+	}
+	return true
+}
+
+// ---- index scan ----
+
+// indexScanSegment retrieves matching records in [from, to) through the
+// subset hash index. For sharded PSFs (Appendix F) every shard chain is
+// traversed; with opts-level parallelism the shards run concurrently with
+// serialized emission.
+func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
+	from, to uint64, useAP bool, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	def, _ := s.registry.Lookup(prop.PSF)
+	shards := def.ShardCount()
+	if shards == 1 {
+		slot, ok := s.table.FindEntry(prop.hash())
+		if !ok {
+			return false, nil
+		}
+		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, emit, st)
+	}
+	var heads []uint64
+	for shard := 0; shard < shards; shard++ {
+		h := psf.ShardHash(prop.PSF, canon, shard, shards)
+		if slot, ok := s.table.FindEntry(h); ok {
+			heads = append(heads, slot.Address())
+		}
+	}
+	if parallelism > 1 && len(heads) > 1 {
+		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, emit, st)
+	}
+	for _, head := range heads {
+		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, emit, st)
+		if err != nil || stopped {
+			return stopped, err
+		}
+	}
+	return false, nil
+}
+
+// parallelChainWalk traverses shard chains concurrently (Appendix F's
+// parallel index scan), serializing emission.
+func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
+	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	var mu sync.Mutex // guards emit and st
+	var stopped atomic.Bool
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, head := range heads {
+		wg.Add(1)
+		go func(head uint64) {
+			defer wg.Done()
+			wg2 := s.epoch.Acquire()
+			defer wg2.Release()
+			var local ScanStats
+			wrapped := func(r Record) bool {
+				if stopped.Load() {
+					return false
+				}
+				mu.Lock()
+				ok := emit(r)
+				mu.Unlock()
+				if !ok {
+					stopped.Store(true)
+				}
+				return ok
+			}
+			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, wrapped, &local); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			mu.Lock()
+			st.Visited += local.Visited
+			st.IndexHops += local.IndexHops
+			st.IOs += local.IOs
+			st.ReadBytes += local.ReadBytes
+			mu.Unlock()
+		}(head)
+	}
+	wg.Wait()
+	return stopped.Load(), firstErr
+}
+
+// walkChain follows one hash chain from head, emitting matching records
+// whose address lies in [from, to). Entries above `to` are skipped (but
+// still traversed); traversal stops below `from`.
+func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
+	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	cur := head
+	var cr *chainReader
+	hops := 0
+	defer func() {
+		if cr != nil {
+			st.IOs += cr.ios
+			st.ReadBytes += cr.bytesRead
+		}
+	}()
+
+	for cur != 0 && cur >= from {
+		hops++
+		if hops%64 == 0 {
+			g.Refresh()
+		}
+		var view record.View
+		var base uint64
+		if cur >= s.log.HeadAddress() {
+			v, b, err := s.inMemoryRecordAt(cur)
+			if err != nil {
+				return false, err
+			}
+			view, base = v, b
+		} else {
+			if cr == nil {
+				cr = newChainReader(s.log, useAP)
+			}
+			v, b, err := cr.record(cur)
+			if err != nil {
+				return false, fmt.Errorf("fishstore: index scan read at %d: %w", cur, err)
+			}
+			view, base = v, b
+		}
+		st.IndexHops++
+		st.Visited++
+
+		ptrIndex := (int(s.offsetWordsOf(view, cur, base)) - record.HeaderWords) / record.WordsPerPointer
+		kp := view.KeyPointerAt(ptrIndex)
+		h := view.Header()
+		match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&
+			bytes.Equal(view.ValueBytes(kp), canon)
+		if match {
+			rec, err := s.materialize(g, view, base, cr, st)
+			if err != nil {
+				return false, err
+			}
+			// For indirect (historical) index records the range check
+			// applies to the referenced data record's address.
+			if rec.Address >= from && rec.Address < to {
+				if !emit(rec) {
+					return true, nil
+				}
+			}
+		}
+		cur = kp.PrevAddress
+	}
+	return false, nil
+}
+
+// inMemoryRecordAt resolves the record containing the key pointer at
+// kptAddr from the circular buffer.
+func (s *Store) inMemoryRecordAt(kptAddr uint64) (record.View, uint64, error) {
+	kw := s.log.WordsAt(kptAddr, 1)
+	a := atomic.LoadUint64(&kw[0])
+	offWords := int(a >> 50)
+	base := kptAddr - uint64(offWords)*8
+	hw := s.log.WordsAt(base, 1)
+	h := record.UnpackHeader(atomic.LoadUint64(&hw[0]))
+	if h.SizeWords == 0 {
+		return record.View{}, 0, fmt.Errorf("fishstore: empty header at %d", base)
+	}
+	return record.View{Words: s.log.WordsAt(base, h.SizeWords)}, base, nil
+}
+
+// offsetWordsOf recovers the key pointer's offset within its record.
+func (s *Store) offsetWordsOf(v record.View, kptAddr, base uint64) uint64 {
+	return (kptAddr - base) / 8
+}
+
+// materialize turns a matched view into a Record, resolving historical
+// indirection (Appendix A) if needed.
+func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, cr *chainReader, st *ScanStats) (Record, error) {
+	h := view.Header()
+	if !h.Indirect {
+		return Record{Address: base, Payload: view.Payload()}, nil
+	}
+	// Indirect record: payload is the 8-byte address of the data record.
+	pl := view.Payload()
+	if len(pl) != 8 {
+		return Record{}, fmt.Errorf("fishstore: indirect record at %d has %d-byte payload", base, len(pl))
+	}
+	target := binary.LittleEndian.Uint64(pl)
+	var tv record.View
+	if target >= s.log.HeadAddress() {
+		hw := s.log.WordsAt(target, 1)
+		th := record.UnpackHeader(atomic.LoadUint64(&hw[0]))
+		tv = record.View{Words: s.log.WordsAt(target, th.SizeWords)}
+	} else {
+		hw, err := s.log.ReadWordsFromDevice(target, 1)
+		if err != nil {
+			return Record{}, err
+		}
+		th := record.UnpackHeader(hw[0])
+		words, err := s.log.ReadWordsFromDevice(target, th.SizeWords)
+		if err != nil {
+			return Record{}, err
+		}
+		st.IOs += 2
+		st.ReadBytes += int64(8 + th.SizeWords*8)
+		tv = record.View{Words: words}
+	}
+	return Record{Address: target, Payload: tv.Payload()}, nil
+}

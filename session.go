@@ -1,0 +1,304 @@
+package fishstore
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/expr"
+	"fishstore/internal/hashtable"
+	"fishstore/internal/parser"
+	"fishstore/internal/psf"
+	"fishstore/internal/record"
+)
+
+// Session is an ingestion worker's handle (§6). Each concurrent ingestion
+// goroutine owns one Session; it holds the worker's epoch guard, its
+// thread-local parser session, and its cached view of the PSF registration
+// metadata. A Session is not safe for concurrent use.
+type Session struct {
+	store *Store
+	guard *epoch.Guard
+
+	meta  *psf.Meta
+	psess parser.Session
+
+	// Per-batch scratch, reused across records.
+	ptrSpecs    []record.PointerSpec
+	ptrHashes   []uint64 // pre-computed for unsharded PSFs; 0 placeholder otherwise
+	ptrShards   []int    // shard count per pointer (1 = unsharded)
+	ptrCanons   [][]byte // canonical value copies for sharded pointers
+	valueRegion []byte
+
+	phases PhaseStats
+	closed bool
+}
+
+// PhaseStats is the per-session CPU-time breakdown of ingestion (Fig 13).
+// Populated only when Options.CollectPhaseStats is set.
+type PhaseStats struct {
+	Parse   time.Duration // structural index + field extraction
+	PSFEval time.Duration // PSF evaluation + pointer spec construction
+	Memcpy  time.Duration // record allocation + copy onto the log
+	Index   time.Duration // hash table and hash chain updates
+	Others  time.Duration // visibility, refresh, bookkeeping
+	Records int64
+}
+
+// Add accumulates other into p.
+func (p *PhaseStats) Add(other PhaseStats) {
+	p.Parse += other.Parse
+	p.PSFEval += other.PSFEval
+	p.Memcpy += other.Memcpy
+	p.Index += other.Index
+	p.Others += other.Others
+	p.Records += other.Records
+}
+
+// Total returns the sum of all phases.
+func (p PhaseStats) Total() time.Duration {
+	return p.Parse + p.PSFEval + p.Memcpy + p.Index + p.Others
+}
+
+// IngestStats summarizes one Ingest call.
+type IngestStats struct {
+	Records     int
+	Bytes       int64
+	Properties  int // key pointers written
+	ParseErrors int
+	Reallocs    int // badCAS mode only
+}
+
+// NewSession registers an ingestion worker. The worker's epoch slot is
+// only protected while an Ingest call is in flight, so idle sessions never
+// block PSF registration or page-frame recycling.
+func (s *Store) NewSession() *Session {
+	g := s.epoch.Acquire()
+	g.Unprotect()
+	return &Session{store: s, guard: g}
+}
+
+// Close releases the worker's epoch slot. The Session must not be used
+// afterwards.
+func (sess *Session) Close() {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	sess.guard.Release()
+}
+
+// Phases returns the accumulated phase breakdown.
+func (sess *Session) Phases() PhaseStats { return sess.phases }
+
+// refreshMeta refreshes the epoch and rebuilds the parser session if PSF
+// registration changed (§6.1: "whenever a worker detects changes in the
+// fields of interest ... it recalculates the minimum field set for index
+// building and recreates its thread-local parser").
+func (sess *Session) refreshMeta() error {
+	sess.guard.Refresh()
+	meta := sess.store.registry.CurrentMeta()
+	if sess.meta != nil && meta.Version == sess.meta.Version {
+		return nil
+	}
+	ps, err := sess.store.pf.NewSession(meta.Fields)
+	if err != nil {
+		return fmt.Errorf("fishstore: rebuilding parser: %w", err)
+	}
+	sess.meta = meta
+	sess.psess = ps
+	return nil
+}
+
+// Ingest pushes a batch of raw records through the four ingestion phases:
+// (1) parsing and PSF evaluation, (2) record space allocation, (3) subset
+// hash index update, (4) record visibility.
+func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
+	if sess.closed {
+		return IngestStats{}, ErrClosed
+	}
+	sess.store.ckptMu.RLock()
+	defer sess.store.ckptMu.RUnlock()
+	sess.guard.Protect()
+	defer sess.guard.Unprotect()
+	if err := sess.refreshMeta(); err != nil {
+		return IngestStats{}, err
+	}
+	timed := sess.store.opts.CollectPhaseStats
+
+	var st IngestStats
+	var mark time.Time
+	lap := func(d *time.Duration) {
+		if timed {
+			now := time.Now()
+			*d += now.Sub(mark)
+			mark = now
+		}
+	}
+
+	for _, payload := range batch {
+		if timed {
+			mark = time.Now()
+		}
+
+		// Phase 1a: parse the active fields of interest.
+		parsed, perr := sess.psess.Parse(payload)
+		lap(&sess.phases.Parse)
+		if perr != nil {
+			// Malformed records are still stored (FishStore keeps raw data
+			// regardless) but carry no index entries.
+			st.ParseErrors++
+		}
+
+		// Phase 1b: evaluate PSFs and build key pointer specs.
+		sess.buildPointers(payload, parsed, perr != nil)
+		lap(&sess.phases.PSFEval)
+
+		// Phases 2..4, with one retry loop for badCAS reallocation.
+		for {
+			spec := record.Spec{
+				Payload:     payload,
+				Pointers:    sess.ptrSpecs,
+				ValueRegion: sess.valueRegion,
+			}
+			if err := spec.Validate(); err != nil {
+				return st, err
+			}
+			alloc, err := sess.store.log.Allocate(sess.guard, spec.SizeWords())
+			if err != nil {
+				return st, err
+			}
+			spec.Write(alloc.Words)
+			lap(&sess.phases.Memcpy)
+
+			view := record.View{Words: alloc.Words}
+			ok, err := sess.linkAll(alloc.Address, view)
+			lap(&sess.phases.Index)
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				// badCAS mode: abandon this copy and reallocate at the tail.
+				view.SetInvalid()
+				view.SetVisible()
+				sess.store.invalidated.Add(1)
+				st.Reallocs++
+				continue
+			}
+
+			view.SetVisible()
+			sess.store.subs.notify(sess.store, alloc.Address, view, sess.ptrSpecs, payload, sess.valueRegion)
+			lap(&sess.phases.Others)
+			break
+		}
+
+		st.Records++
+		st.Bytes += int64(len(payload))
+		st.Properties += len(sess.ptrSpecs)
+	}
+
+	sess.phases.Records += int64(st.Records)
+	sess.store.ingestedRecords.Add(int64(st.Records))
+	sess.store.ingestedBytes.Add(st.Bytes)
+	sess.store.indexedProps.Add(int64(st.Properties))
+	return st, nil
+}
+
+// buildPointers evaluates every active PSF against the parsed record and
+// fills sess.ptrSpecs / ptrHashes / valueRegion. Values that are verbatim
+// substrings of the payload become zero-copy ModePayload pointers; values
+// that are not (escaped strings, non-canonical numbers, computed values)
+// are materialized into the optional value region.
+func (sess *Session) buildPointers(payload []byte, parsed *parser.Parsed, parseFailed bool) {
+	sess.ptrSpecs = sess.ptrSpecs[:0]
+	sess.ptrHashes = sess.ptrHashes[:0]
+	sess.ptrShards = sess.ptrShards[:0]
+	sess.ptrCanons = sess.ptrCanons[:0]
+	sess.valueRegion = sess.valueRegion[:0]
+	if parseFailed {
+		return
+	}
+	for i := range sess.meta.PSFs {
+		a := &sess.meta.PSFs[i]
+		v := a.Def.Evaluate(parsed)
+		if v.Kind == expr.KindMissing {
+			continue
+		}
+		ps := record.PointerSpec{PSFID: a.ID}
+		var canonical []byte
+		if v.Kind == expr.KindBool {
+			ps.Mode = record.ModeBool
+			ps.BoolValue = v.Bool
+			canonical = psf.CanonicalValue(v)
+		} else {
+			canonical = psf.CanonicalValue(v)
+			inPayload := false
+			if a.Def.Kind == psf.KindProjection {
+				if f, ok := parsed.Get(a.Def.Fields[0]); ok && f.Offset >= 0 &&
+					f.Len == len(canonical) &&
+					bytes.Equal(payload[f.Offset:f.Offset+f.Len], canonical) {
+					ps.Mode = record.ModePayload
+					ps.ValOffset = f.Offset
+					ps.ValSize = f.Len
+					inPayload = true
+				}
+			}
+			if !inPayload {
+				ps.Mode = record.ModeValueRegion
+				ps.ValOffset = len(sess.valueRegion)
+				ps.ValSize = len(canonical)
+				sess.valueRegion = append(sess.valueRegion, canonical...)
+			}
+		}
+		sess.ptrSpecs = append(sess.ptrSpecs, ps)
+		shards := a.Def.ShardCount()
+		sess.ptrShards = append(sess.ptrShards, shards)
+		if shards > 1 {
+			// The shard is derived from the record's address (chosen at
+			// allocation time, see linkAll), so recovery replay can
+			// recompute it; stash a stable copy of the canonical bytes.
+			sess.ptrCanons = append(sess.ptrCanons, append([]byte(nil), canonical...))
+			sess.ptrHashes = append(sess.ptrHashes, 0)
+		} else {
+			sess.ptrCanons = append(sess.ptrCanons, nil)
+			sess.ptrHashes = append(sess.ptrHashes, hashtable.HashProperty(a.ID, canonical))
+		}
+	}
+}
+
+// linkAll runs phase 3 for every key pointer of the record. It returns
+// ok=false only in badCAS mode, where a single CAS failure forces the caller
+// to reallocate the record.
+func (sess *Session) linkAll(recAddr uint64, view record.View) (bool, error) {
+	for i := range sess.ptrSpecs {
+		wi := view.PointerWordIndex(i)
+		kptAddr := recAddr + uint64(wi)*8
+		wordA := &view.Words[wi]
+		h := sess.ptrHashes[i]
+		if shards := sess.ptrShards[i]; shards > 1 {
+			h = psf.ShardHash(sess.ptrSpecs[i].PSFID, sess.ptrCanons[i], shardOf(recAddr, shards), shards)
+		}
+		if sess.store.opts.BadCAS {
+			ok, err := sess.store.linkPointerNaive(h, kptAddr, wordA)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+			continue
+		}
+		if err := sess.store.linkPointer(h, kptAddr, wordA); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// shardOf derives a sharded PSF's chain for the record at addr. Using the
+// address (rather than a counter) makes the assignment recomputable during
+// recovery replay.
+func shardOf(addr uint64, shards int) int {
+	return int((addr >> 6) % uint64(shards))
+}

@@ -1,0 +1,203 @@
+// Package fishstore is a from-scratch Go implementation of FishStore (Xie,
+// Chandramouli, Li, Kossmann — SIGMOD 2019): a concurrent, latch-free
+// storage layer for flexible-schema data that combines fast partial parsing
+// with a hash-based primary subset index over dynamically registered
+// predicated subset functions (PSFs).
+//
+// A Store ingests raw records (JSON, CSV, or anything a parser.Factory
+// understands) into an append-only hybrid log. Applications register PSFs —
+// field projections, predicates, range buckets, or custom functions — and
+// FishStore threads every matching record onto a per-(PSF, value) hash
+// chain collocated with the data. Subset retrieval combines index scans
+// (with adaptive prefetching on storage) and full scans, guided by the safe
+// registration boundaries of on-demand indexing.
+//
+// Basic usage:
+//
+//	store, _ := fishstore.Open(fishstore.Options{})
+//	id, _, _ := store.RegisterPSF(psf.Projection("repo.name"))
+//	sess := store.NewSession()
+//	sess.Ingest(batchOfJSONRecords)
+//	sess.Close()
+//	store.Scan(fishstore.PropertyString(id, "spark"), fishstore.ScanOptions{},
+//	    func(r fishstore.Record) bool { use(r.Payload); return true })
+package fishstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/expr"
+	"fishstore/internal/hashtable"
+	"fishstore/internal/hlog"
+	"fishstore/internal/parser"
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+// Store is a FishStore instance. All methods are safe for concurrent use;
+// ingestion goes through per-worker Sessions.
+type Store struct {
+	opts     Options
+	epoch    *epoch.Manager
+	log      *hlog.Log
+	table    *hashtable.Table
+	registry *psf.Registry
+	pf       parser.Factory
+
+	subs subscriptions
+
+	ingestedRecords atomic.Int64
+	ingestedBytes   atomic.Int64
+	indexedProps    atomic.Int64
+	invalidated     atomic.Int64 // records abandoned by badCAS reallocation
+	truncatedUntil  atomic.Uint64
+
+	// ckptMu is the checkpoint barrier: ingestion batches hold it shared,
+	// Checkpoint holds it exclusively while taking its cut.
+	ckptMu sync.RWMutex
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open creates a store.
+func Open(opts Options) (*Store, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	em := epoch.New()
+	log, err := hlog.New(hlog.Config{
+		PageBits: o.PageBits,
+		MemPages: o.MemPages,
+		Device:   o.Device,
+		Epoch:    em,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:  o,
+		epoch: em,
+		log:   log,
+		table: hashtable.New(o.TableBuckets, o.OverflowBuckets),
+		pf:    o.Parser,
+	}
+	s.registry = psf.NewRegistry(em, log.TailAddress)
+	return s, nil
+}
+
+// Close flushes and closes the store. All sessions must be closed first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.log.Close()
+}
+
+// RegisterPSF registers a PSF and blocks until indexing is active on all
+// ingestion workers. The result carries the safe registration boundary:
+// records at addresses >= it are guaranteed indexed.
+func (s *Store) RegisterPSF(def psf.Definition) (psf.ID, psf.Result, error) {
+	return s.registry.Register(def)
+}
+
+// DeregisterPSF stops indexing for id. Records below the returned safe
+// deregistration boundary remain index-covered.
+func (s *Store) DeregisterPSF(id psf.ID) (psf.Result, error) {
+	return s.registry.Deregister(id)
+}
+
+// ApplyPSFChanges applies a batch of registrations/deregistrations
+// atomically (one run of the Fig 7 protocol).
+func (s *Store) ApplyPSFChanges(changes []psf.Change) (psf.Result, error) {
+	return s.registry.Apply(changes)
+}
+
+// PSFByName returns the id of the active PSF with the given name.
+func (s *Store) PSFByName(name string) (psf.ID, bool) { return s.registry.LookupByName(name) }
+
+// IndexedIntervals returns the log intervals over which id's index is
+// guaranteed complete.
+func (s *Store) IndexedIntervals(id psf.ID) []psf.Interval { return s.registry.Intervals(id) }
+
+// TailAddress returns the current log tail.
+func (s *Store) TailAddress() uint64 { return s.log.TailAddress() }
+
+// BeginAddress returns the first record address.
+func (s *Store) BeginAddress() uint64 { return hlog.BeginAddress }
+
+// HeadAddress returns the in-memory boundary: addresses >= it are served
+// from the circular buffer.
+func (s *Store) HeadAddress() uint64 { return s.log.HeadAddress() }
+
+// FlushedUntil returns the durable boundary.
+func (s *Store) FlushedUntil() uint64 { return s.log.FlushedUntil() }
+
+// Property identifies a logical group of records: a PSF and a value in its
+// domain (§2.1, Definition 2.2).
+type Property struct {
+	PSF   psf.ID
+	Value expr.Value
+}
+
+// PropertyBool builds a boolean property (f, true/false).
+func PropertyBool(id psf.ID, v bool) Property { return Property{PSF: id, Value: expr.BoolVal(v)} }
+
+// PropertyString builds a string-valued property.
+func PropertyString(id psf.ID, v string) Property {
+	return Property{PSF: id, Value: expr.StringVal(v)}
+}
+
+// PropertyNumber builds a numeric property.
+func PropertyNumber(id psf.ID, v float64) Property {
+	return Property{PSF: id, Value: expr.NumberVal(v)}
+}
+
+func (p Property) String() string { return fmt.Sprintf("(psf %d, %s)", p.PSF, p.Value) }
+
+// hash returns the property's hash signature.
+func (p Property) hash() uint64 { return psf.PropertyHash(p.PSF, p.Value) }
+
+// Stats is a snapshot of store-level counters.
+type Stats struct {
+	IngestedRecords   int64
+	IngestedBytes     int64
+	IndexedProperties int64
+	InvalidatedRecs   int64 // only non-zero in BadCAS mode
+	TailAddress       uint64
+	LogSizeBytes      uint64 // tail - begin: total log footprint incl. headers
+	TableStats        hashtable.Stats
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		IngestedRecords:   s.ingestedRecords.Load(),
+		IngestedBytes:     s.ingestedBytes.Load(),
+		IndexedProperties: s.indexedProps.Load(),
+		InvalidatedRecs:   s.invalidated.Load(),
+		TailAddress:       s.log.TailAddress(),
+		LogSizeBytes:      s.log.TailAddress() - hlog.BeginAddress,
+		TableStats:        s.table.Stats(),
+	}
+}
+
+// Device returns the underlying storage device (for experiment harnesses
+// that need I/O statistics, e.g. SimSSD counters).
+func (s *Store) Device() storage.Device { return s.log.Device() }
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("fishstore: store closed")
+
+// Flush synchronously persists everything ingested so far (the periodic
+// "line of persistence" of Appendix E): on return, FlushedUntil covers the
+// tail observed at the time of the call.
+func (s *Store) Flush() error { return s.log.FlushTail() }

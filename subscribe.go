@@ -1,0 +1,134 @@
+package fishstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/record"
+)
+
+// Subscription delivers records matching a property as they are ingested —
+// FishStore's streaming-query hook (§2.3 "Streaming queries"): the
+// now-schematized data can be fed to a streaming engine as it arrives.
+type Subscription struct {
+	store  *Store
+	prop   Property
+	canon  []byte
+	ch     chan Record
+	drops  atomic.Int64
+	once   sync.Once
+	closed atomic.Bool
+}
+
+// Records is the delivery channel. It is closed by Cancel.
+func (sub *Subscription) Records() <-chan Record { return sub.ch }
+
+// Dropped reports how many records were discarded because the subscriber
+// fell behind its buffer.
+func (sub *Subscription) Dropped() int64 { return sub.drops.Load() }
+
+// Cancel detaches the subscription and closes its channel.
+func (sub *Subscription) Cancel() {
+	sub.once.Do(func() {
+		sub.closed.Store(true)
+		sub.store.subs.remove(sub)
+		close(sub.ch)
+	})
+}
+
+// subscriptions is the store's active subscription set. The hot path
+// (notify) is a single atomic load when no subscriptions exist.
+type subscriptions struct {
+	count atomic.Int64
+	mu    sync.RWMutex
+	list  []*Subscription
+}
+
+// Subscribe registers a streaming subscription for prop with the given
+// channel buffer. Delivery is best-effort: if the buffer is full the record
+// is dropped and counted, so slow consumers never stall ingestion.
+func (s *Store) Subscribe(prop Property, buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 64
+	}
+	sub := &Subscription{
+		store: s,
+		prop:  prop,
+		canon: psf.CanonicalValue(prop.Value),
+		ch:    make(chan Record, buffer),
+	}
+	s.subs.mu.Lock()
+	s.subs.list = append(s.subs.list, sub)
+	s.subs.mu.Unlock()
+	s.subs.count.Add(1)
+	return sub
+}
+
+func (subs *subscriptions) remove(sub *Subscription) {
+	subs.mu.Lock()
+	for i, x := range subs.list {
+		if x == sub {
+			subs.list = append(subs.list[:i], subs.list[i+1:]...)
+			subs.count.Add(-1)
+			break
+		}
+	}
+	subs.mu.Unlock()
+}
+
+// notify delivers a just-ingested record to matching subscriptions. Called
+// with the record's pointer specs so property values need not be
+// re-evaluated.
+func (subs *subscriptions) notify(s *Store, addr uint64, view record.View,
+	specs []record.PointerSpec, payload []byte, valueRegion []byte) {
+	if subs.count.Load() == 0 {
+		return
+	}
+	subs.mu.RLock()
+	defer subs.mu.RUnlock()
+	for _, sub := range subs.list {
+		if sub.closed.Load() {
+			continue
+		}
+		for _, ps := range specs {
+			if ps.PSFID != sub.prop.PSF {
+				continue
+			}
+			if !specMatchesCanon(ps, payload, valueRegion, sub.canon) {
+				continue
+			}
+			rec := Record{Address: addr, Payload: append([]byte(nil), payload...)}
+			select {
+			case sub.ch <- rec:
+			default:
+				sub.drops.Add(1)
+			}
+			break
+		}
+	}
+}
+
+// specMatchesCanon compares a pointer spec's value bytes with a canonical
+// property value.
+func specMatchesCanon(ps record.PointerSpec, payload, valueRegion, canon []byte) bool {
+	switch ps.Mode {
+	case record.ModeBool:
+		want := byte('f')
+		if ps.BoolValue {
+			want = 't'
+		}
+		return len(canon) == 1 && canon[0] == want
+	case record.ModePayload:
+		if ps.ValOffset+ps.ValSize > len(payload) {
+			return false
+		}
+		return string(payload[ps.ValOffset:ps.ValOffset+ps.ValSize]) == string(canon)
+	case record.ModeValueRegion:
+		if ps.ValOffset+ps.ValSize > len(valueRegion) {
+			return false
+		}
+		return string(valueRegion[ps.ValOffset:ps.ValOffset+ps.ValSize]) == string(canon)
+	}
+	return false
+}
