@@ -6,20 +6,70 @@
 package fishstore_test
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"sync"
 	"testing"
 
 	"fishstore"
 	"fishstore/internal/datagen"
 	"fishstore/internal/harness"
+	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
 )
 
+// ---- benchmark artifact ----
+
+// benchArtifact accumulates ingestion benchmark results; TestMain writes them
+// to BENCH_ingest.json so CI and the harness can diff runs.
+type benchResult struct {
+	Name          string             `json:"name"`
+	RecordsPerSec float64            `json:"records_per_sec"`
+	BytesPerSec   float64            `json:"bytes_per_sec"`
+	PhaseMeansNs  map[string]float64 `json:"phase_means_ns,omitempty"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults []benchResult
+)
+
+func recordBenchResult(r benchResult) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	// The testing framework re-runs the body while calibrating b.N; keep only
+	// the final (longest) run for each benchmark.
+	for i := range benchResults {
+		if benchResults[i].Name == r.Name {
+			benchResults[i] = r
+			return
+		}
+	}
+	benchResults = append(benchResults, r)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if len(benchResults) > 0 {
+		if raw, err := json.MarshalIndent(benchResults, "", "  "); err == nil {
+			os.WriteFile("BENCH_ingest.json", append(raw, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
 // ---- micro: ingestion throughput per workload ----
 
 func benchIngest(b *testing.B, w harness.Workload) {
-	s, _, err := harness.OpenFishStore(w, fishstore.Options{PageBits: 20, MemPages: 8})
+	benchIngestOpts(b, w, fishstore.Options{PageBits: 20, MemPages: 8})
+}
+
+func benchIngestOpts(b *testing.B, w harness.Workload, opts fishstore.Options) {
+	s, _, err := harness.OpenFishStore(w, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -39,6 +89,30 @@ func benchIngest(b *testing.B, w harness.Workload) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	res := benchResult{
+		Name:          b.Name(),
+		RecordsPerSec: float64(b.N) * float64(len(batch)) / elapsed,
+		BytesPerSec:   float64(b.N) * float64(bytes) / elapsed,
+	}
+	if opts.CollectPhaseStats {
+		ph := sess.Phases()
+		if ph.Records > 0 {
+			res.PhaseMeansNs = map[string]float64{
+				"parse":    float64(ph.Parse) / float64(ph.Records),
+				"psf_eval": float64(ph.PSFEval) / float64(ph.Records),
+				"memcpy":   float64(ph.Memcpy) / float64(ph.Records),
+				"index":    float64(ph.Index) / float64(ph.Records),
+				"others":   float64(ph.Others) / float64(ph.Records),
+			}
+		}
+	}
+	recordBenchResult(res)
 }
 
 func BenchmarkIngestGithub(b *testing.B)        { benchIngest(b, harness.Table1()["github"]) }
@@ -46,6 +120,27 @@ func BenchmarkIngestTwitter(b *testing.B)       { benchIngest(b, harness.Table1(
 func BenchmarkIngestTwitterSimple(b *testing.B) { benchIngest(b, harness.Table1()["twitter-simple"]) }
 func BenchmarkIngestYelp(b *testing.B)          { benchIngest(b, harness.Table1()["yelp"]) }
 func BenchmarkIngestYelpCSV(b *testing.B)       { benchIngest(b, harness.YelpCSVWorkload()) }
+
+// BenchmarkIngestYelpNoMetrics / BenchmarkIngestYelpMetrics bracket the
+// instrumentation overhead: identical workloads against an explicitly
+// disabled registry vs a live one (the acceptance bar is <3% regression).
+func BenchmarkIngestYelpNoMetrics(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled()})
+}
+
+func BenchmarkIngestYelpMetrics(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewRegistry()})
+}
+
+// BenchmarkIngestYelpPhases additionally collects the Fig 13 per-phase
+// breakdown (and exports per-phase means into BENCH_ingest.json).
+func BenchmarkIngestYelpPhases(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewRegistry(),
+			CollectPhaseStats: true})
+}
 
 func BenchmarkIngestParallel(b *testing.B) {
 	w := harness.Table1()["yelp"]

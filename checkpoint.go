@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"fishstore/internal/epoch"
 	"fishstore/internal/expr"
 	"fishstore/internal/hashtable"
 	"fishstore/internal/hlog"
+	"fishstore/internal/metrics"
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
@@ -54,7 +56,9 @@ func (s *Store) Checkpoint(dir string) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
+	start := time.Now()
 	tail := s.log.TailAddress()
+	s.metrics.reg.Trace("checkpoint.begin", metrics.F("tail", tail))
 	if err := s.log.FlushTail(); err != nil {
 		return fmt.Errorf("fishstore: checkpoint flush: %w", err)
 	}
@@ -63,7 +67,8 @@ func (s *Store) Checkpoint(dir string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.table.WriteTo(tf); err != nil {
+	tableBytes, err := s.table.WriteTo(tf)
+	if err != nil {
 		tf.Close()
 		return fmt.Errorf("fishstore: checkpoint table: %w", err)
 	}
@@ -91,7 +96,20 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, manifestFile))
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return err
+	}
+
+	elapsed := time.Since(start)
+	written := tableBytes + int64(len(raw))
+	s.metrics.checkpoints.Inc()
+	s.metrics.checkpointSeconds.Observe(int64(elapsed))
+	s.metrics.checkpointBytes.Observe(written)
+	s.metrics.reg.Trace("checkpoint.end",
+		metrics.F("tail", tail),
+		metrics.F("bytes", written),
+		metrics.F("seconds", elapsed.Seconds()))
+	return nil
 }
 
 // RecoverOptions configures Recover.
@@ -140,6 +158,8 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 		o.PageBits = m.PageBits
 		o.MemPages = m.MemPages
 	}
+	met := initMetrics(&o)
+	recoveryStart := time.Now()
 
 	info.CheckpointTail = m.Tail
 
@@ -163,7 +183,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 		return nil, info, err
 	}
 
-	s := &Store{opts: o, epoch: em, log: log, pf: o.Parser}
+	s := &Store{opts: o, epoch: em, log: log, pf: o.Parser, metrics: met}
 	s.registry = psf.NewRegistry(em, log.TailAddress)
 	if err := s.registry.Restore(m.PSFs, ropts.CustomPSFs); err != nil {
 		return nil, info, err
@@ -180,6 +200,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 		return nil, info, fmt.Errorf("fishstore: restoring table: %w", err)
 	}
 	tf.Close()
+	s.wireInternalMetrics()
 
 	// 4. Replay the suffix [m.Tail, replayEnd): scan records in address
 	// order and re-install chain heads. Prev pointers inside the records
@@ -196,6 +217,15 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 
 	s.ingestedRecords.Store(m.IngestedRecords + replayed)
 	s.ingestedBytes.Store(m.IngestedBytes)
+
+	elapsed := time.Since(recoveryStart)
+	met.recoverySeconds.Observe(int64(elapsed))
+	met.recoveryReplayed.Add(replayed)
+	met.reg.Trace("recovery.end",
+		metrics.F("checkpoint_tail", m.Tail),
+		metrics.F("recovered_tail", replayEnd),
+		metrics.F("replayed", replayed),
+		metrics.F("seconds", elapsed.Seconds()))
 	return s, info, nil
 }
 

@@ -17,12 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"fishstore"
 	"fishstore/internal/harness"
+	"fishstore/internal/metrics"
 )
 
 func main() {
@@ -33,8 +36,21 @@ func main() {
 		threads = flag.String("threads", "", "comma-separated thread sweep (default: 1,2,4,... up to GOMAXPROCS)")
 		quick   = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		diskBW  = flag.Float64("disk-mbps", 256, "rate-limited 'SSD' write bandwidth (MB/s) for on-disk experiments")
+		metAddr = flag.String("metrics-addr", "", "serve aggregated store metrics/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *metAddr != "" {
+		// One shared registry aggregates every store the experiments open.
+		reg := metrics.NewRegistry()
+		fishstore.SetDefaultMetricsRegistry(reg)
+		go func() {
+			if err := http.ListenAndServe(*metAddr, metrics.NewMux(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "fishbench: metrics endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "[metrics on http://localhost%s/metrics]\n", *metAddr)
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentOrder() {

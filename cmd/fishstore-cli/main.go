@@ -14,6 +14,10 @@
 //	fishstore-cli -gen github -gen-mb 100 \
 //	    -predicate 'type == "PushEvent"' \
 //	    -query 'pred=true' -count
+//
+//	# Run a live store with continuous ingestion and a Prometheus/pprof
+//	# observability endpoint:
+//	fishstore-cli serve -metrics-addr :9187
 package main
 
 import (
@@ -36,6 +40,10 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		in        = flag.String("in", "", "newline-delimited JSON input file")
 		gen       = flag.String("gen", "", "generate a synthetic dataset instead: github|twitter|yelp")

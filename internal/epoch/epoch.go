@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"fishstore/internal/metrics"
 )
 
 // MaxWorkers is the size of the epoch table. Slots are recycled when a
@@ -61,6 +63,22 @@ type Manager struct {
 	mu      sync.Mutex
 	drain   []action
 	pending atomic.Int64
+
+	// Instrumentation, set once via Instrument before concurrent use. The
+	// metric handles are nil-safe, so uninstrumented managers pay only a nil
+	// check on the drain path and nothing on Protect/Refresh.
+	bumps      *metrics.Counter
+	actionsRun *metrics.Counter
+	onDrain    func(ran int)
+}
+
+// Instrument attaches counters for epoch bumps and executed trigger actions,
+// and an optional callback invoked after each drain that ran at least one
+// action. Must be called before the manager is used concurrently.
+func (m *Manager) Instrument(bumps, actionsRun *metrics.Counter, onDrain func(ran int)) {
+	m.bumps = bumps
+	m.actionsRun = actionsRun
+	m.onDrain = onDrain
 }
 
 // New creates an epoch manager. The current epoch starts at 1 so that 0 can
@@ -137,6 +155,7 @@ func (g *Guard) IsProtected() bool {
 // value. Changes published before Bump are observed by all workers once the
 // returned epoch becomes safe.
 func (m *Manager) Bump() uint64 {
+	m.bumps.Inc()
 	return m.current.Add(1) - 1
 }
 
@@ -144,6 +163,7 @@ func (m *Manager) Bump() uint64 {
 // when the *previous* epoch becomes safe (i.e., when every worker has
 // observed the new epoch). It returns the new current epoch.
 func (m *Manager) BumpWith(fn func()) uint64 {
+	m.bumps.Inc()
 	m.mu.Lock()
 	prev := m.current.Add(1) - 1
 	m.drain = append(m.drain, action{epoch: prev, fn: fn})
@@ -204,6 +224,12 @@ func (m *Manager) tryDrain(safe uint64) {
 	m.mu.Unlock()
 	for _, fn := range runnable {
 		fn()
+	}
+	if len(runnable) > 0 {
+		m.actionsRun.Add(int64(len(runnable)))
+		if m.onDrain != nil {
+			m.onDrain(len(runnable))
+		}
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"io"
 	"math/bits"
 	"sync/atomic"
+
+	"fishstore/internal/metrics"
 )
 
 const (
@@ -92,6 +94,23 @@ type Table struct {
 
 	overflow     []uint64 // overflowCap * wordsPerBucket words
 	overflowNext atomic.Uint64
+
+	// Instrumentation, set once via Instrument before concurrent use. The
+	// metric handles are nil-safe; uninstrumented tables pay a nil check on
+	// the (rare) create/overflow paths and nothing on lookups.
+	entriesCreated  *metrics.Counter
+	overflowAppends *metrics.Counter
+	onGrow          func(overflowBuckets int)
+}
+
+// Instrument attaches counters for entry creation and overflow growth, plus
+// an optional callback invoked after each overflow bucket is linked (with the
+// number of overflow buckets now in use). Must be called before the table is
+// used concurrently.
+func (t *Table) Instrument(entriesCreated, overflowAppends *metrics.Counter, onGrow func(overflowBuckets int)) {
+	t.entriesCreated = entriesCreated
+	t.overflowAppends = overflowAppends
+	t.onGrow = onGrow
 }
 
 // ErrTableFull is returned when the overflow bucket pool is exhausted.
@@ -215,6 +234,7 @@ func (t *Table) FindOrCreate(h uint64) (Slot, error) {
 
 		// Finalize.
 		atomic.StoreUint64(free, pack(tag, 0, false))
+		t.entriesCreated.Inc()
 		return Slot{p: free}, nil
 	}
 }
@@ -256,6 +276,10 @@ func (t *Table) appendOverflow(last []uint64) (*uint64, error) {
 		return nil, nil
 	}
 	w := t.overflowWords(idx)
+	t.overflowAppends.Inc()
+	if t.onGrow != nil {
+		t.onGrow(int(idx))
+	}
 	return &w[0], nil
 }
 

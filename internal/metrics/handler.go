@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WriteText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, then one sample line per metric, with
+// histogram families expanded into cumulative _bucket/_sum/_count series.
+func WriteText(w io.Writer, snap Snapshot) error {
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			if f.Type == TypeHistogram {
+				if err := writeHistogram(w, f.Name, m); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(m.Labels, "", ""), formatFloat(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, m MetricSnapshot) error {
+	for _, b := range m.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(m.Labels, "le", le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(m.Labels, "", ""), formatFloat(m.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(m.Labels, "", ""), m.Count)
+	return err
+}
+
+// renderLabels renders {k="v",...} with keys sorted, appending the optional
+// extra pair last (used for the histogram "le" label). Returns "" when there
+// are no labels at all.
+func renderLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q handles quote and backslash escaping; newlines become \n already.
+	return s
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteText(w, r.Snapshot())
+	})
+}
+
+// NewMux builds the full observability endpoint:
+//
+//	/metrics      Prometheus text exposition of r
+//	/debug/vars   expvar JSON (includes the registry under "fishstore_metrics")
+//	/debug/pprof  CPU/heap/goroutine profiles
+func NewMux(r *Registry) *http.ServeMux {
+	PublishExpvar("fishstore_metrics", r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot as an expvar variable. Safe
+// to call repeatedly; the first registration under a name wins (expvar
+// forbids duplicates process-wide).
+func PublishExpvar(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return snapshotForExpvar(r.Snapshot()) }))
+}
+
+// snapshotForExpvar flattens a snapshot into a JSON-friendly map:
+// counters/gauges to numbers, histograms to {count, sum, mean}.
+func snapshotForExpvar(snap Snapshot) map[string]any {
+	out := make(map[string]any, len(snap.Families))
+	for _, f := range snap.Families {
+		for _, m := range f.Metrics {
+			key := f.Name
+			if lbl := renderLabels(m.Labels, "", ""); lbl != "" {
+				key += lbl
+			}
+			if f.Type == TypeHistogram {
+				out[key] = map[string]any{"count": m.Count, "sum": m.Sum, "mean": m.Mean()}
+			} else {
+				out[key] = m.Value
+			}
+		}
+	}
+	return out
+}

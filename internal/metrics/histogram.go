@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count. Bucket i (i < histBuckets-1) counts
+// observations v with v <= 2^i; the last bucket is +Inf. 40 buckets cover
+// 1ns..~275s for latencies and 1B..~275GB for sizes — the full dynamic range
+// of anything FishStore measures.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe is lock-free
+// and allocation-free: one atomic add into the bucket array plus the sum and
+// count accumulators. A nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// v <= 2^i, clamped to the +Inf bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value (in the histogram's raw unit, e.g. nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the raw sum of observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the raw mean observation (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// snapshot renders cumulative buckets with bounds scaled for export. Under
+// concurrent observation the per-bucket reads are individually atomic; the
+// snapshot may lag in-flight observations, which Prometheus tolerates.
+func (h *Histogram) snapshot(scale float64) (count uint64, sum float64, out []Bucket) {
+	if scale == 0 {
+		scale = 1
+	}
+	out = make([]Bucket, histBuckets)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += uint64(h.buckets[i].Load())
+		bound := math.Inf(1)
+		if i < histBuckets-1 {
+			bound = float64(uint64(1)<<uint(i)) * scale
+		}
+		out[i] = Bucket{UpperBound: bound, Count: cum}
+	}
+	return uint64(h.count.Load()), float64(h.sum.Load()) * scale, out
+}

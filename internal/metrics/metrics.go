@@ -1,0 +1,347 @@
+// Package metrics is FishStore-Go's unified observability layer: a
+// stdlib-only metrics registry whose hot-path primitives (counters, gauges,
+// fixed-bucket histograms) are single atomic operations — safe for
+// concurrent Session workers without locks — plus a pluggable TraceSink for
+// structured control-plane events (checkpoints, PSF state transitions,
+// prefetch window changes, epoch drains, slow operations).
+//
+// Design points:
+//
+//   - Every metric handle is nil-safe: methods on a nil *Counter, *Gauge, or
+//     *Histogram are no-ops. A disabled registry (NewDisabled) hands out nil
+//     handles, so instrumented code needs no branches and pays nothing but a
+//     nil check when metrics are off.
+//   - Registration is get-or-create keyed on (name, label set), so several
+//     stores may share one registry (e.g. fishbench aggregating every
+//     experiment store into a single scrape endpoint).
+//   - Histograms use power-of-two buckets backed by atomic.Int64 arrays:
+//     Observe is two-three uncontended atomic adds, no locks, no allocation.
+//   - Export: Snapshot() for programmatic access (Store.Metrics()), and
+//     Handler/NewMux (handler.go) for Prometheus text exposition, expvar,
+//     and net/http/pprof.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a metric family's kind, matching Prometheus exposition types.
+type Type string
+
+// Metric family types.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// Export scales for histograms: observations are recorded as raw int64s and
+// multiplied by the family's scale at export time.
+const (
+	// ScaleNanosToSeconds exports nanosecond observations as seconds
+	// (Prometheus convention for durations).
+	ScaleNanosToSeconds = 1e-9
+	// ScaleNone exports raw values (byte sizes, counts).
+	ScaleNone = 1.0
+)
+
+// Label is one constant key=value pair attached to a metric at registration.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n < 0 is ignored: counters never go down).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of metric families. All methods are safe
+// for concurrent use; registration takes a mutex, but the returned handles
+// are lock-free. A nil *Registry behaves like a disabled one.
+type Registry struct {
+	disabled bool
+
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+
+	sink   atomic.Pointer[sinkHolder] // trace.go
+	slowNs atomic.Int64               // trace.go
+}
+
+type family struct {
+	name, help string
+	typ        Type
+	scale      float64
+	entries    []*entry
+}
+
+type entry struct {
+	labels []Label
+	key    string // canonical label rendering, for dedup
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// NewRegistry creates an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// NewDisabled creates a registry whose constructors return nil no-op handles
+// and whose Snapshot is empty. Use it to measure or eliminate
+// instrumentation overhead.
+func NewDisabled() *Registry {
+	return &Registry{disabled: true}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled }
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	s := ""
+	for _, l := range ls {
+		s += l.Key + "\x00" + l.Value + "\x01"
+	}
+	return s
+}
+
+// getOrCreate returns the entry for (name, labels), creating family and
+// entry as needed. Panics on a type conflict: that is a programming error.
+func (r *Registry) getOrCreate(name, help string, typ Type, scale float64, labels []Label) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, scale: scale}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	for _, e := range f.entries {
+		if e.key == key {
+			return e
+		}
+	}
+	e := &entry{labels: append([]Label(nil), labels...), key: key}
+	switch typ {
+	case TypeCounter:
+		e.c = &Counter{}
+	case TypeGauge:
+		e.g = &Gauge{}
+	case TypeHistogram:
+		e.h = newHistogram()
+	}
+	f.entries = append(f.entries, e)
+	return e
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// if needed. Returns nil (a no-op handle) on a disabled registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.getOrCreate(name, help, TypeCounter, ScaleNone, labels).c
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.getOrCreate(name, help, TypeGauge, ScaleNone, labels).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. If (name, labels) is already registered the existing function wins
+// (relevant when several stores share a registry: the first store attached
+// provides the view).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if !r.Enabled() {
+		return
+	}
+	e := r.getOrCreate(name, help, TypeGauge, ScaleNone, labels)
+	r.mu.Lock()
+	if e.fn == nil {
+		e.fn = fn
+	}
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under (name, labels). scale
+// converts raw observations at export (ScaleNanosToSeconds for latencies
+// observed in nanoseconds, ScaleNone for sizes).
+func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	return r.getOrCreate(name, help, TypeHistogram, scale, labels).h
+}
+
+// ---- snapshot ----
+
+// Bucket is one cumulative histogram bucket: Count observations <= UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// MetricSnapshot is the frozen state of one metric.
+type MetricSnapshot struct {
+	Labels []Label
+	// Value is the counter or gauge value.
+	Value float64
+	// Histogram state (Count/Sum/Buckets; Buckets are cumulative).
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Mean returns Sum/Count for histograms (0 when empty).
+func (m MetricSnapshot) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// FamilySnapshot is the frozen state of a metric family.
+type FamilySnapshot struct {
+	Name, Help string
+	Type       Type
+	Metrics    []MetricSnapshot
+}
+
+// Snapshot is a point-in-time view of every family in a registry.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// Find returns the snapshot of the metric registered under (name, labels).
+func (s Snapshot) Find(name string, labels ...Label) (MetricSnapshot, bool) {
+	key := labelKey(labels)
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, m := range f.Metrics {
+			if labelKey(m.Labels) == key {
+				return m, true
+			}
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// Value returns the counter/gauge value of (name, labels), or 0 if absent.
+func (s Snapshot) Value(name string, labels ...Label) float64 {
+	m, _ := s.Find(name, labels...)
+	return m.Value
+}
+
+// Snapshot freezes the registry. Gauge functions are evaluated outside the
+// registration lock, so they may themselves read instrumented structures.
+func (r *Registry) Snapshot() Snapshot {
+	if !r.Enabled() {
+		return Snapshot{}
+	}
+	type pending struct {
+		fi, mi int
+		fn     func() float64
+	}
+	r.mu.Lock()
+	snap := Snapshot{Families: make([]FamilySnapshot, 0, len(r.order))}
+	var fns []pending
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		for _, e := range f.entries {
+			m := MetricSnapshot{Labels: append([]Label(nil), e.labels...)}
+			switch {
+			case e.c != nil:
+				m.Value = float64(e.c.Load())
+			case e.h != nil:
+				m.Count, m.Sum, m.Buckets = e.h.snapshot(f.scale)
+			case e.g != nil:
+				if e.fn != nil {
+					fns = append(fns, pending{fi: len(snap.Families), mi: len(fs.Metrics), fn: e.fn})
+				} else {
+					m.Value = float64(e.g.Load())
+				}
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	r.mu.Unlock()
+	for _, p := range fns {
+		snap.Families[p.fi].Metrics[p.mi].Value = p.fn()
+	}
+	return snap
+}

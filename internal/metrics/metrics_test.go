@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Get-or-create returns the same handle.
+	if r.Counter("test_total", "a counter") != c {
+		t.Fatal("second registration returned a different counter")
+	}
+	if r.Counter("test_total", "", L("k", "v")) == c {
+		t.Fatal("different label set returned the same counter")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(1)
+	h.Observe(9)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles returned non-zero values")
+	}
+	var r *Registry
+	r.Trace("x")
+	r.TraceSlow("x", time.Second)
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+}
+
+func TestDisabledRegistry(t *testing.T) {
+	r := NewDisabled()
+	if r.Counter("a_total", "") != nil || r.Gauge("b", "") != nil || r.Histogram("c", "", ScaleNone) != nil {
+		t.Fatal("disabled registry returned live handles")
+	}
+	r.GaugeFunc("d", "", func() float64 { return 1 })
+	if len(r.Snapshot().Families) != 0 {
+		t.Fatal("disabled registry produced a snapshot")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	if i := bucketIndex(0); i != 0 {
+		t.Fatalf("bucketIndex(0) = %d", i)
+	}
+	if i := bucketIndex(1); i != 0 {
+		t.Fatalf("bucketIndex(1) = %d, want 0 (le=1)", i)
+	}
+	if i := bucketIndex(2); i != 1 {
+		t.Fatalf("bucketIndex(2) = %d, want 1 (le=2)", i)
+	}
+	if i := bucketIndex(3); i != 2 {
+		t.Fatalf("bucketIndex(3) = %d, want 2 (le=4)", i)
+	}
+	if i := bucketIndex(1 << 60); i != histBuckets-1 {
+		t.Fatalf("bucketIndex(2^60) = %d, want +Inf bucket %d", i, histBuckets-1)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", ScaleNanosToSeconds)
+	h.Observe(1)    // le=1ns
+	h.Observe(1000) // le=1024ns
+	h.Observe(3000) // le=4096ns
+	if h.Count() != 3 || h.Sum() != 4001 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	m, ok := r.Snapshot().Find("lat_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if m.Count != 3 {
+		t.Fatalf("snapshot count = %d", m.Count)
+	}
+	if want := 4001e-9; math.Abs(m.Sum-want) > 1e-15 {
+		t.Fatalf("snapshot sum = %g, want %g", m.Sum, want)
+	}
+	// Buckets are cumulative and end at +Inf.
+	last := m.Buckets[len(m.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != 3 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+	prev := uint64(0)
+	for _, b := range m.Buckets {
+		if b.Count < prev {
+			t.Fatal("buckets not cumulative")
+		}
+		prev = b.Count
+	}
+	// The 1024ns observation must be counted at le = 1024e-9 s.
+	for _, b := range m.Buckets {
+		if math.Abs(b.UpperBound-1024e-9) < 1e-18 && b.Count != 2 {
+			t.Fatalf("le=1024ns bucket count = %d, want 2", b.Count)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 40.0
+	r.GaugeFunc("dyn", "", func() float64 { return v })
+	// First registration wins.
+	r.GaugeFunc("dyn", "", func() float64 { return -1 })
+	v = 42
+	if got := r.Snapshot().Value("dyn"); got != 42 {
+		t.Fatalf("gauge func = %g, want 42", got)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_reqs_total", "Total requests.", L("kind", "read")).Add(7)
+	r.Gauge("app_depth", "Queue depth.").Set(3)
+	r.Histogram("app_lat_seconds", "Latency.", ScaleNanosToSeconds, L("op", "scan")).Observe(1500)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE app_reqs_total counter",
+		`app_reqs_total{kind="read"} 7`,
+		"# TYPE app_depth gauge",
+		"app_depth 3",
+		"# TYPE app_lat_seconds histogram",
+		`app_lat_seconds_bucket{op="scan",le="+Inf"} 1`,
+		`app_lat_seconds_count{op="scan"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line is "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "").Inc()
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(res.Body)
+	res.Body.Close()
+	if !strings.Contains(body.String(), "h_total 1") {
+		t.Fatalf("/metrics missing sample:\n%s", body)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	res.Body.Close()
+}
+
+func TestTraceSinks(t *testing.T) {
+	r := NewRegistry()
+	mem := NewMemorySink(4)
+	r.SetTraceSink(mem)
+	r.Trace("checkpoint.begin", F("tail", 128))
+	for i := 0; i < 10; i++ {
+		r.Trace("tick", F("i", i))
+	}
+	evs := mem.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if len(mem.Named("checkpoint.begin")) != 0 {
+		t.Fatal("ring should have evicted the oldest event")
+	}
+
+	// Slow-op gating.
+	r.SetSlowOpThreshold(10 * time.Millisecond)
+	r.TraceSlow("op.slow", 5*time.Millisecond)
+	r.TraceSlow("op.slow", 20*time.Millisecond, F("n", 1))
+	slow := mem.Named("op.slow")
+	if len(slow) != 1 {
+		t.Fatalf("slow events = %d, want 1", len(slow))
+	}
+	if slow[0].Fields[0].Key != "seconds" {
+		t.Fatalf("first slow field = %+v, want seconds", slow[0].Fields[0])
+	}
+
+	// Writer sink emits valid JSON lines.
+	var buf bytes.Buffer
+	ws := NewWriterSink(&buf)
+	ws.Emit(TraceEvent{Time: time.Now(), Name: "x", Fields: []Field{F("k", "v")}})
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("writer sink line not JSON: %v (%q)", err, buf.String())
+	}
+	if line["event"] != "x" || line["k"] != "v" {
+		t.Fatalf("writer sink line = %v", line)
+	}
+
+	r.SetTraceSink(nil)
+	r.Trace("dropped")
+	if len(mem.Events()) != 4 {
+		t.Fatal("event emitted after sink removal")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	h := r.Histogram("ch", "", ScaleNone)
+	g := r.Gauge("cg", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i%1000 + 1))
+				g.Set(int64(i))
+				if i%100 == 0 {
+					// Concurrent registration and snapshotting must be safe.
+					r.Counter("cc_total", "")
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	m, _ := r.Snapshot().Find("ch")
+	if m.Buckets[len(m.Buckets)-1].Count != workers*per {
+		t.Fatal("cumulative bucket total mismatch")
+	}
+}

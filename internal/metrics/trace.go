@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one structured key/value attached to a trace event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// TraceEvent is one structured control-plane event: checkpoint begin/end,
+// PSF registry state transitions, prefetch window grow/collapse, epoch
+// drains, hash-table growth, slow operations.
+type TraceEvent struct {
+	Time   time.Time
+	Name   string
+	Fields []Field
+}
+
+// TraceSink receives trace events. Emit may be called concurrently; sinks
+// must be safe for concurrent use. Events are emitted from control-plane
+// paths (never per record), so a sink may do real work, but it should not
+// block indefinitely.
+type TraceSink interface {
+	Emit(e TraceEvent)
+}
+
+type sinkHolder struct{ s TraceSink }
+
+// SetTraceSink installs (or, with nil, removes) the registry's trace sink.
+func (r *Registry) SetTraceSink(s TraceSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkHolder{s: s})
+}
+
+// Trace emits an event to the installed sink, if any. With no sink the cost
+// is one atomic load.
+func (r *Registry) Trace(name string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	h := r.sink.Load()
+	if h == nil {
+		return
+	}
+	h.s.Emit(TraceEvent{Time: time.Now(), Name: name, Fields: fields})
+}
+
+// SetSlowOpThreshold configures the duration above which TraceSlow emits.
+// Zero (the default) disables slow-operation tracing.
+func (r *Registry) SetSlowOpThreshold(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.slowNs.Store(int64(d))
+}
+
+// TraceSlow emits a trace event only when d exceeds the configured
+// slow-operation threshold. The event carries the duration in seconds under
+// the "seconds" field, ahead of the caller's fields.
+func (r *Registry) TraceSlow(name string, d time.Duration, fields ...Field) {
+	if r == nil {
+		return
+	}
+	t := r.slowNs.Load()
+	if t <= 0 || int64(d) < t {
+		return
+	}
+	fs := make([]Field, 0, len(fields)+1)
+	fs = append(fs, F("seconds", d.Seconds()))
+	fs = append(fs, fields...)
+	r.Trace(name, fs...)
+}
+
+// WriterSink writes each event as one JSON line:
+//
+//	{"ts":"2026-08-05T12:00:00.000000Z","event":"checkpoint.end","tail":123,...}
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink creates a sink writing JSON lines to w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit implements TraceSink.
+func (s *WriterSink) Emit(e TraceEvent) {
+	m := make(map[string]any, len(e.Fields)+2)
+	m["ts"] = e.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
+	m["event"] = e.Name
+	for _, f := range e.Fields {
+		m[f.Key] = f.Value
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	s.mu.Lock()
+	s.w.Write(raw)
+	s.mu.Unlock()
+}
+
+// MemorySink keeps the most recent events in a ring buffer, for tests and
+// in-process inspection.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	max    int
+}
+
+// NewMemorySink creates a sink retaining up to max events (default 1024).
+func NewMemorySink(max int) *MemorySink {
+	if max <= 0 {
+		max = 1024
+	}
+	return &MemorySink{max: max}
+}
+
+// Emit implements TraceSink.
+func (s *MemorySink) Emit(e TraceEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	if len(s.events) > s.max {
+		s.events = s.events[len(s.events)-s.max:]
+	}
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in emission order.
+func (s *MemorySink) Events() []TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TraceEvent(nil), s.events...)
+}
+
+// Named returns the retained events with the given name.
+func (s *MemorySink) Named(name string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range s.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -315,6 +315,30 @@ type Registry struct {
 	// registered holds every PSF ever registered (ids are never reused, so
 	// historical intervals stay queryable).
 	registered map[ID]*registration
+
+	// trace, if set via SetTrace before concurrent use, receives every
+	// Fig 7 state transition ("prepare", "pending", "rest") with the
+	// metadata version in force after the transition.
+	trace func(state string, version uint64)
+}
+
+// SetTrace installs a state-transition observer. Must be called before the
+// registry is used concurrently.
+func (r *Registry) SetTrace(fn func(state string, version uint64)) { r.trace = fn }
+
+// setState stores the state and notifies the tracer.
+func (r *Registry) setState(st State, version uint64) {
+	r.state.Store(int32(st))
+	if r.trace != nil {
+		switch st {
+		case StateRest:
+			r.trace("rest", version)
+		case StatePrepare:
+			r.trace("prepare", version)
+		case StatePending:
+			r.trace("pending", version)
+		}
+	}
 }
 
 type registration struct {
@@ -363,7 +387,7 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 	res := Result{Registered: make(map[string]ID)}
 
 	// PREPARE: apply the change list to the inactive meta.
-	r.state.Store(int32(StatePrepare))
+	r.setState(StatePrepare, r.version)
 	cur := r.CurrentMeta()
 	next := make([]Active, 0, len(cur.PSFs)+len(changes))
 	next = append(next, cur.PSFs...)
@@ -373,12 +397,12 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 		if c.Register != nil {
 			def := *c.Register
 			if err := def.Validate(); err != nil {
-				r.state.Store(int32(StateRest))
+				r.setState(StateRest, r.version)
 				return Result{}, err
 			}
 			for _, a := range next {
 				if a.Def.Name == def.Name {
-					r.state.Store(int32(StateRest))
+					r.setState(StateRest, r.version)
 					return Result{}, fmt.Errorf("psf: name %q already registered", def.Name)
 				}
 			}
@@ -398,7 +422,7 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 				}
 			}
 			if !found {
-				r.state.Store(int32(StateRest))
+				r.setState(StateRest, r.version)
 				return Result{}, fmt.Errorf("psf: id %d not active", c.Deregister)
 			}
 		}
@@ -415,7 +439,7 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 	// PREPARE -> PENDING: no worker has yet *stopped* indexing deregistered
 	// properties, so the tail now is the safe deregister boundary.
 	res.SafeDeregisterBoundary = r.tail()
-	r.state.Store(int32(StatePending))
+	r.setState(StatePending, newMeta.Version)
 
 	done := make(chan struct{})
 	r.epoch.BumpWith(func() {
@@ -423,7 +447,7 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 		// tail now is the safe register boundary.
 		res.SafeRegisterBoundary = r.tail()
 		r.metas[1-r.current.Load()].Store(newMeta)
-		r.state.Store(int32(StateRest))
+		r.setState(StateRest, newMeta.Version)
 		close(done)
 	})
 	// Block until every ingestion worker has refreshed (mirrors FishStore

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// IOObserver receives per-operation device I/O measurements. Implementations
+// must be safe for concurrent use and cheap: the hybrid log issues flushes
+// from epoch actions and reads from scan workers concurrently.
+type IOObserver interface {
+	ObserveRead(bytes int, d time.Duration)
+	ObserveWrite(bytes int, d time.Duration)
+}
+
+// Instrumented wraps a Device and reports every read and write (byte count
+// and wall-clock latency) to an IOObserver, while also keeping its own
+// atomic counters. Unwrap exposes the inner device so type assertions
+// against the concrete device (e.g. Profiler, SimSSD) keep working.
+type Instrumented struct {
+	inner Device
+	obs   IOObserver
+
+	reads      atomic.Int64
+	readBytes  atomic.Int64
+	writes     atomic.Int64
+	writeBytes atomic.Int64
+}
+
+// NewInstrumented wraps inner. A nil observer keeps only the local counters.
+func NewInstrumented(inner Device, obs IOObserver) *Instrumented {
+	if inner == nil {
+		inner = NewNull()
+	}
+	return &Instrumented{inner: inner, obs: obs}
+}
+
+// Unwrap returns the wrapped device.
+func (d *Instrumented) Unwrap() Device { return d.inner }
+
+func (d *Instrumented) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := d.inner.ReadAt(p, off)
+	d.reads.Add(1)
+	d.readBytes.Add(int64(n))
+	if d.obs != nil {
+		d.obs.ObserveRead(n, time.Since(start))
+	}
+	return n, err
+}
+
+func (d *Instrumented) WriteAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := d.inner.WriteAt(p, off)
+	d.writes.Add(1)
+	d.writeBytes.Add(int64(n))
+	if d.obs != nil {
+		d.obs.ObserveWrite(n, time.Since(start))
+	}
+	return n, err
+}
+
+func (d *Instrumented) Close() error { return d.inner.Close() }
+
+// Stats returns the wrapper's own I/O counters.
+func (d *Instrumented) Stats() Stats {
+	return Stats{
+		Reads:      d.reads.Load(),
+		ReadBytes:  d.readBytes.Load(),
+		Writes:     d.writes.Load(),
+		WriteBytes: d.writeBytes.Load(),
+	}
+}
+
+// Unwrap peels instrumentation (or any other wrapper exposing Unwrap) off a
+// device until the concrete device is reached. Use it before type-asserting
+// for optional interfaces like Profiler.
+func Unwrap(d Device) Device {
+	for {
+		u, ok := d.(interface{ Unwrap() Device })
+		if !ok {
+			return d
+		}
+		d = u.Unwrap()
+	}
+}

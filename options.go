@@ -2,7 +2,9 @@ package fishstore
 
 import (
 	"errors"
+	"time"
 
+	"fishstore/internal/metrics"
 	"fishstore/internal/parser"
 	"fishstore/internal/parser/pjson"
 	"fishstore/internal/storage"
@@ -46,6 +48,21 @@ type Options struct {
 	// memcpy / index / others) used by the Fig 13 breakdown. Adds two
 	// clock reads per phase per record.
 	CollectPhaseStats bool
+
+	// Metrics is the registry the store reports into. nil consults the
+	// process-wide default (SetDefaultMetricsRegistry) and, when that too is
+	// unset, disables metrics: every instrumented site degrades to a nil
+	// check. Several stores may share one registry.
+	Metrics *metrics.Registry
+
+	// TraceSink, if set, receives structured control-plane events
+	// (checkpoints, PSF state transitions, prefetch window changes, epoch
+	// drains, hash table growth, slow operations). Requires Metrics.
+	TraceSink metrics.TraceSink
+
+	// SlowOpThreshold makes operations slower than it emit *.slow trace
+	// events. Zero disables slow-operation tracing.
+	SlowOpThreshold time.Duration
 }
 
 func (o *Options) withDefaults() (Options, error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"fishstore/internal/hlog"
+	"fishstore/internal/metrics"
 	"fishstore/internal/record"
 	"fishstore/internal/storage"
 	"fishstore/internal/wordio"
@@ -43,11 +44,14 @@ type chainReader struct {
 	recsSeen  int64
 	ios       int64
 	bytesRead int64
+	hits      int64 // fetches served from the speculation buffer
+
+	met *storeMetrics
 }
 
-func newChainReader(log *hlog.Log, useAP bool) *chainReader {
+func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
 	profile := storage.DefaultSSDProfile()
-	if p, ok := log.Device().(storage.Profiler); ok {
+	if p, ok := storage.Unwrap(log.Device()).(storage.Profiler); ok {
 		profile = p.Profile()
 	}
 	phi := (profile.SyscallCost.Seconds() + profile.RandLatency.Seconds()) * profile.SeqBandwidth
@@ -57,6 +61,7 @@ func newChainReader(log *hlog.Log, useAP bool) *chainReader {
 		minWin: 4096,
 		maxWin: profile.QueueBytes,
 		avgRec: 1024,
+		met:    met,
 	}
 	cr.tau = uint64(phi)
 	if cr.maxWin < cr.minWin {
@@ -113,6 +118,7 @@ func (cr *chainReader) adapt(base uint64, size int) {
 		// τ includes the average record length: the record's own bytes are
 		// not wasted bandwidth.
 		threshold := cr.tau + uint64(cr.avgRec)
+		prev := cr.window
 		if gap <= threshold {
 			// Locality: speculate (more).
 			switch {
@@ -130,6 +136,17 @@ func (cr *chainReader) adapt(base uint64, size int) {
 		} else {
 			cr.window = 0 // fall back to exact random I/Os
 		}
+		if m := cr.met; m != nil && cr.window != prev {
+			m.prefetchWindow.Set(int64(cr.window))
+			if cr.window > prev {
+				m.prefetchGrows.Inc()
+				m.reg.Trace("prefetch.grow",
+					metrics.F("window", cr.window), metrics.F("gap", gap))
+			} else {
+				m.prefetchCollapse.Inc()
+				m.reg.Trace("prefetch.collapse", metrics.F("gap", gap))
+			}
+		}
 	}
 	cr.lastBase = base
 }
@@ -138,8 +155,15 @@ func (cr *chainReader) adapt(base uint64, size int) {
 // possible.
 func (cr *chainReader) fetch(addr uint64, n int) ([]byte, error) {
 	if addr >= cr.bufStart && addr+uint64(n) <= cr.bufEnd {
+		cr.hits++
+		if cr.met != nil {
+			cr.met.prefetchHits.Inc()
+		}
 		off := addr - cr.bufStart
 		return cr.buf[off : off+uint64(n)], nil
+	}
+	if cr.met != nil {
+		cr.met.prefetchMisses.Inc()
 	}
 	start, end := addr, addr+uint64(n)
 	if cr.useAP && cr.window > int(end-start) {

@@ -50,7 +50,7 @@ func (s *Store) ChainGapProfile(prop Property, max int) ([]ChainHop, error) {
 			view, base = v, b
 		} else {
 			if cr == nil {
-				cr = newChainReader(s.log, false)
+				cr = newChainReader(s.log, false, s.metrics)
 			}
 			v, b, err := cr.record(cur)
 			if err != nil {

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fishstore/internal/epoch"
 	"fishstore/internal/hlog"
+	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
 )
@@ -72,6 +74,9 @@ type ScanStats struct {
 	FullScanBytes int64
 	// IOs / ReadBytes count device reads issued by this scan.
 	IOs, ReadBytes int64
+	// PrefetchHits is the number of chain hops served from the adaptive
+	// prefetcher's speculation buffer (random I/Os saved).
+	PrefetchHits int64
 	// Stopped is set when the callback terminated the scan early (the
 	// paper's Touch early-stop signal).
 	Stopped bool
@@ -90,6 +95,33 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 		return st, nil
 	}
 	st.Plan = s.planScan(prop.PSF, from, to, opts.Mode)
+
+	if met := s.metrics; met.reg.Enabled() {
+		met.scans.Inc()
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			met.scanSeconds.Observe(int64(elapsed))
+			met.scanMatched.Add(st.Matched)
+			met.scanVisited.Add(st.Visited)
+			met.scanIndexHops.Add(st.IndexHops)
+			met.scanFullBytes.Add(st.FullScanBytes)
+			met.scanIOReads.Add(st.IOs)
+			met.scanIOReadBytes.Add(st.ReadBytes)
+			for _, seg := range st.Plan {
+				if seg.Indexed {
+					met.scanSegIndexed.Inc()
+				} else {
+					met.scanSegFull.Inc()
+				}
+			}
+			met.reg.TraceSlow("scan.slow", elapsed,
+				metrics.F("matched", st.Matched),
+				metrics.F("visited", st.Visited),
+				metrics.F("ios", st.IOs),
+				metrics.F("segments", len(st.Plan)))
+		}()
+	}
 
 	def, ok := s.registry.Lookup(prop.PSF)
 	if !ok {
@@ -454,6 +486,7 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 			st.IndexHops += local.IndexHops
 			st.IOs += local.IOs
 			st.ReadBytes += local.ReadBytes
+			st.PrefetchHits += local.PrefetchHits
 			mu.Unlock()
 		}(head)
 	}
@@ -474,6 +507,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 		if cr != nil {
 			st.IOs += cr.ios
 			st.ReadBytes += cr.bytesRead
+			st.PrefetchHits += cr.hits
 		}
 	}()
 
@@ -492,7 +526,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 			view, base = v, b
 		} else {
 			if cr == nil {
-				cr = newChainReader(s.log, useAP)
+				cr = newChainReader(s.log, useAP, s.metrics)
 			}
 			v, b, err := cr.record(cur)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fishstore/internal/epoch"
 	"fishstore/internal/expr"
 	"fishstore/internal/hashtable"
+	"fishstore/internal/metrics"
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
@@ -127,6 +128,16 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 	}
 	timed := sess.store.opts.CollectPhaseStats
 
+	met := sess.store.metrics
+	var batchStart time.Time
+	var phasesBefore PhaseStats
+	if met.reg.Enabled() {
+		batchStart = time.Now()
+		if timed {
+			phasesBefore = sess.phases
+		}
+	}
+
 	var st IngestStats
 	var mark time.Time
 	lap := func(d *time.Duration) {
@@ -196,12 +207,41 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		st.Records++
 		st.Bytes += int64(len(payload))
 		st.Properties += len(sess.ptrSpecs)
+		met.recordBytes.Observe(int64(len(payload)))
 	}
 
 	sess.phases.Records += int64(st.Records)
 	sess.store.ingestedRecords.Add(int64(st.Records))
 	sess.store.ingestedBytes.Add(st.Bytes)
 	sess.store.indexedProps.Add(int64(st.Properties))
+
+	if met.reg.Enabled() {
+		elapsed := time.Since(batchStart)
+		met.batchSeconds.Observe(int64(elapsed))
+		met.ingestRecords.Add(int64(st.Records))
+		met.ingestBytes.Add(st.Bytes)
+		met.ingestProps.Add(int64(st.Properties))
+		met.parseErrors.Add(int64(st.ParseErrors))
+		met.reallocations.Add(int64(st.Reallocs))
+		if timed {
+			// Observe the batch's share of each phase (deltas of the
+			// lap-accumulated totals) — no extra clock reads beyond the
+			// CollectPhaseStats machinery itself.
+			deltas := [5]time.Duration{
+				sess.phases.Parse - phasesBefore.Parse,
+				sess.phases.PSFEval - phasesBefore.PSFEval,
+				sess.phases.Memcpy - phasesBefore.Memcpy,
+				sess.phases.Index - phasesBefore.Index,
+				sess.phases.Others - phasesBefore.Others,
+			}
+			for i, d := range deltas {
+				met.phaseSeconds[i].Observe(int64(d))
+			}
+		}
+		met.reg.TraceSlow("ingest.slow_batch", elapsed,
+			metrics.F("records", st.Records),
+			metrics.F("bytes", st.Bytes))
+	}
 	return st, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"fishstore/internal/expr"
 	"fishstore/internal/hashtable"
 	"fishstore/internal/hlog"
+	"fishstore/internal/metrics"
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
@@ -47,6 +48,7 @@ type Store struct {
 	table    *hashtable.Table
 	registry *psf.Registry
 	pf       parser.Factory
+	metrics  *storeMetrics
 
 	subs subscriptions
 
@@ -64,12 +66,38 @@ type Store struct {
 	closed bool
 }
 
+// initMetrics resolves the registry (explicit option, process default, or
+// disabled), configures tracing, and — when enabled — wraps the device so
+// every read/write reports a latency observation. It mutates o in place and
+// must run before the hybrid log is built.
+func initMetrics(o *Options) *storeMetrics {
+	reg := o.Metrics
+	if reg == nil {
+		reg = defaultRegistry.Load()
+	}
+	if reg == nil {
+		reg = metrics.NewDisabled()
+	}
+	if o.TraceSink != nil {
+		reg.SetTraceSink(o.TraceSink)
+	}
+	if o.SlowOpThreshold > 0 {
+		reg.SetSlowOpThreshold(o.SlowOpThreshold)
+	}
+	m := newStoreMetrics(reg)
+	if reg.Enabled() {
+		o.Device = storage.NewInstrumented(o.Device, m)
+	}
+	return m
+}
+
 // Open creates a store.
 func Open(opts Options) (*Store, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	met := initMetrics(&o)
 	em := epoch.New()
 	log, err := hlog.New(hlog.Config{
 		PageBits: o.PageBits,
@@ -81,14 +109,38 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		opts:  o,
-		epoch: em,
-		log:   log,
-		table: hashtable.New(o.TableBuckets, o.OverflowBuckets),
-		pf:    o.Parser,
+		opts:    o,
+		epoch:   em,
+		log:     log,
+		table:   hashtable.New(o.TableBuckets, o.OverflowBuckets),
+		pf:      o.Parser,
+		metrics: met,
 	}
 	s.registry = psf.NewRegistry(em, log.TailAddress)
+	s.wireInternalMetrics()
 	return s, nil
+}
+
+// wireInternalMetrics attaches counters and trace hooks to the store's
+// internal subsystems. Hooks are installed before any concurrent use of the
+// subsystems (Open/Recover return the store only afterwards).
+func (s *Store) wireInternalMetrics() {
+	reg := s.metrics.reg
+	if !reg.Enabled() {
+		return
+	}
+	s.epoch.Instrument(s.metrics.epochBumps, s.metrics.epochActions, func(ran int) {
+		reg.Trace("epoch.drain",
+			metrics.F("actions", ran),
+			metrics.F("safe", s.epoch.SafeEpoch()))
+	})
+	s.table.Instrument(s.metrics.htEntries, s.metrics.htOverflowAdds, func(overflowIdx int) {
+		reg.Trace("hashtable.grow", metrics.F("overflow_buckets", overflowIdx))
+	})
+	s.registry.SetTrace(func(state string, version uint64) {
+		reg.Trace("psf."+state, metrics.F("version", version))
+	})
+	s.registerGaugeFuncs()
 }
 
 // Close flushes and closes the store. All sessions must be closed first.
@@ -173,26 +225,30 @@ type Stats struct {
 	IndexedProperties int64
 	InvalidatedRecs   int64 // only non-zero in BadCAS mode
 	TailAddress       uint64
-	LogSizeBytes      uint64 // tail - begin: total log footprint incl. headers
+	LogSizeBytes      uint64 // live footprint: tail - truncation point
+	TotalAppendedBytes uint64 // tail - begin: everything ever appended, incl. truncated
 	TableStats        hashtable.Stats
 }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
+	tail := s.log.TailAddress()
 	return Stats{
-		IngestedRecords:   s.ingestedRecords.Load(),
-		IngestedBytes:     s.ingestedBytes.Load(),
-		IndexedProperties: s.indexedProps.Load(),
-		InvalidatedRecs:   s.invalidated.Load(),
-		TailAddress:       s.log.TailAddress(),
-		LogSizeBytes:      s.log.TailAddress() - hlog.BeginAddress,
-		TableStats:        s.table.Stats(),
+		IngestedRecords:    s.ingestedRecords.Load(),
+		IngestedBytes:      s.ingestedBytes.Load(),
+		IndexedProperties:  s.indexedProps.Load(),
+		InvalidatedRecs:    s.invalidated.Load(),
+		TailAddress:        tail,
+		LogSizeBytes:       tail - s.TruncatedUntil(),
+		TotalAppendedBytes: tail - hlog.BeginAddress,
+		TableStats:         s.table.Stats(),
 	}
 }
 
 // Device returns the underlying storage device (for experiment harnesses
-// that need I/O statistics, e.g. SimSSD counters).
-func (s *Store) Device() storage.Device { return s.log.Device() }
+// that need I/O statistics, e.g. SimSSD counters). Metrics instrumentation
+// wrappers are peeled off so callers see the device they configured.
+func (s *Store) Device() storage.Device { return storage.Unwrap(s.log.Device()) }
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("fishstore: store closed")

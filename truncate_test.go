@@ -51,6 +51,50 @@ func TestTruncateUntilClampsScans(t *testing.T) {
 	}
 }
 
+func TestStatsLogSizeReflectsTruncation(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 12, MemPages: 2})
+	if _, _, err := s.RegisterPSF(psf.Projection("repo.name")); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSession()
+	var mid uint64
+	for i := 0; i < 200; i++ {
+		if i == 100 {
+			mid = s.TailAddress()
+		}
+		if _, err := sess.Ingest([][]byte{genEvent(i, "PushEvent", "spark")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+
+	before := s.Stats()
+	if before.LogSizeBytes != before.TailAddress-s.BeginAddress() {
+		t.Fatalf("pre-truncation LogSizeBytes = %d, want %d",
+			before.LogSizeBytes, before.TailAddress-s.BeginAddress())
+	}
+	if before.TotalAppendedBytes != before.LogSizeBytes {
+		t.Fatalf("pre-truncation TotalAppendedBytes = %d, want %d",
+			before.TotalAppendedBytes, before.LogSizeBytes)
+	}
+
+	if err := s.TruncateUntil(mid); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	// Live size must shrink to tail - truncation point...
+	if want := after.TailAddress - mid; after.LogSizeBytes != want {
+		t.Fatalf("post-truncation LogSizeBytes = %d, want %d", after.LogSizeBytes, want)
+	}
+	// ...while the append total is unchanged by truncation.
+	if want := after.TailAddress - s.BeginAddress(); after.TotalAppendedBytes != want {
+		t.Fatalf("post-truncation TotalAppendedBytes = %d, want %d", after.TotalAppendedBytes, want)
+	}
+	if after.LogSizeBytes >= after.TotalAppendedBytes {
+		t.Fatal("truncation did not reduce the live size below the append total")
+	}
+}
+
 func TestInvalidateHidesRecordEverywhere(t *testing.T) {
 	s := openTestStore(t, Options{})
 	id, _, _ := s.RegisterPSF(psf.Projection("repo.name"))
