@@ -15,6 +15,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/storage"
 )
 
 // Manifest is the checkpoint metadata written alongside the hash-table
@@ -37,6 +38,57 @@ const (
 	manifestFile = "MANIFEST.json"
 	tableFile    = "hash.ckpt"
 )
+
+// fsyncFile is swappable so tests can observe which checkpoint artifacts are
+// forced to stable media.
+var fsyncFile = func(f *os.File) error { return f.Sync() }
+
+// writeFileDurable writes path atomically: the payload goes to path+".tmp",
+// is fsynced, and is renamed over path only once it is fully on stable media.
+func writeFileDurable(path string, write func(*os.File) (int64, error)) (int64, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return 0, err
+	}
+	n, err := write(f)
+	if err == nil {
+		err = fsyncFile(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path + ".tmp")
+		return n, err
+	}
+	return n, os.Rename(path+".tmp", path)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = fsyncFile(d)
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadManifest reads and decodes the manifest of a checkpoint directory.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("fishstore: bad manifest: %w", err)
+	}
+	return m, nil
+}
 
 // Checkpoint persists a consistent cut of the store into dir: the durable
 // log prefix plus an image of the hash index, so recovery can skip
@@ -62,18 +114,23 @@ func (s *Store) Checkpoint(dir string) error {
 	if err := s.log.FlushTail(); err != nil {
 		return fmt.Errorf("fishstore: checkpoint flush: %w", err)
 	}
+	// The manifest claims the log is durable below tail; force the device's
+	// write cache to stable media before any artifact can make that claim.
+	if err := storage.Sync(s.log.Device()); err != nil {
+		return fmt.Errorf("fishstore: checkpoint log sync: %w", err)
+	}
 
-	tf, err := os.Create(filepath.Join(dir, tableFile))
+	// Both artifacts are written to a temp file, fsynced, then renamed over
+	// the previous image, so a crash at any point leaves either the old
+	// checkpoint or the new one — never a half-written table or manifest.
+	// The table is renamed first: a new table with the old manifest is still
+	// consistent, because replay's head installation is a monotonic CAS.
+	tablePath := filepath.Join(dir, tableFile)
+	tableBytes, err := writeFileDurable(tablePath, func(f *os.File) (int64, error) {
+		return s.table.WriteTo(f)
+	})
 	if err != nil {
-		return err
-	}
-	tableBytes, err := s.table.WriteTo(tf)
-	if err != nil {
-		tf.Close()
 		return fmt.Errorf("fishstore: checkpoint table: %w", err)
-	}
-	if err := tf.Close(); err != nil {
-		return err
 	}
 
 	snap, err := s.registry.Snapshot()
@@ -92,11 +149,15 @@ func (s *Store) Checkpoint(dir string) error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, manifestFile+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if _, err := writeFileDurable(filepath.Join(dir, manifestFile), func(f *os.File) (int64, error) {
+		n, werr := f.Write(raw)
+		return int64(n), werr
+	}); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+	// The renames themselves live in the directory; sync it so the new
+	// checkpoint survives a crash of the whole machine.
+	if err := syncDir(dir); err != nil {
 		return err
 	}
 
@@ -138,13 +199,9 @@ type RecoveryInfo struct {
 // re-installing chain heads) exactly as Appendix E describes.
 func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	var info RecoveryInfo
-	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	m, err := ReadManifest(dir)
 	if err != nil {
 		return nil, info, err
-	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, info, fmt.Errorf("fishstore: bad manifest: %w", err)
 	}
 	o, err := ropts.Options.withDefaults()
 	if err != nil {
@@ -207,7 +264,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	// are already durable and consistent (no forward links), so setting the
 	// head to each successive key pointer reconstructs every chain.
 	g := em.Acquire()
-	replayed, err := s.replaySuffix(g, m.Tail, replayEnd)
+	replayed, replayedBytes, err := s.replaySuffix(g, m.Tail, replayEnd)
 	g.Release()
 	if err != nil {
 		return nil, info, err
@@ -216,7 +273,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	info.RecoveredTail = replayEnd
 
 	s.ingestedRecords.Store(m.IngestedRecords + replayed)
-	s.ingestedBytes.Store(m.IngestedBytes)
+	s.ingestedBytes.Store(m.IngestedBytes + replayedBytes)
 
 	elapsed := time.Since(recoveryStart)
 	met.recoverySeconds.Observe(int64(elapsed))
@@ -229,64 +286,31 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	return s, info, nil
 }
 
-// probeDurableEnd scans forward from `from` on the device, walking record
-// headers, and returns the first address that does not hold a plausible
-// record — the end of the recoverable suffix.
+// probeDurableEnd scans forward from `from` on the device, walking and
+// structurally validating record headers, and returns the first address that
+// does not hold an intact record — the end of the recoverable suffix. A torn
+// tail page (power cut mid-flush) ends the suffix at the first damaged
+// record; a genuine device read error is returned as an error rather than
+// silently truncating the log there.
 func probeDurableEnd(o Options, from uint64) (pages int, end uint64, err error) {
-	pageSize := uint64(1) << o.PageBits
-	addr := from
-	buf := make([]byte, pageSize)
-	for {
-		pageStart := addr &^ (pageSize - 1)
-		n, rerr := o.Device.ReadAt(buf, int64(pageStart))
-		if n <= 0 {
-			return pages, addr, nil
-		}
-		for i := n; i < len(buf); i++ {
-			buf[i] = 0
-		}
-		pages++
-		off := addr - pageStart
-		for off < pageSize {
-			if off+8 > uint64(n) {
-				return pages, pageStart + off, nil
-			}
-			hw := leUint64(buf[off:])
-			h := record.UnpackHeader(hw)
-			if h.SizeWords == 0 || !plausibleHeader(h, pageSize-off) {
-				return pages, pageStart + off, nil
-			}
-			off += uint64(h.SizeWords) * 8
-		}
-		addr = pageStart + pageSize
-		_ = rerr
-	}
-}
-
-func plausibleHeader(h record.Header, roomBytes uint64) bool {
-	if uint64(h.SizeWords)*8 > roomBytes {
-		return false
-	}
-	if h.Filler {
-		return true
-	}
-	// A durable record must have been made visible before any flush.
-	return h.Visible
-}
-
-func leUint64(b []byte) uint64 {
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	end, _, pages, err = walkDeviceLog(o.Device, o.PageBits, from, 0, nil)
+	return pages, end, err
 }
 
 // replaySuffix re-links every record in [from, to). Records are visited in
 // ascending address order, so installing each key pointer as its chain's
-// head leaves every head at the highest (= most recent) chain entry.
-func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, error) {
-	var replayed int64
+// head leaves every head at the highest (= most recent) chain entry. It
+// returns the number of records re-linked and their payload bytes (indirect
+// records reference payloads already counted at their original address).
+func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, int64, error) {
+	var replayed, replayedBytes int64
+	var cbErr error
 	err := s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
 		h := v.Header()
 		replayed++
+		if !h.Indirect {
+			replayedBytes += int64(v.PayloadLen())
+		}
 		for i := 0; i < h.NumPtrs; i++ {
 			kp := v.KeyPointerAt(i)
 			val := v.ValueBytes(kp)
@@ -297,8 +321,9 @@ func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, error) {
 			} else {
 				hash = hashtable.HashProperty(kp.PSFID, val)
 			}
-			slot, err := s.table.FindOrCreate(hash)
-			if err != nil {
+			slot, ferr := s.table.FindOrCreate(hash)
+			if ferr != nil {
+				cbErr = fmt.Errorf("fishstore: replay at %d: %w", addr, ferr)
 				return false
 			}
 			kptAddr := addr + uint64(v.PointerWordIndex(i))*8
@@ -314,5 +339,8 @@ func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, error) {
 		}
 		return true
 	})
-	return replayed, err
+	if err == nil {
+		err = cbErr
+	}
+	return replayed, replayedBytes, err
 }

@@ -18,6 +18,9 @@
 //	# Run a live store with continuous ingestion and a Prometheus/pprof
 //	# observability endpoint:
 //	fishstore-cli serve -metrics-addr :9187
+//
+//	# fsck a log file against its checkpoint after a crash:
+//	fishstore-cli verify -log store.log -ckpt ckpt/
 package main
 
 import (
@@ -43,6 +46,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
 		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		os.Exit(verifyMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	var (
 		in        = flag.String("in", "", "newline-delimited JSON input file")

@@ -151,8 +151,11 @@ func (l *Log) PageSize() uint64 { return l.pageSize }
 // MemPages returns the number of circular-buffer frames.
 func (l *Log) MemPages() int { return l.memPages }
 
-// address composes a logical address.
-func (l *Log) address(page, off uint64) Address { return page<<l.pageBits | off }
+// address composes a logical address. Addition, not OR: callers such as
+// TailAddress pass off == pageSize for an exactly-full page, and the carry
+// must propagate into the page number (OR would silently alias the offset
+// bit into odd page numbers, rendering the tail one page too low).
+func (l *Log) address(page, off uint64) Address { return page<<l.pageBits + off }
 
 // PageOf returns the page number containing addr.
 func (l *Log) PageOf(addr Address) uint64 { return addr >> l.pageBits }
@@ -220,8 +223,11 @@ func (l *Log) Allocate(g *epoch.Guard, sizeWords int) (Allocation, error) {
 			continue
 		}
 		// Our claim landed entirely past the page: wait for the straddler to
-		// open the next page, then retry.
-		l.waitForPage(g, page+1)
+		// open the next page, then retry. If the straddler aborted on a flush
+		// error the page will never open; fail rather than spin forever.
+		if err := l.waitForPage(g, page+1); err != nil {
+			return Allocation{}, err
+		}
 	}
 }
 
@@ -315,12 +321,22 @@ func (l *Log) prepareFrame(g *epoch.Guard, next uint64) error {
 	return nil
 }
 
-// waitForPage spins until the tail has advanced to at least page.
-func (l *Log) waitForPage(g *epoch.Guard, page uint64) {
+// waitForPage spins until the tail has advanced to at least page. It fails
+// instead of spinning once a flush error is recorded: the straddling
+// allocator responsible for opening the page aborts on that error, so the
+// advance would never come and every waiter would hang (the log is dead —
+// e.g. the device lost power mid-flush).
+func (l *Log) waitForPage(g *epoch.Guard, page uint64) error {
 	for i := 0; ; i++ {
 		cur, _ := unpack(l.pagedTail.Load())
 		if cur >= page {
-			return
+			return nil
+		}
+		if err := l.flushError(); err != nil {
+			return err
+		}
+		if l.closed.Load() {
+			return ErrClosed
 		}
 		if g != nil {
 			g.Refresh()

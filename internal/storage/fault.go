@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-injection errors. ErrPowerCut is sticky: once the simulated machine
+// loses power, every subsequent write and sync fails with it (reads keep
+// working — they model inspecting the surviving medium after reboot).
+var (
+	// ErrPowerCut is returned by writes and syncs after a simulated power cut.
+	ErrPowerCut = errors.New("storage: simulated power cut")
+	// ErrTornWrite is returned when an injected fault persisted only a prefix
+	// of the write. Unlike the power-cut tear, the caller observes the error.
+	ErrTornWrite = errors.New("storage: simulated torn write")
+	// ErrShortRead is returned when an injected fault returned fewer bytes
+	// than requested (io.ReaderAt requires a non-nil error on short reads).
+	ErrShortRead = errors.New("storage: simulated short read")
+	// ErrSyncFailed is returned when an injected fault failed a Sync.
+	ErrSyncFailed = errors.New("storage: simulated sync failure")
+)
+
+// FaultConfig configures a FaultDevice. All probabilities are evaluated on a
+// seeded PRNG, so a fixed Seed plus a deterministic operation order replays
+// the same fault schedule.
+type FaultConfig struct {
+	// Seed seeds the fault schedule. Zero is a valid (fixed) seed.
+	Seed int64
+	// TornWriteProb is the probability that a write persists only an aligned
+	// prefix and reports ErrTornWrite (a failed DMA the caller observes).
+	TornWriteProb float64
+	// ShortReadProb is the probability that a read returns an aligned prefix
+	// with ErrShortRead (a transient read fault the caller observes).
+	ShortReadProb float64
+	// FailSyncProb is the probability that Sync fails with ErrSyncFailed
+	// without syncing the inner device.
+	FailSyncProb float64
+	// SyncDelay stalls every successful Sync, modeling a device with a slow
+	// flush path.
+	SyncDelay time.Duration
+	// PowerCutAtWrite, when > 0, cuts power on the Nth write (1-based) from
+	// construction: that write persists only a random aligned prefix
+	// (silently — the write cache is lost) and every later write fails with
+	// ErrPowerCut. Use ArmPowerCut to start the countdown later.
+	PowerCutAtWrite int64
+	// TearAlign aligns tear and short-read boundaries (default 512, a
+	// sector; always rounded up to at least 8 so log words stay atomic).
+	TearAlign int
+}
+
+// FaultStats counts operations and injected faults.
+type FaultStats struct {
+	Writes, Reads, Syncs                int64
+	TornWrites, ShortReads, FailedSyncs int64
+	// CutAtWrite is the ordinal of the write that carried the power cut
+	// (0 = power never cut).
+	CutAtWrite int64
+}
+
+// FaultDevice wraps a Device and injects storage faults: torn (prefix-only)
+// writes, short reads, failed or delayed syncs, and a deterministic power
+// cut at a chosen write. After a power cut the surviving image is exactly
+// what reached the inner device; recover against Unwrap().
+type FaultDevice struct {
+	inner Device
+	cfg   FaultConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cutCounter  int64 // writes remaining before the cut; <=0 means disarmed
+	nextReadErr error
+
+	cut    atomic.Bool
+	writes atomic.Int64
+	reads  atomic.Int64
+	syncs  atomic.Int64
+	torn   atomic.Int64
+	short  atomic.Int64
+	fsyncs atomic.Int64
+	cutAt  atomic.Int64
+}
+
+// NewFaultDevice wraps inner (a Mem device if nil) with the fault schedule.
+func NewFaultDevice(inner Device, cfg FaultConfig) *FaultDevice {
+	if inner == nil {
+		inner = NewMem()
+	}
+	if cfg.TearAlign <= 0 {
+		cfg.TearAlign = 512
+	}
+	if cfg.TearAlign &= ^7; cfg.TearAlign < 8 {
+		cfg.TearAlign = 8 // word-align so no log word is half-written
+	}
+	d := &FaultDevice{
+		inner:      inner,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cutCounter: cfg.PowerCutAtWrite,
+	}
+	return d
+}
+
+// Unwrap returns the inner device (the surviving image after a power cut).
+func (d *FaultDevice) Unwrap() Device { return d.inner }
+
+// ArmPowerCut schedules a power cut on the nth write from now (n >= 1).
+func (d *FaultDevice) ArmPowerCut(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.cutCounter = n
+	d.mu.Unlock()
+}
+
+// CutNow cuts power immediately: all subsequent writes and syncs fail.
+func (d *FaultDevice) CutNow() {
+	if d.cut.CompareAndSwap(false, true) && d.cutAt.Load() == 0 {
+		d.cutAt.Store(d.writes.Load())
+	}
+}
+
+// IsCut reports whether the simulated power has been cut.
+func (d *FaultDevice) IsCut() bool { return d.cut.Load() }
+
+// FailNextRead makes the next ReadAt fail with err (once). A nil err clears
+// the injection.
+func (d *FaultDevice) FailNextRead(err error) {
+	d.mu.Lock()
+	d.nextReadErr = err
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of operation and fault counters.
+func (d *FaultDevice) Stats() FaultStats {
+	return FaultStats{
+		Writes:      d.writes.Load(),
+		Reads:       d.reads.Load(),
+		Syncs:       d.syncs.Load(),
+		TornWrites:  d.torn.Load(),
+		ShortReads:  d.short.Load(),
+		FailedSyncs: d.fsyncs.Load(),
+		CutAtWrite:  d.cutAt.Load(),
+	}
+}
+
+// tearPoint picks an aligned prefix length in [0, n).
+func (d *FaultDevice) tearPoint(n int) int {
+	if n <= d.cfg.TearAlign {
+		return 0
+	}
+	chunks := n / d.cfg.TearAlign
+	return d.cfg.TearAlign * d.rng.Intn(chunks)
+}
+
+func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
+	if d.cut.Load() {
+		return 0, ErrPowerCut
+	}
+	d.mu.Lock()
+	if d.cut.Load() { // raced with the cut write
+		d.mu.Unlock()
+		return 0, ErrPowerCut
+	}
+	ord := d.writes.Add(1)
+	if d.cutCounter > 0 {
+		d.cutCounter--
+		if d.cutCounter == 0 {
+			// This write carries the power cut: a random aligned prefix
+			// reaches the medium, the rest is lost with the write cache.
+			keep := d.tearPoint(len(p))
+			d.cut.Store(true)
+			d.cutAt.Store(ord)
+			if keep > 0 {
+				d.torn.Add(1)
+			}
+			d.mu.Unlock()
+			if keep > 0 {
+				d.inner.WriteAt(p[:keep], off)
+			}
+			return 0, ErrPowerCut
+		}
+	}
+	torn := d.cfg.TornWriteProb > 0 && d.rng.Float64() < d.cfg.TornWriteProb
+	var keep int
+	if torn {
+		keep = d.tearPoint(len(p))
+		d.torn.Add(1)
+	}
+	d.mu.Unlock()
+
+	if torn {
+		var n int
+		var err error
+		if keep > 0 {
+			n, err = d.inner.WriteAt(p[:keep], off)
+		}
+		if err == nil {
+			err = ErrTornWrite
+		}
+		return n, err
+	}
+	return d.inner.WriteAt(p, off)
+}
+
+func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.reads.Add(1)
+	d.mu.Lock()
+	if err := d.nextReadErr; err != nil {
+		d.nextReadErr = nil
+		d.mu.Unlock()
+		return 0, err
+	}
+	short := d.cfg.ShortReadProb > 0 && d.rng.Float64() < d.cfg.ShortReadProb
+	var keep int
+	if short {
+		keep = d.tearPoint(len(p))
+		d.short.Add(1)
+	}
+	d.mu.Unlock()
+
+	if short {
+		var n int
+		var err error
+		if keep > 0 {
+			n, err = d.inner.ReadAt(p[:keep], off)
+		}
+		if err == nil {
+			err = fmt.Errorf("%w: %d of %d bytes at %d", ErrShortRead, n, len(p), off)
+		}
+		return n, err
+	}
+	return d.inner.ReadAt(p, off)
+}
+
+// Sync flushes the inner device, subject to injected failures and delay.
+func (d *FaultDevice) Sync() error {
+	d.syncs.Add(1)
+	if d.cut.Load() {
+		return ErrPowerCut
+	}
+	d.mu.Lock()
+	fail := d.cfg.FailSyncProb > 0 && d.rng.Float64() < d.cfg.FailSyncProb
+	d.mu.Unlock()
+	if fail {
+		d.fsyncs.Add(1)
+		return ErrSyncFailed
+	}
+	if d.cfg.SyncDelay > 0 {
+		time.Sleep(d.cfg.SyncDelay)
+	}
+	return Sync(d.inner)
+}
+
+func (d *FaultDevice) Close() error { return d.inner.Close() }

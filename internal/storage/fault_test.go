@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultDevicePassthrough(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 1})
+	data := bytes.Repeat([]byte{0xab}, 4096)
+	if n, err := d.WriteAt(data, 0); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got := make([]byte, 4096)
+	if n, err := d.ReadAt(got, 0); err != nil || n != len(got) {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.Syncs != 1 || st.TornWrites != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFaultDevicePowerCutAtWriteN(t *testing.T) {
+	mem := NewMem()
+	d := NewFaultDevice(mem, FaultConfig{Seed: 7, PowerCutAtWrite: 3})
+	page := bytes.Repeat([]byte{0x11}, 4096)
+	for i := 0; i < 2; i++ {
+		if _, err := d.WriteAt(page, int64(i)*4096); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Write 3 carries the cut: only an aligned prefix may survive.
+	if _, err := d.WriteAt(bytes.Repeat([]byte{0x22}, 4096), 2*4096); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("cut write err = %v, want ErrPowerCut", err)
+	}
+	if !d.IsCut() {
+		t.Fatal("device not cut")
+	}
+	if _, err := d.WriteAt(page, 3*4096); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut write err = %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut sync err = %v", err)
+	}
+	// The surviving image: writes 1-2 intact, write 3 a prefix of 0x22 then
+	// zeros, write 4 absent. Reads still work (post-reboot inspection).
+	got := make([]byte, 4*4096)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("post-cut read: %v", err)
+	}
+	for i := 0; i < 2*4096; i++ {
+		if got[i] != 0x11 {
+			t.Fatalf("byte %d of surviving prefix = %#x", i, got[i])
+		}
+	}
+	tornEnd := 2 * 4096
+	for ; tornEnd < 3*4096 && got[tornEnd] == 0x22; tornEnd++ {
+	}
+	if (tornEnd-2*4096)%512 != 0 {
+		t.Fatalf("tear point %d not sector aligned", tornEnd-2*4096)
+	}
+	for i := tornEnd; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d beyond tear = %#x, want 0", i, got[i])
+		}
+	}
+	if st := d.Stats(); st.CutAtWrite != 3 {
+		t.Fatalf("CutAtWrite = %d, want 3", st.CutAtWrite)
+	}
+}
+
+func TestFaultDeviceDeterministicSchedule(t *testing.T) {
+	run := func() FaultStats {
+		d := NewFaultDevice(NewMem(), FaultConfig{Seed: 99, TornWriteProb: 0.3, ShortReadProb: 0.3})
+		buf := make([]byte, 8192)
+		for i := 0; i < 50; i++ {
+			d.WriteAt(buf, int64(i)*8192)
+			d.ReadAt(buf, int64(i)*8192)
+		}
+		return d.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", a, b)
+	}
+	if a.TornWrites == 0 || a.ShortReads == 0 {
+		t.Fatalf("faults never fired: %+v", a)
+	}
+}
+
+func TestFaultDeviceTornWriteReportsError(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 3, TornWriteProb: 1})
+	n, err := d.WriteAt(make([]byte, 4096), 0)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("err = %v, want ErrTornWrite", err)
+	}
+	if n%512 != 0 || n >= 4096 {
+		t.Fatalf("torn write persisted %d bytes", n)
+	}
+}
+
+func TestFaultDeviceShortReadReportsError(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 3, ShortReadProb: 1})
+	d.Unwrap().WriteAt(make([]byte, 4096), 0)
+	n, err := d.ReadAt(make([]byte, 4096), 0)
+	if !errors.Is(err, ErrShortRead) {
+		t.Fatalf("err = %v, want ErrShortRead", err)
+	}
+	if n >= 4096 {
+		t.Fatalf("short read returned %d bytes", n)
+	}
+}
+
+func TestFaultDeviceFailNextRead(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 1})
+	boom := errors.New("transient EIO")
+	d.FailNextRead(boom)
+	if _, err := d.ReadAt(make([]byte, 8), 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if _, err := d.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("injection not one-shot: %v", err)
+	}
+}
+
+func TestFaultDeviceFailSync(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 1, FailSyncProb: 1})
+	if err := d.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("err = %v, want ErrSyncFailed", err)
+	}
+}
+
+func TestSyncUnwrapsToSyncer(t *testing.T) {
+	// Instrumented wraps FaultDevice wraps Mem: Sync must reach the
+	// FaultDevice's Syncer through the chain.
+	fd := NewFaultDevice(NewMem(), FaultConfig{Seed: 1, FailSyncProb: 1})
+	wrapped := NewInstrumented(fd, nil)
+	if err := Sync(wrapped); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync through wrapper = %v, want ErrSyncFailed", err)
+	}
+	// Mem has no Syncer: Sync is a no-op.
+	if err := Sync(NewMem()); err != nil {
+		t.Fatalf("Sync(Mem) = %v", err)
+	}
+}

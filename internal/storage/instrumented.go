@@ -62,6 +62,9 @@ func (d *Instrumented) WriteAt(p []byte, off int64) (int, error) {
 
 func (d *Instrumented) Close() error { return d.inner.Close() }
 
+// Sync forwards to the inner device's Syncer, if any.
+func (d *Instrumented) Sync() error { return Sync(d.inner) }
+
 // Stats returns the wrapper's own I/O counters.
 func (d *Instrumented) Stats() Stats {
 	return Stats{

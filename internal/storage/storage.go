@@ -61,6 +61,29 @@ type Profiler interface {
 	Profile() Profile
 }
 
+// Syncer is implemented by devices that can force written data onto stable
+// media (fsync). Devices without a Syncer are treated as always-durable.
+type Syncer interface {
+	Sync() error
+}
+
+// Sync forces d onto stable media: it calls Sync on the first device in the
+// wrapper chain that implements Syncer, unwrapping until the concrete device
+// is reached. Devices that never implement Syncer (Mem, Null) are a no-op.
+func Sync(d Device) error {
+	for d != nil {
+		if s, ok := d.(Syncer); ok {
+			return s.Sync()
+		}
+		u, ok := d.(interface{ Unwrap() Device })
+		if !ok {
+			return nil
+		}
+		d = u.Unwrap()
+	}
+	return nil
+}
+
 // ErrReadFromNull is returned when reading from the null device.
 var ErrReadFromNull = errors.New("storage: read from null device")
 
@@ -196,6 +219,9 @@ func OpenFileExisting(path string) (*File, error) {
 func (d *File) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
 func (d *File) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
 func (d *File) Close() error                             { return d.f.Close() }
+
+// Sync fsyncs the backing file.
+func (d *File) Sync() error { return d.f.Sync() }
 
 // Stats aggregates I/O accounting for instrumented devices.
 type Stats struct {

@@ -494,11 +494,17 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 	return stopped.Load(), firstErr
 }
 
-// walkChain follows one hash chain from head, emitting matching records
-// whose address lies in [from, to). Entries above `to` are skipped (but
-// still traversed); traversal stops below `from`.
-func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
-	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+// forEachChainLink follows the hash chain whose newest key pointer is at
+// head, resolving each link's record from the circular buffer or from
+// storage (optionally through the adaptive prefetcher), and invokes fn with
+// the link's key-pointer address, record view, record base address, and
+// decoded key pointer. Traversal stops when fn returns false, the chain
+// terminates, or a link drops below floor (links below the floor are never
+// resolved — on a truncated log their records may be gone). I/O accounting
+// is added to st. Index scans and the log verifier's chain phase both walk
+// chains through this one path.
+func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useAP bool, st *ScanStats,
+	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
 
 	cur := head
 	var cr *chainReader
@@ -511,7 +517,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 		}
 	}()
 
-	for cur != 0 && cur >= from {
+	for cur != 0 && cur >= floor {
 		hops++
 		if hops%64 == 0 {
 			g.Refresh()
@@ -521,7 +527,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 		if cur >= s.log.HeadAddress() {
 			v, b, err := s.inMemoryRecordAt(cur)
 			if err != nil {
-				return false, err
+				return err
 			}
 			view, base = v, b
 		} else {
@@ -530,7 +536,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 			}
 			v, b, err := cr.record(cur)
 			if err != nil {
-				return false, fmt.Errorf("fishstore: index scan read at %d: %w", cur, err)
+				return fmt.Errorf("fishstore: chain read at %d: %w", cur, err)
 			}
 			view, base = v, b
 		}
@@ -539,25 +545,48 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 
 		ptrIndex := (int(s.offsetWordsOf(view, cur, base)) - record.HeaderWords) / record.WordsPerPointer
 		kp := view.KeyPointerAt(ptrIndex)
-		h := view.Header()
-		match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&
-			bytes.Equal(view.ValueBytes(kp), canon)
-		if match {
-			rec, err := s.materialize(g, view, base, cr, st)
-			if err != nil {
-				return false, err
-			}
-			// For indirect (historical) index records the range check
-			// applies to the referenced data record's address.
-			if rec.Address >= from && rec.Address < to {
-				if !emit(rec) {
-					return true, nil
-				}
-			}
+		if !fn(cur, view, base, kp) {
+			return nil
 		}
 		cur = kp.PrevAddress
 	}
-	return false, nil
+	return nil
+}
+
+// walkChain follows one hash chain from head, emitting matching records
+// whose address lies in [from, to). Entries above `to` are skipped (but
+// still traversed); traversal stops below `from`.
+func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
+	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	stopped := false
+	var cbErr error
+	err := s.forEachChainLink(g, head, from, useAP, st,
+		func(cur uint64, view record.View, base uint64, kp record.KeyPointer) bool {
+			h := view.Header()
+			match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&
+				bytes.Equal(view.ValueBytes(kp), canon)
+			if match {
+				rec, merr := s.materialize(g, view, base, st)
+				if merr != nil {
+					cbErr = merr
+					return false
+				}
+				// For indirect (historical) index records the range check
+				// applies to the referenced data record's address.
+				if rec.Address >= from && rec.Address < to {
+					if !emit(rec) {
+						stopped = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+	if err == nil {
+		err = cbErr
+	}
+	return stopped, err
 }
 
 // inMemoryRecordAt resolves the record containing the key pointer at
@@ -582,7 +611,7 @@ func (s *Store) offsetWordsOf(v record.View, kptAddr, base uint64) uint64 {
 
 // materialize turns a matched view into a Record, resolving historical
 // indirection (Appendix A) if needed.
-func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, cr *chainReader, st *ScanStats) (Record, error) {
+func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *ScanStats) (Record, error) {
 	h := view.Header()
 	if !h.Indirect {
 		return Record{Address: base, Payload: view.Payload()}, nil

@@ -40,6 +40,13 @@ func (s *Store) TruncatedUntil() uint64 {
 	return s.BeginAddress()
 }
 
+// ChainFloor returns the address below which hash-chain pointers are treated
+// as terminated rather than followed: the logical begin address after
+// truncation. Chain tails pointing below the floor are not dangling — the
+// records they reference have been logically reclaimed. Scans and the log
+// verifier share this boundary.
+func (s *Store) ChainFloor() uint64 { return s.TruncatedUntil() }
+
 // Invalidate logically deletes the record at addr: its header's invalid bit
 // is set atomically, so every subsequent scan, lookup, and subscription
 // skips it while its chain links keep working for older records. Combined
