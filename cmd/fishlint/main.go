@@ -1,0 +1,65 @@
+// Command fishlint runs FishStore's repo-specific static analyzers
+// (epochguard, atomicfield, errflow, addrcompose) over the given package
+// patterns.
+//
+// Usage:
+//
+//	fishlint [-q] ./...
+//
+// Exit codes: 0 — no findings; 1 — findings reported; 2 — usage or load
+// error. Findings are suppressed by an inline
+// `//lint:ignore <analyzer>[,<analyzer>] <justification>` on the finding's
+// line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fishstore/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("fishlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	quiet := flags.Bool("q", false, "suppress the summary line")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fishlint [-q] <package patterns>\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if flags.NArg() == 0 {
+		flags.Usage()
+		return 2
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "fishlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(dir, flags.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "fishlint: %v\n", err)
+		return 2
+	}
+	res := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range res.Findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "fishlint: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(res.Findings), res.Suppressed)
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixture packages live in the lint package's testdata; run() resolves
+// patterns against the process working directory, which for tests is this
+// package's source directory.
+const fixtures = "../../internal/lint/testdata/src"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runCLI(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2 (stderr: %s)", code, stderr)
+	} else if !strings.Contains(stderr, "usage: fishlint") {
+		t.Errorf("no args: stderr missing usage: %s", stderr)
+	}
+	if code, _, _ := runCLI(t, "-nonsense", "./..."); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "./does-not-exist-anywhere"); code != 2 {
+		t.Errorf("bad pattern: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, stderr := runCLI(t, fixtures+"/addrcomposetest")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "addrcompose") {
+		t.Errorf("stdout missing addrcompose finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 package(s)") {
+		t.Errorf("stderr missing summary: %s", stderr)
+	}
+}
+
+func TestSuppressionExitZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, fixtures+"/suppresstest")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "1 suppressed") {
+		t.Errorf("stderr missing suppression count: %s", stderr)
+	}
+}
+
+func TestQuietFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-q", fixtures+"/suppresstest")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("-q still wrote to stderr: %s", stderr)
+	}
+}
+
+// TestPatternExpansion checks ./... resolves through the go tool relative to
+// the working directory: linting this command package itself must come back
+// clean with exactly one package matched (testdata trees are excluded from
+// ./... expansion by the go tool).
+func TestPatternExpansion(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "1 package(s), 0 finding(s)") {
+		t.Errorf("stderr summary = %q, want 1 clean package", stderr)
+	}
+}

@@ -41,7 +41,10 @@ func main() {
 	// Phase 2 (ad-hoc analysis): an analyst decides to study Spark pull
 	// requests; registration returns a safe boundary after which the index
 	// is complete.
-	def, _ := psf.Predicate("spark-prs", `repo.name == "spark" && type == "PullRequestEvent"`)
+	def, err := psf.Predicate("spark-prs", `repo.name == "spark" && type == "PullRequestEvent"`)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prID, res, err := store.RegisterPSF(def)
 	if err != nil {
 		log.Fatal(err)
@@ -63,7 +66,10 @@ func main() {
 	// Phase 3 (recurring query): hourly top committers — the same query
 	// over sliding windows gets cheaper as coverage grows; here we show the
 	// index-only portion growing.
-	pushDef, _ := psf.Predicate("spark-pushes", `repo.name == "spark" && type == "PushEvent"`)
+	pushDef, err := psf.Predicate("spark-pushes", `repo.name == "spark" && type == "PushEvent"`)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pushID, _, err := store.RegisterPSF(pushDef)
 	if err != nil {
 		log.Fatal(err)

@@ -68,26 +68,32 @@ func main() {
 
 	// f1: investigate machines with low CPU and high memory.
 	var suspicious int
-	store.Scan(fishstore.PropertyBool(id1, true), fishstore.ScanOptions{},
-		func(r fishstore.Record) bool { suspicious++; return true })
+	if _, err := store.Scan(fishstore.PropertyBool(id1, true), fishstore.ScanOptions{},
+		func(r fishstore.Record) bool { suspicious++; return true }); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("low-CPU/high-MEM records: %d\n", suspicious)
 
 	// f2: drill into one machine's logs.
 	fmt.Println("\nfirst 3 records from machine m3:")
 	shown := 0
-	store.Scan(fishstore.PropertyString(id2, "m3"), fishstore.ScanOptions{},
+	if _, err := store.Scan(fishstore.PropertyString(id2, "m3"), fishstore.ScanOptions{},
 		func(r fishstore.Record) bool {
 			fmt.Printf("  %s\n", r.Payload)
 			shown++
 			return shown < 3
-		})
+		}); err != nil {
+		log.Fatal(err)
+	}
 
 	// f3: CPU usage histogram via the range-bucket PSF.
 	fmt.Println("\nCPU usage buckets:")
 	for _, lo := range []float64{0, 25, 50, 75} {
 		var n int
-		store.Scan(fishstore.PropertyNumber(id3, lo), fishstore.ScanOptions{},
-			func(fishstore.Record) bool { n++; return true })
+		if _, err := store.Scan(fishstore.PropertyNumber(id3, lo), fishstore.ScanOptions{},
+			func(fishstore.Record) bool { n++; return true }); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  [%3.0f%%, %3.0f%%): %d records\n", lo, lo+25, n)
 	}
 }

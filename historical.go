@@ -46,6 +46,7 @@ func (s *Store) BuildHistoricalIndex(id psf.ID, from, to uint64) (int64, error) 
 		if seg.Indexed {
 			continue
 		}
+		var appendErr error
 		err := s.visitRange(sessG, seg.From, seg.To, func(addr uint64, v record.View) bool {
 			if v.Header().Indirect {
 				return true // never index index records
@@ -60,11 +61,18 @@ func (s *Store) BuildHistoricalIndex(id psf.ID, from, to uint64) (int64, error) 
 				return true
 			}
 			if err := s.appendIndirect(sessG, id, val, addr); err != nil {
-				return true
+				appendErr = err
+				return false
 			}
 			built++
 			return true
 		})
+		// An append failure must abort the build: marking the interval
+		// covered with index records missing would silently drop matches
+		// from every future chain-planned scan over this range.
+		if err == nil {
+			err = appendErr
+		}
 		if err != nil {
 			return built, err
 		}

@@ -1,0 +1,37 @@
+package fishstore
+
+import (
+	"testing"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+// TestBuildHistoricalIndexPropagatesAppendError is the regression test for
+// the swallowed appendIndirect error: BuildHistoricalIndex used to ignore
+// append failures and still mark the interval covered, silently dropping
+// matches from every future chain-planned scan over the range.
+func TestBuildHistoricalIndexPropagatesAppendError(t *testing.T) {
+	s := openTestStore(t, Options{Device: storage.NewMem()})
+	sess := s.NewSession()
+	for i := 0; i < 30; i++ {
+		if _, err := sess.Ingest([][]byte{genEvent(i, "PushEvent", "spark")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	end := s.TailAddress()
+	id, _, err := s.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing the store makes every subsequent log append fail while the
+	// already-resident pages remain readable.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	built, err := s.BuildHistoricalIndex(id, 0, end)
+	if err == nil {
+		t.Fatalf("BuildHistoricalIndex on a closed store reported success (built=%d); append errors were swallowed", built)
+	}
+}

@@ -365,17 +365,25 @@ func (r *RDBMisonPP) Retrieve(psfIndex int, v expr.Value, cb func(payload []byte
 		addr := binary.BigEndian.Uint64(key[len(key)-8:])
 		var view record.View
 		if addr >= r.log.HeadAddress() {
+			// The header word aliases the live page frame and may be
+			// concurrently CASed visible by an ingest worker.
 			hw := r.log.WordsAt(addr, 1)
-			h := record.UnpackHeader(hw[0])
+			h := record.UnpackHeader(atomic.LoadUint64(&hw[0]))
 			view = record.View{Words: r.log.WordsAt(addr, h.SizeWords)}
 		} else {
+			// On-device records are immutable; do not pin the safe epoch
+			// across device reads.
+			g.Unprotect()
 			hw, err := r.log.ReadWordsFromDevice(addr, 1)
+			g.Protect()
 			if err != nil {
 				scanErr = err
 				return false
 			}
 			h := record.UnpackHeader(hw[0])
+			g.Unprotect()
 			words, err := r.log.ReadWordsFromDevice(addr, h.SizeWords)
+			g.Protect()
 			if err != nil {
 				scanErr = err
 				return false

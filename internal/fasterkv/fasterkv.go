@@ -12,6 +12,7 @@ package fasterkv
 
 import (
 	"bytes"
+	"sync/atomic"
 
 	"fishstore/internal/epoch"
 	"fishstore/internal/hashtable"
@@ -150,28 +151,40 @@ func (sess *Session) Read(key []byte) ([]byte, bool, error) {
 	for cur != 0 {
 		var view record.View
 		if cur >= log.HeadAddress() {
+			// These words alias the live page frame: the key-pointer word
+			// is CASed by concurrent Upserts splicing the chain, and the
+			// header word is rewritten by SetVisible after publication.
 			kw := log.WordsAt(cur, 1)
-			offWords := int(kw[0] >> 50)
+			offWords := int(atomic.LoadUint64(&kw[0]) >> 50)
 			base := cur - uint64(offWords)*8
 			hw := log.WordsAt(base, 1)
-			hd := record.UnpackHeader(hw[0])
+			hd := record.UnpackHeader(atomic.LoadUint64(&hw[0]))
 			if hd.SizeWords == 0 {
 				return nil, false, nil
 			}
 			view = record.View{Words: log.WordsAt(base, hd.SizeWords)}
 		} else {
+			// On-device data below HeadAddress is immutable, so the reads
+			// need no epoch protection — and must not hold it: a pinned
+			// safe epoch stalls page-frame recycling for every worker.
+			sess.g.Unprotect()
 			kw, err := log.ReadWordsFromDevice(cur, 1)
+			sess.g.Protect()
 			if err != nil {
 				return nil, false, err
 			}
 			offWords := int(kw[0] >> 50)
 			base := cur - uint64(offWords)*8
+			sess.g.Unprotect()
 			hw, err := log.ReadWordsFromDevice(base, 1)
+			sess.g.Protect()
 			if err != nil {
 				return nil, false, err
 			}
 			hd := record.UnpackHeader(hw[0])
+			sess.g.Unprotect()
 			words, err := log.ReadWordsFromDevice(base, hd.SizeWords)
+			sess.g.Protect()
 			if err != nil {
 				return nil, false, err
 			}

@@ -1,0 +1,55 @@
+package fasterkv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpsertReadRace exercises the mixed-access words fixed by
+// the atomicfield findings in Read: the key-pointer and header words
+// returned by WordsAt alias the live page frame, and Read used to load
+// them plainly while Upsert CASes the key-pointer word and SetVisible
+// rewrites the header. The CI race job runs this under -race; note the
+// race detector alone cannot flag the old plain reads (SetVisible and
+// SetPrevAddress are CAS loops, and TSan does not model a plain read
+// conflicting with an atomic RMW here), so the mechanical regression
+// gate for the plain-read pattern is fishlint's atomicfield frame-alias
+// rule, which fires on any non-atomic indexing of a WordsAt slice.
+func TestConcurrentUpsertReadRace(t *testing.T) {
+	s := openKV(t)
+	key := []byte("hot")
+	if err := s.NewSession().Upsert(key, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := s.NewSession()
+		defer sess.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sess.Upsert(key, []byte(fmt.Sprintf("v%06d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	reader := s.NewSession()
+	defer reader.Close()
+	for i := 0; i < 3000; i++ {
+		if _, ok, err := reader.Read(key); err != nil || !ok {
+			t.Fatalf("Read = %v, %v", ok, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

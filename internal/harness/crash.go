@@ -344,7 +344,9 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	}
 	if after.parseable != survivors+1 {
 		var idx, full []string
-		s2.Scan(fishstore.PropertyString(idRepo, "spark"),
+		// Best-effort diagnostics inside a failure path: a scan error here
+		// only degrades the dump, so both results are deliberately dropped.
+		_, _ = s2.Scan(fishstore.PropertyString(idRepo, "spark"),
 			fishstore.ScanOptions{Mode: fishstore.ScanForceIndex}, func(r fishstore.Record) bool {
 				var ev crashEvent
 				if json.Unmarshal(r.Payload, &ev) != nil {
@@ -354,7 +356,7 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 				}
 				return true
 			})
-		s2.Scan(fishstore.PropertyString(idRepo, "spark"),
+		_, _ = s2.Scan(fishstore.PropertyString(idRepo, "spark"),
 			fishstore.ScanOptions{Mode: fishstore.ScanForceFull}, func(r fishstore.Record) bool {
 				var ev crashEvent
 				if json.Unmarshal(r.Payload, &ev) != nil {

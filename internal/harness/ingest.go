@@ -354,7 +354,7 @@ func RunFig13(cfg Config) error {
 					return err
 				}
 				p, e, m, ix := sys.Phases()
-				sys.Close()
+				_ = sys.Close() // benchmark teardown; device errors cannot affect the measurement
 				parse, eval, memcpy, index = p.Seconds(), e.Seconds(), m.Seconds(), ix.Seconds()
 			}
 			total := parse + index + eval + memcpy + others
@@ -432,7 +432,7 @@ func RunFig14(cfg Config) error {
 				return err
 			}
 			tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
-			sys.Close()
+			_ = sys.Close() // benchmark teardown; device errors cannot affect the measurement
 			if err != nil {
 				return err
 			}
@@ -540,7 +540,7 @@ func RunFig15(cfg Config) error {
 				return err
 			}
 			tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
-			sys.Close()
+			_ = sys.Close() // benchmark teardown; device errors cannot affect the measurement
 			if err != nil {
 				return err
 			}
@@ -640,7 +640,7 @@ func RunMongo(cfg Config) error {
 			return err
 		}
 		tp, err := MeasureIngest(threads, batches, baselineWorkerFactory(sys))
-		sys.Close()
+		_ = sys.Close() // benchmark teardown; device errors cannot affect the measurement
 		if err != nil {
 			return err
 		}

@@ -142,7 +142,10 @@ func New(cfg Config) (*Log, error) {
 	return l, nil
 }
 
-func pack(page, offset uint64) uint64    { return page<<offsetBits | offset }
+// pack masks the offset so a transiently overflowed tail offset (Allocate
+// publishes page+offset before the seal-and-advance settles) cannot bleed
+// into the page number — the same carry hazard address() documents.
+func pack(page, offset uint64) uint64    { return page<<offsetBits | offset&offsetMask }
 func unpack(v uint64) (page, off uint64) { return v >> offsetBits, v & offsetMask }
 
 // PageSize returns the page size in bytes.

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NewAddrCompose builds the addrcompose analyzer: OR-composition of shifted
+// bit-fields — the `page<<offsetBits | offset` log-address idiom — is only
+// sound when the operands occupy provably disjoint bit ranges. The seed's
+// TailAddress bug was exactly this: an overflowed offset bled into the page
+// number via | where + would at least have carried (PR 2 fixed address() to
+// use +; pack-style call sites must mask instead).
+//
+// The analyzer computes a conservative "possibly set bits" mask for every
+// operand of a top-level | chain and reports any overlapping pair. To stay
+// quiet on bit-set and accumulation idioms (`quote |= q << k`,
+// `bits[i/64] |= 1 << (i%64)`), a chain is only analyzed when it contains a
+// shift whose amount is a constant or a config-field selector — the shapes
+// log-address composition actually uses.
+func NewAddrCompose() *Analyzer {
+	a := &Analyzer{
+		Name: "addrcompose",
+		Doc:  "OR-composed bit-fields must occupy provably disjoint bit ranges",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			// An OR that is itself an operand of a parent OR is analyzed as
+			// part of the parent's flattened chain, not on its own.
+			child := make(map[ast.Expr]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.OR {
+					for _, op := range []ast.Expr{b.X, b.Y} {
+						if inner, ok := ast.Unparen(op).(*ast.BinaryExpr); ok && inner.Op == token.OR {
+							child[inner] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || b.Op != token.OR || child[b] {
+					return true
+				}
+				checkORChain(pass, info, b)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkORChain(pass *Pass, info *types.Info, b *ast.BinaryExpr) {
+	var ops []ast.Expr
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		if inner, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && inner.Op == token.OR {
+			flatten(inner.X)
+			flatten(inner.Y)
+			return
+		}
+		ops = append(ops, e)
+	}
+	flatten(b)
+
+	triggered := false
+	for _, op := range ops {
+		if hasAddressShift(info, op) {
+			triggered = true
+			break
+		}
+	}
+	if !triggered {
+		return
+	}
+	masks := make([]uint64, len(ops))
+	for i, op := range ops {
+		masks[i] = possibleBits(info, op)
+	}
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if masks[i]&masks[j] != 0 {
+				pass.Reportf(b.OpPos, "operands %s and %s of | may both set bits %#x; an overflowing field silently corrupts its neighbor (the TailAddress bug) — mask each field (x<<s&mask) or prove disjointness with constants", types.ExprString(ops[i]), types.ExprString(ops[j]), masks[i]&masks[j])
+				return
+			}
+		}
+	}
+}
+
+// hasAddressShift reports whether the operand is (or contains under an
+// &-mask) a left shift by a constant or by a struct-field selector — the
+// log-address composition shapes. Shifts by plain local variables are the
+// bit-accumulation idiom and do not trigger analysis.
+func hasAddressShift(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			return hasAddressShift(info, e.X) || hasAddressShift(info, e.Y)
+		case token.SHL:
+			amount := ast.Unparen(e.Y)
+			if tv, ok := info.Types[amount]; ok && tv.Value != nil {
+				return true
+			}
+			_, isSel := amount.(*ast.SelectorExpr)
+			return isSel
+		}
+	}
+	return false
+}
+
+// possibleBits returns a conservative superset of the bits the expression's
+// value may have set. Unknown values widen to their type's full width mask;
+// signed types widen to all ones (negative values fill the high bits on
+// conversion).
+func possibleBits(info *types.Info, e ast.Expr) uint64 {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact {
+			return v
+		}
+		return ^uint64(0)
+	}
+	switch ex := e.(type) {
+	case *ast.BinaryExpr:
+		switch ex.Op {
+		case token.AND:
+			return possibleBits(info, ex.X) & possibleBits(info, ex.Y)
+		case token.OR, token.XOR:
+			return possibleBits(info, ex.X) | possibleBits(info, ex.Y)
+		case token.SHL:
+			if k, ok := constShift(info, ex.Y); ok {
+				if k >= 64 {
+					return 0
+				}
+				return possibleBits(info, ex.X) << k
+			}
+			return typeBits(info, e)
+		case token.SHR:
+			if k, ok := constShift(info, ex.Y); ok && isUnsigned(info, ex.X) {
+				if k >= 64 {
+					return 0
+				}
+				return possibleBits(info, ex.X) >> k
+			}
+			return typeBits(info, e)
+		case token.REM:
+			if tv, ok := info.Types[ex.Y]; ok && tv.Value != nil && isUnsigned(info, ex.X) {
+				if m, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && m > 0 {
+					return upToMask(m - 1)
+				}
+			}
+			return typeBits(info, e)
+		default:
+			return typeBits(info, e)
+		}
+	case *ast.CallExpr:
+		// Conversions: T(x). Unsigned-to-wider zero-extends (bits preserved);
+		// anything signed may sign-extend, so widen to the target's mask.
+		if len(ex.Args) == 1 {
+			if tv, ok := info.Types[ex.Fun]; ok && tv.IsType() {
+				target := typeBits(info, e)
+				if isUnsigned(info, ex.Args[0]) {
+					return possibleBits(info, ex.Args[0]) & target
+				}
+				return target
+			}
+		}
+		return typeBits(info, e)
+	default:
+		return typeBits(info, e)
+	}
+}
+
+func constShift(info *types.Info, e ast.Expr) (uint64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	k, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	return k, exact
+}
+
+func isUnsigned(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsUnsigned != 0
+}
+
+// typeBits is the width mask of the expression's integer type; signed and
+// non-integer types widen to all ones.
+func typeBits(info *types.Info, e ast.Expr) uint64 {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok {
+		return ^uint64(0)
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsUnsigned == 0 {
+		return ^uint64(0)
+	}
+	switch basic.Kind() {
+	case types.Uint8:
+		return 0xff
+	case types.Uint16:
+		return 0xffff
+	case types.Uint32:
+		return 0xffff_ffff
+	default:
+		return ^uint64(0)
+	}
+}
+
+// upToMask returns a mask covering every bit position up to the highest set
+// bit of max (values in [0, max] fit under it).
+func upToMask(max uint64) uint64 {
+	m := uint64(0)
+	for m < max {
+		m = m<<1 | 1
+	}
+	return m
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errflowAllowlist names module functions whose error results may be
+// discarded: their errors are advisory or the call sites are teardown paths
+// where nothing can act on the failure. Keep this list short and justified.
+var errflowAllowlist = map[string]bool{
+	// Close on teardown paths: the store is going away; double-close and
+	// flush errors have nowhere to go. (defer'd Closes are already exempt;
+	// this covers straight-line teardown.)
+	"(*" + ModulePath + ".Store).Close":                 true,
+	"(*" + ModulePath + "/internal/storage.File).Close": true,
+}
+
+// NewErrFlow builds the errflow analyzer: an error result returned by a
+// function in this module must not be silently dropped. The replaySuffix
+// recovery bug (PR 2) was exactly this — FindOrCreate's error ignored, the
+// hash chain silently truncated. Three drop shapes are flagged:
+//
+//   - a call used as a bare expression statement whose callee returns error
+//   - the same inside `go f(...)`
+//   - `v, _ := f(...)` where the blank occupies an error result position and
+//     at least one other result IS bound (all-blank `_, _ =` is an explicit,
+//     visible discard and is allowed, as is the single-result `_ = f()`)
+//
+// defer statements are exempt (defer f.Close() teardown idiom).
+func NewErrFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "errflow",
+		Doc:  "error results from module-internal APIs must not be discarded",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+						checkDroppedCall(pass, info, call, "result ignored")
+					}
+				case *ast.GoStmt:
+					checkDroppedCall(pass, info, n.Call, "result ignored by go statement")
+				case *ast.AssignStmt:
+					checkBlankError(pass, info, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkDroppedCall reports a bare call to a module function that returns an
+// error among its results.
+func checkDroppedCall(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !inModulePath(fn.Pkg().Path()) {
+		return
+	}
+	name := funcDisplayName(fn)
+	if errflowAllowlist[name] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			pass.Reportf(call.Pos(), "error %s: %s returns an error that must be handled or explicitly assigned to _ (the replaySuffix recovery bug was a silently dropped error)", how, name)
+			return
+		}
+	}
+}
+
+// checkBlankError reports `v, _ := f(...)` where the blank hides an error
+// result of a module function while other results are kept.
+func checkBlankError(pass *Pass, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || !inModulePath(fn.Pkg().Path()) {
+		return
+	}
+	name := funcDisplayName(fn)
+	if errflowAllowlist[name] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	anyBound := false
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			anyBound = true
+		}
+	}
+	if !anyBound {
+		return // `_, _ = f()` is an explicit, visible discard
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(sig.Results().At(i).Type()) {
+			pass.Reportf(id.Pos(), "error from %s discarded with _ while other results are kept; handle it or restructure (the replaySuffix recovery bug was a silently dropped error)", name)
+			return
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

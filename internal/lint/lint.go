@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Run is invoked once per package;
+// Finish, if set, runs after every package has been visited (for analyzers
+// that aggregate facts across the whole module, e.g. atomicfield).
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(report func(Finding))
+}
+
+// ignoreDirective is a parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil after a parse error
+	malformed string          // non-empty: the problem with the directive
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	// Findings are the surviving (unsuppressed) diagnostics, sorted by
+	// position, including any malformed //lint:ignore directives.
+	Findings []Finding
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+}
+
+// Run applies every analyzer to every package and resolves suppressions.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed either on the finding's own line or on the line immediately above
+// it. The justification is mandatory: a bare //lint:ignore is itself
+// reported as a finding, so every silenced diagnostic carries a written
+// reason in the tree.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var raw []Finding
+	report := func(f Finding) { raw = append(raw, f) }
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(report)
+		}
+	}
+
+	ignores, bad := collectIgnores(pkgs)
+	var res Result
+	for _, f := range raw {
+		if dirs, ok := ignores[f.Pos.Filename]; ok {
+			if d, ok := dirs[f.Pos.Line]; ok && d.analyzers[f.Analyzer] {
+				res.Suppressed++
+				continue
+			}
+			if d, ok := dirs[f.Pos.Line-1]; ok && d.analyzers[f.Analyzer] {
+				res.Suppressed++
+				continue
+			}
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	res.Findings = append(res.Findings, bad...)
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return res
+}
+
+// collectIgnores scans every file's comments for //lint:ignore directives,
+// keyed by filename and the line the directive sits on. Malformed
+// directives are returned as findings.
+func collectIgnores(pkgs []*Package) (map[string]map[int]ignoreDirective, []Finding) {
+	out := make(map[string]map[int]ignoreDirective)
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := parseIgnore(text)
+					if d.malformed != "" {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  d.malformed,
+						})
+						continue
+					}
+					m := out[pos.Filename]
+					if m == nil {
+						m = make(map[int]ignoreDirective)
+						out[pos.Filename] = m
+					}
+					m[pos.Line] = d
+				}
+			}
+		}
+	}
+	return out, bad
+}
+
+func parseIgnore(rest string) ignoreDirective {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ignoreDirective{malformed: "malformed //lint:ignore: missing analyzer name and justification"}
+	}
+	if len(fields) < 2 {
+		return ignoreDirective{malformed: fmt.Sprintf("malformed //lint:ignore %s: missing justification", fields[0])}
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(fields[0], ",") {
+		if n == "" {
+			return ignoreDirective{malformed: "malformed //lint:ignore: empty analyzer name"}
+		}
+		names[n] = true
+	}
+	return ignoreDirective{analyzers: names}
+}
+
+// Analyzers returns a fresh instance of every fishlint analyzer. Instances
+// are stateful (atomicfield aggregates across packages), so each Run gets
+// its own set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewEpochGuard(),
+		NewAtomicField(),
+		NewErrFlow(),
+		NewAddrCompose(),
+	}
+}
+
+// ---- shared type-resolution helpers used by the analyzers ----
+
+// ModulePath is the module all four analyzers treat as "ours".
+const ModulePath = "fishstore"
+
+// inModule reports whether pkg (a package path) belongs to the FishStore
+// module.
+func inModulePath(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// calleeOf resolves the object a call expression invokes, looking through
+// parentheses. It returns nil for calls through function values, built-ins,
+// and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders a *types.Func as a stable, human-readable key:
+//
+//	time.Sleep
+//	(*sync.WaitGroup).Wait
+//	(fishstore/internal/storage.Device).ReadAt
+//
+// Package paths are fully qualified; methods on pointer receivers carry the
+// leading *.
+func funcDisplayName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	star := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		star = "*"
+		recv = p.Elem()
+	}
+	name := "?"
+	switch t := recv.(type) {
+	case *types.Named:
+		if t.Obj().Pkg() != nil {
+			name = t.Obj().Pkg().Path() + "." + t.Obj().Name()
+		} else {
+			name = t.Obj().Name()
+		}
+	case *types.Interface:
+		name = recv.String()
+	default:
+		name = recv.String()
+	}
+	return "(" + star + name + ")." + fn.Name()
+}
+
+// namedOrInterfaceMethodName resolves the display name of the method a
+// selector call resolves to, preferring the interface the method is called
+// through (so (storage.Device).ReadAt matches regardless of the concrete
+// device behind it).
+func callDisplayName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	// Interface methods promoted from an embedded interface (e.g.
+	// storage.Device embedding io.ReaderAt) resolve to the embedded
+	// interface's *types.Func; render them through the static receiver type
+	// the call site names, so (storage.Device).ReadAt matches regardless of
+	// where the method is declared.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				recv := s.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if n, ok := recv.(*types.Named); ok && n.Obj().Pkg() != nil {
+					return "(" + n.Obj().Pkg().Path() + "." + n.Obj().Name() + ")." + fn.Name()
+				}
+			}
+		}
+	}
+	return funcDisplayName(fn)
+}

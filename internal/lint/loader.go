@@ -1,0 +1,217 @@
+// Package lint is FishStore's repo-specific static-analysis suite
+// ("fishlint"). It mechanically enforces the latch-free invariants the Go
+// type system cannot express — epoch-protection discipline, atomic-access
+// consistency, error propagation from internal APIs, and carry-safe log
+// address composition — each pinned to a bug class this repository has
+// already shipped and fixed once by hand (see DESIGN.md §9).
+//
+// The driver is built exclusively on the standard library: packages are
+// enumerated with `go list -json -deps`, parsed with go/parser, and
+// type-checked with go/types through a source importer that walks the same
+// `go list` metadata. No golang.org/x/tools dependency is required.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// loader resolves and type-checks packages on demand, caching by import
+// path so that every analyzer in a run sees identical type objects (the
+// atomicfield analyzer aggregates facts across packages by object identity).
+type loader struct {
+	dir   string
+	fset  *token.FileSet
+	meta  map[string]*listPkg
+	cache map[string]*types.Package
+	pkgs  map[string]*Package // retained ASTs+Info for module-local packages
+}
+
+// Load expands the package patterns (e.g. "./...") relative to dir with the
+// go tool, then parses and type-checks every matched package plus — lazily —
+// its transitive dependencies from source. It returns the matched packages
+// in the order the go tool reported them.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("lint: no package patterns given")
+	}
+	targets, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		dir:   dir,
+		fset:  token.NewFileSet(),
+		meta:  make(map[string]*listPkg, len(universe)),
+		cache: make(map[string]*types.Package, len(universe)),
+		pkgs:  make(map[string]*Package),
+	}
+	for _, p := range universe {
+		ld.meta[p.ImportPath] = p
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Name == "" || len(t.GoFiles) == 0 {
+			continue // no buildable Go files (e.g. directory of fixtures only)
+		}
+		if _, err := ld.load(t.ImportPath); err != nil {
+			return nil, err
+		}
+		pkg, ok := ld.pkgs[t.ImportPath]
+		if !ok {
+			return nil, fmt.Errorf("lint: %s: loaded but not retained", t.ImportPath)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList shells out to `go list -json` (with -deps when deps is true) and
+// decodes the JSON stream. CGO is disabled so the reported GoFiles are a
+// pure-Go, type-checkable file set.
+func goList(dir string, deps bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("lint: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// load parses and type-checks path (and, recursively through Import, its
+// dependencies), returning its types.Package.
+func (ld *loader) load(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := ld.meta[path]
+	if !ok {
+		// Standard-library packages import their vendored copies of
+		// golang.org/x/... by unprefixed path; go list reports them under
+		// vendor/.
+		if meta, ok = ld.meta["vendor/"+path]; !ok {
+			return nil, fmt.Errorf("lint: package %q not in go list dependency set", path)
+		}
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("lint: %s: %s", path, meta.Error.Err)
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return ld.load(p) }),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	ld.cache[path] = pkg
+	if meta.Module != nil {
+		ld.pkgs[path] = &Package{
+			PkgPath: path,
+			Name:    meta.Name,
+			Dir:     meta.Dir,
+			Fset:    ld.fset,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
+		}
+	}
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,51 @@
+// Package addrcomposetest seeds reproductions of the OR-composition bug
+// class fishlint's addrcompose analyzer guards against (the TailAddress bug:
+// an offset ≥ 1<<offsetBits silently corrupting the page number).
+package addrcomposetest
+
+const offsetBits = 41
+
+const offsetMask = uint64(1)<<offsetBits - 1
+
+// packBad is the historical pack shape: nothing bounds offset below
+// 1<<offsetBits.
+func packBad(page, offset uint64) uint64 {
+	return page<<offsetBits | offset // want addrcompose "may both set bits"
+}
+
+// packGood masks the offset into its field (clean).
+func packGood(page, offset uint64) uint64 {
+	return page<<offsetBits | offset&offsetMask
+}
+
+// packNarrow relies on the operand's type width for disjointness (clean: a
+// uint16 cannot reach bit 41).
+func packNarrow(page uint64, offset uint16) uint64 {
+	return page<<offsetBits | uint64(offset)
+}
+
+type log struct {
+	pageBits uint
+}
+
+// addressBad is the exact TailAddress shape: shift amount is a config field,
+// so neither operand's range is provable.
+func (l *log) addressBad(page, off uint64) uint64 {
+	return page<<l.pageBits | off // want addrcompose "may both set bits"
+}
+
+// accumulate is the bit-accumulation idiom (local shift amount): the
+// analyzer must stay silent here.
+func accumulate(bs []byte) uint64 {
+	var q uint64
+	for i, b := range bs {
+		k := uint(i * 8)
+		q = q | uint64(b)<<k
+	}
+	return q
+}
+
+// setBit is the bitmap idiom (computed shift amount): also silent.
+func setBit(bits []uint64, i uint) {
+	bits[i/64] = bits[i/64] | 1<<(i%64)
+}

@@ -1,0 +1,38 @@
+// Package atomicfieldtest seeds reproductions of the mixed-atomicity bug
+// classes fishlint's atomicfield analyzer guards against: a struct field
+// CASed in one place and read plainly in another, and plain indexing of the
+// frame-aliasing word slices returned by hlog.WordsAt.
+package atomicfieldtest
+
+import (
+	"sync/atomic"
+
+	"fishstore/internal/hlog"
+)
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+// bump makes hits an atomic field module-wide.
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read races with bump: a plain load of a field that is CASed elsewhere.
+func read(c *counter) uint64 {
+	return c.hits // want atomicfield "accessed with sync/atomic elsewhere"
+}
+
+// label touches an unrelated field (clean).
+func label(c *counter) string { return c.name }
+
+// frameAlias reads a live-frame word both ways; only the plain read races
+// with concurrent chain-splice CASes.
+func frameAlias(l *hlog.Log, addr uint64) uint64 {
+	w := l.WordsAt(addr, 1)
+	good := atomic.LoadUint64(&w[0])
+	bad := w[0] // want atomicfield "aliases the live page frame"
+	return good + bad
+}

@@ -1,0 +1,102 @@
+// Package epochguardtest seeds reproductions of the epoch-protection bug
+// classes fishlint's epochguard analyzer guards against: a Protect leaked
+// across an early return (the chain-splice hazard) and blocking calls —
+// sleeps, waits, channel ops, device I/O — inside a protected region (the
+// waitForPage deadlock class).
+package epochguardtest
+
+import (
+	"sync"
+	"time"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/storage"
+)
+
+// leakOnEarlyReturn leaks the acquired guard across the early return.
+func leakOnEarlyReturn(m *epoch.Manager, cond bool) {
+	g := m.Acquire()
+	if cond {
+		return // want epochguard "still protected at this return"
+	}
+	g.Release()
+}
+
+// leakAtFallOff never releases at all.
+func leakAtFallOff(m *epoch.Manager) {
+	g := m.Acquire()
+	g.Refresh()
+} // want epochguard "still protected at this return"
+
+// pairedWithDefer is the canonical clean pattern.
+func pairedWithDefer(m *epoch.Manager, cond bool) {
+	g := m.Acquire()
+	defer g.Release()
+	if cond {
+		return
+	}
+	g.Refresh()
+}
+
+// transferOwnership returns the protected guard to the caller (clean: the
+// Manager.Acquire pattern itself).
+func transferOwnership(m *epoch.Manager) *epoch.Guard {
+	g := m.Acquire()
+	return g
+}
+
+// blockingUnderProtection performs every forbidden blocking operation while
+// protected.
+func blockingUnderProtection(m *epoch.Manager, ch chan int, wg *sync.WaitGroup, dev storage.Device) {
+	g := m.Acquire()
+	defer g.Release()
+	time.Sleep(time.Millisecond) // want epochguard "while guard g is protected"
+	<-ch                         // want epochguard "channel receive"
+	ch <- 1                      // want epochguard "channel send"
+	wg.Wait()                    // want epochguard "while guard g is protected"
+	buf := make([]byte, 8)
+	_, _ = dev.ReadAt(buf, 0) // want epochguard "performs device I/O"
+}
+
+// toggledIO is the sanctioned shape: protection dropped around the device
+// read, restored afterwards.
+func toggledIO(m *epoch.Manager, dev storage.Device) {
+	g := m.Acquire()
+	defer g.Release()
+	buf := make([]byte, 8)
+	g.Unprotect()
+	_, _ = dev.ReadAt(buf, 0)
+	g.Protect()
+	g.Refresh()
+}
+
+// selectNoDefault blocks on a select with no default clause.
+func selectNoDefault(m *epoch.Manager, ch chan int) {
+	g := m.Acquire()
+	defer g.Release()
+	select { // want epochguard "blocking select"
+	case <-ch:
+	}
+}
+
+// selectWithDefault is non-blocking and clean (the subscriber-notify shape).
+func selectWithDefault(m *epoch.Manager, ch chan int) {
+	g := m.Acquire()
+	defer g.Release()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// paramMustStayProtected unprotects a caller-owned guard and forgets to
+// re-protect it on one path.
+func paramMustStayProtected(g *epoch.Guard, dev storage.Device, cond bool) {
+	buf := make([]byte, 8)
+	g.Unprotect()
+	_, _ = dev.ReadAt(buf, 0)
+	if cond {
+		return // want epochguard "arrived protected but is unprotected"
+	}
+	g.Protect()
+}

@@ -1,0 +1,32 @@
+// Package errflowtest seeds reproductions of the dropped-error bug class
+// fishlint's errflow analyzer guards against (the replaySuffix recovery bug:
+// FindOrCreate's error ignored, the hash chain silently truncated).
+package errflowtest
+
+import "errors"
+
+func mayFail() (int, error) {
+	return 0, errors.New("boom")
+}
+
+func onlyErr() error {
+	return nil
+}
+
+func use(int) {}
+
+func caller() {
+	mayFail()         // want errflow "result ignored"
+	go mayFail()      // want errflow "go statement"
+	v, _ := mayFail() // want errflow "discarded with _"
+	use(v)
+
+	// Explicit, visible discards are allowed.
+	_, _ = mayFail()
+	_ = onlyErr()
+
+	// Handled errors are clean.
+	if w, err := mayFail(); err == nil {
+		use(w)
+	}
+}

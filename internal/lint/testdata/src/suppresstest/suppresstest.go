@@ -1,0 +1,17 @@
+// Package suppresstest seeds one genuine addrcompose finding and silences
+// it with a //lint:ignore directive, exercising the suppression path of the
+// driver (the golden test asserts zero findings and exactly one suppression
+// for this package).
+package suppresstest
+
+const offsetBits = 14
+
+// pack composes a log address exactly like the historical TailAddress bug,
+// but here the offset is vouched for by the caller contract, so the finding
+// is suppressed with a written justification.
+func pack(page, offset uint64) uint64 {
+	//lint:ignore addrcompose offset is produced by the page allocator and is always below 1<<offsetBits
+	return page<<offsetBits | offset
+}
+
+var _ = pack

@@ -106,7 +106,9 @@ func formatFloat(v float64) string {
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteText(w, r.Snapshot())
+		// A write error here means the scrape client hung up; there is no
+		// channel left to report it on.
+		_ = WriteText(w, r.Snapshot())
 	})
 }
 

@@ -159,7 +159,7 @@ type KeyPointer struct {
 
 // packA encodes the CAS word (word A) of a key pointer.
 func packA(prev uint64, mode Mode, offsetWords int) uint64 {
-	return prev&kpAddrMask | uint64(mode)<<kpModeShift | uint64(offsetWords)<<kpOffShift
+	return prev&kpAddrMask | uint64(mode)<<kpModeShift&kpModeMask | uint64(offsetWords)<<kpOffShift
 }
 
 // packB encodes word B.

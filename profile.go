@@ -52,7 +52,11 @@ func (s *Store) ChainGapProfile(prop Property, max int) ([]ChainHop, error) {
 			if cr == nil {
 				cr = newChainReader(s.log, false, s.metrics)
 			}
+			// On-device records are immutable; do not pin the safe epoch
+			// across the chain reader's device I/O.
+			g.Unprotect()
 			v, b, err := cr.record(cur)
+			g.Protect()
 			if err != nil {
 				return hops, err
 			}

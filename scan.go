@@ -365,12 +365,17 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, visit func(addr uint
 		if addr >= s.log.HeadAddress() {
 			words = s.log.PageWordsFrom(addr)
 		} else {
+			// On-device data below HeadAddress is immutable, so the read
+			// needs no epoch protection — and must not hold it: a pinned
+			// safe epoch stalls page-frame recycling for every worker.
 			n := int(pageEnd-addr) / 8
-			var err error
-			words, err = s.log.ReadWordsFromDevice(addr, n)
+			g.Unprotect()
+			w, err := s.log.ReadWordsFromDevice(addr, n)
+			g.Protect()
 			if err != nil {
 				return fmt.Errorf("fishstore: full scan read at %d: %w", addr, err)
 			}
+			words = w
 		}
 		if !walkRecords(words, addr, limit, visit) {
 			return nil
@@ -534,7 +539,11 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 			if cr == nil {
 				cr = newChainReader(s.log, useAP, s.metrics)
 			}
+			// Device reads target the immutable on-disk log; drop epoch
+			// protection for their duration so page recycling can proceed.
+			g.Unprotect()
 			v, b, err := cr.record(cur)
+			g.Protect()
 			if err != nil {
 				return fmt.Errorf("fishstore: chain read at %d: %w", cur, err)
 			}
@@ -628,12 +637,18 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 		th := record.UnpackHeader(atomic.LoadUint64(&hw[0]))
 		tv = record.View{Words: s.log.WordsAt(target, th.SizeWords)}
 	} else {
+		// The target is below HeadAddress, hence immutable on device; do
+		// not hold the epoch across the reads.
+		g.Unprotect()
 		hw, err := s.log.ReadWordsFromDevice(target, 1)
+		g.Protect()
 		if err != nil {
 			return Record{}, err
 		}
 		th := record.UnpackHeader(hw[0])
+		g.Unprotect()
 		words, err := s.log.ReadWordsFromDevice(target, th.SizeWords)
+		g.Protect()
 		if err != nil {
 			return Record{}, err
 		}

@@ -220,14 +220,14 @@ func (p Property) hash() uint64 { return psf.PropertyHash(p.PSF, p.Value) }
 
 // Stats is a snapshot of store-level counters.
 type Stats struct {
-	IngestedRecords   int64
-	IngestedBytes     int64
-	IndexedProperties int64
-	InvalidatedRecs   int64 // only non-zero in BadCAS mode
-	TailAddress       uint64
-	LogSizeBytes      uint64 // live footprint: tail - truncation point
+	IngestedRecords    int64
+	IngestedBytes      int64
+	IndexedProperties  int64
+	InvalidatedRecs    int64 // only non-zero in BadCAS mode
+	TailAddress        uint64
+	LogSizeBytes       uint64 // live footprint: tail - truncation point
 	TotalAppendedBytes uint64 // tail - begin: everything ever appended, incl. truncated
-	TableStats        hashtable.Stats
+	TableStats         hashtable.Stats
 }
 
 // Stats returns current counters.

@@ -74,10 +74,10 @@ type storeMetrics struct {
 	deviceWriteBytes   *metrics.Counter
 
 	// Internals (epoch, hash table).
-	epochBumps      *metrics.Counter
-	epochActions    *metrics.Counter
-	htEntries       *metrics.Counter
-	htOverflowAdds  *metrics.Counter
+	epochBumps     *metrics.Counter
+	epochActions   *metrics.Counter
+	htEntries      *metrics.Counter
+	htOverflowAdds *metrics.Counter
 }
 
 // newStoreMetrics registers (or re-resolves, when the registry is shared)
