@@ -31,9 +31,23 @@ type benchResult struct {
 	PhaseMeansNs  map[string]float64 `json:"phase_means_ns,omitempty"`
 }
 
+// scanBenchResult is one scan benchmark's entry in BENCH_scan.json: the
+// Fig 9 comparison surface — index vs full vs adaptive throughput, how much
+// of the range the adaptive planner covered from the index, and the Φ
+// threshold in force during the run.
+type scanBenchResult struct {
+	Name            string  `json:"name"`
+	Mode            string  `json:"mode"`
+	RecordsPerSec   float64 `json:"records_per_sec"` // matched records surfaced per second
+	MatchedPerScan  int64   `json:"matched_per_scan"`
+	IndexedFraction float64 `json:"indexed_fraction"`
+	PhiBytes        uint64  `json:"phi_bytes"`
+}
+
 var (
-	benchMu      sync.Mutex
-	benchResults []benchResult
+	benchMu          sync.Mutex
+	benchResults     []benchResult
+	scanBenchResults []scanBenchResult
 )
 
 func recordBenchResult(r benchResult) {
@@ -50,6 +64,18 @@ func recordBenchResult(r benchResult) {
 	benchResults = append(benchResults, r)
 }
 
+func recordScanBenchResult(r scanBenchResult) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	for i := range scanBenchResults {
+		if scanBenchResults[i].Name == r.Name {
+			scanBenchResults[i] = r
+			return
+		}
+	}
+	scanBenchResults = append(scanBenchResults, r)
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchMu.Lock()
@@ -57,6 +83,11 @@ func TestMain(m *testing.M) {
 	if len(benchResults) > 0 {
 		if raw, err := json.MarshalIndent(benchResults, "", "  "); err == nil {
 			os.WriteFile("BENCH_ingest.json", append(raw, '\n'), 0o644)
+		}
+	}
+	if len(scanBenchResults) > 0 {
+		if raw, err := json.MarshalIndent(scanBenchResults, "", "  "); err == nil {
+			os.WriteFile("BENCH_scan.json", append(raw, '\n'), 0o644)
 		}
 	}
 	os.Exit(code)
@@ -193,21 +224,92 @@ func buildScanStore(b *testing.B) (*fishstore.Store, fishstore.Property) {
 	return s, fishstore.PropertyBool(id, true)
 }
 
-func benchScan(b *testing.B, mode fishstore.ScanMode) {
-	s, prop := buildScanStore(b)
-	defer s.Close()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Scan(prop, fishstore.ScanOptions{Mode: mode},
-			func(fishstore.Record) bool { return true }); err != nil {
+// buildMixedScanStore is buildScanStore with the PSF registered mid-ingest,
+// so half the log predates the PSF's safe register boundary: an auto-mode
+// scan over the whole range must split into a full-scan prefix and an
+// index-scan suffix — the adaptive planner's §7.2 case.
+func buildMixedScanStore(b *testing.B) (*fishstore.Store, fishstore.Property) {
+	w := harness.Table1()["yelp"]
+	dev := storage.NewSimSSD(storage.NewMem(), storage.DefaultSSDProfile())
+	opts := fishstore.Options{Parser: w.Parser, PageBits: 18, MemPages: 2, Device: dev}
+	s, err := fishstore.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := w.NewGen(1)
+	sess := s.NewSession()
+	for i := 0; i < 30; i++ {
+		if _, err := sess.Ingest(datagen.Batch(gen, 64)); err != nil {
 			b.Fatal(err)
 		}
 	}
+	sess.Close()
+	def := psf.MustPredicate("good", `stars > 3 && useful > 5`)
+	id, _, err := s.RegisterPSF(def)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess = s.NewSession()
+	for i := 0; i < 30; i++ {
+		if _, err := sess.Ingest(datagen.Batch(gen, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sess.Close()
+	return s, fishstore.PropertyBool(id, true)
 }
+
+func benchScanStore(b *testing.B, build func(*testing.B) (*fishstore.Store, fishstore.Property), mode fishstore.ScanMode) {
+	s, prop := build(b)
+	defer s.Close()
+	var matched int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched = 0
+		if _, err := s.Scan(prop, fishstore.ScanOptions{Mode: mode},
+			func(fishstore.Record) bool { matched++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	res := scanBenchResult{
+		Name:           b.Name(),
+		RecordsPerSec:  float64(matched) * float64(b.N) / elapsed,
+		MatchedPerScan: matched,
+	}
+	// The store's own decision log supplies the executed plan's index/full
+	// split and the Φ threshold the adaptive planner used.
+	if sl := s.ScanDecisions(); len(sl.Decisions) > 0 {
+		d := sl.Decisions[len(sl.Decisions)-1]
+		res.Mode = d.Mode
+		res.IndexedFraction = d.IndexedFraction
+		res.PhiBytes = d.PhiBytes
+	}
+	recordScanBenchResult(res)
+}
+
+func benchScan(b *testing.B, mode fishstore.ScanMode) { benchScanStore(b, buildScanStore, mode) }
 
 func BenchmarkScanIndexPrefetch(b *testing.B)   { benchScan(b, fishstore.ScanForceIndex) }
 func BenchmarkScanIndexNoPrefetch(b *testing.B) { benchScan(b, fishstore.ScanIndexNoPrefetch) }
 func BenchmarkScanFull(b *testing.B)            { benchScan(b, fishstore.ScanForceFull) }
+
+// The three modes over the half-indexed log: adaptive auto (mixed plan) vs
+// forced full vs forced index (which silently misses the unindexed prefix).
+func BenchmarkScanAdaptiveMixed(b *testing.B) {
+	benchScanStore(b, buildMixedScanStore, fishstore.ScanAuto)
+}
+func BenchmarkScanMixedFull(b *testing.B) {
+	benchScanStore(b, buildMixedScanStore, fishstore.ScanForceFull)
+}
+func BenchmarkScanMixedIndex(b *testing.B) {
+	benchScanStore(b, buildMixedScanStore, fishstore.ScanForceIndex)
+}
 
 func BenchmarkPointLookup(b *testing.B) {
 	w := harness.Table1()["github"]

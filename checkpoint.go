@@ -235,6 +235,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 		MemPages: o.MemPages,
 		Device:   o.Device,
 		Epoch:    em,
+		OnFlush:  flushTracer(met),
 	}, replayEnd)
 	if err != nil {
 		return nil, info, err
@@ -258,6 +259,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	}
 	tf.Close()
 	s.wireInternalMetrics()
+	s.registerIntrospection()
 
 	// 4. Replay the suffix [m.Tail, replayEnd): scan records in address
 	// order and re-install chain heads. Prev pointers inside the records

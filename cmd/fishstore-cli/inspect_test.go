@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fishstore"
+	"fishstore/internal/metrics"
+	"fishstore/internal/psf"
+)
+
+// TestInspectAgainstLiveStore stands up a real store behind the metrics mux
+// and checks `inspect` renders every introspection surface: PSF lifecycle
+// with coverage intervals, index occupancy with per-PSF chain histograms,
+// scan decisions with their Φ inputs, and the flight recorder.
+func TestInspectAgainstLiveStore(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := fishstore.Open(fishstore.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	id, _, err := s.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSession()
+	for i := 0; i < 64; i++ {
+		payload := fmt.Sprintf(`{"id": %d, "repo": {"name": "repo-%d"}}`, i, i%4)
+		if _, err := sess.Ingest([][]byte{[]byte(payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	if _, err := s.Scan(fishstore.PropertyString(id, "repo-1"), fishstore.ScanOptions{},
+		func(fishstore.Record) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(metrics.NewMux(reg))
+	defer srv.Close()
+
+	var out, errOut bytes.Buffer
+	if code := inspectMain([]string{"-addr", srv.URL, "-flight"}, &out, &errOut); code != 0 {
+		t.Fatalf("inspect exited %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"PSF registry: state=REST",
+		"proj(repo.name)",
+		"active",
+		"open)", // the live PSF's coverage interval is still open
+		"Hash index:",
+		"chain sample",
+		"Scan decisions:",
+		"Φ=",
+		"matched=16",
+		"Flight recorder:",
+		"psf.rest", // lifecycle transition captured by the recorder
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("inspect output missing %q\n--- output ---\n%s", want, got)
+		}
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", errOut.String())
+	}
+}
+
+// TestInspectBareHostPort checks the scheme-less -addr form is accepted.
+func TestInspectBareHostPort(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := fishstore.Open(fishstore.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(metrics.NewMux(reg))
+	defer srv.Close()
+
+	var out, errOut bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if code := inspectMain([]string{"-addr", addr}, &out, &errOut); code != 0 {
+		t.Fatalf("inspect exited %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Hash index:") {
+		t.Errorf("no index section in output:\n%s", out.String())
+	}
+}
+
+// TestInspectUnreachable checks a connection failure is reported, not
+// panicked on.
+func TestInspectUnreachable(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := inspectMain([]string{"-addr", "127.0.0.1:1"}, &out, &errOut); code != 1 {
+		t.Fatalf("inspect against a dead port exited %d, want 1", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("no error message on stderr")
+	}
+}

@@ -21,6 +21,9 @@
 //
 //	# fsck a log file against its checkpoint after a crash:
 //	fishstore-cli verify -log store.log -ckpt ckpt/
+//
+//	# Inspect a live store: PSF lifecycle, chain histograms, scan decisions:
+//	fishstore-cli inspect -addr localhost:9187 -flight
 package main
 
 import (
@@ -49,6 +52,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		os.Exit(verifyMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		os.Exit(inspectMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	var (
 		in        = flag.String("in", "", "newline-delimited JSON input file")

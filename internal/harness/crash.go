@@ -7,11 +7,13 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fishstore"
+	"fishstore/internal/metrics"
 	"fishstore/internal/storage"
 )
 
@@ -47,6 +49,14 @@ type CrashConfig struct {
 	MaxCutWrite int64
 	// Out, when non-nil, receives one progress line per round.
 	Out io.Writer
+	// ArtifactDir, when non-empty, receives crash-analysis artifacts:
+	// FLIGHT.jsonl (the pre-crash store's flight-recorder dump, overwritten
+	// every round so a failing run leaves the failing round's events),
+	// FLIGHT_RECOVERY.jsonl (auto-dumped when the recovered store's
+	// verifier finds corruption), and FSCK_REPORT.txt (written by
+	// RunCrashRecovery when an invariant fails). CI uploads the directory
+	// as a workflow artifact on failure.
+	ArtifactDir string
 }
 
 // DefaultCrashConfig returns a configuration sized so cuts land across the
@@ -119,18 +129,37 @@ func RunCrashRecovery(cfg CrashConfig) (CrashReport, error) {
 	for i := 0; i < cfg.Cuts; i++ {
 		seed := cfg.Seed*1_000_003 + int64(i)
 		if err := runOneCut(cfg, seed, &rep); err != nil {
-			return rep, fmt.Errorf("cut round %d (seed %d): %w", i, seed, err)
+			err = fmt.Errorf("cut round %d (seed %d): %w", i, seed, err)
+			writeFsckReport(cfg, err)
+			return rep, err
 		}
 		rep.Cuts++
 	}
 	return rep, nil
 }
 
+// writeFsckReport records a failed run's invariant violation next to the
+// flight dump, so CI can upload both as one artifact.
+func writeFsckReport(cfg CrashConfig, runErr error) {
+	if cfg.ArtifactDir == "" {
+		return
+	}
+	body := fmt.Sprintf("crash harness invariant failure\nconfig: %+v\n\n%v\n", cfg, runErr)
+	// Best-effort inside a failure path: the report only enriches the dump.
+	_ = os.WriteFile(filepath.Join(cfg.ArtifactDir, "FSCK_REPORT.txt"), []byte(body), 0o644)
+}
+
 func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	rng := rand.New(rand.NewSource(seed))
 	mem := storage.NewMem()
-	fd := storage.NewFaultDevice(mem, storage.FaultConfig{Seed: seed})
-	opts := fishstore.Options{Device: fd, PageBits: 12, MemPages: 4, TableBuckets: 1 << 8}
+	// The store installs a flight recorder as reg's trace sink; the fault
+	// device stamps the cut into that same stream, so a dump shows the cut
+	// in sequence with the flushes and checkpoints that preceded it.
+	reg := metrics.NewRegistry()
+	fd := storage.NewFaultDevice(mem, storage.FaultConfig{Seed: seed, OnPowerCut: func() {
+		reg.Trace("fault.powercut", metrics.F("seed", seed))
+	}})
+	opts := fishstore.Options{Device: fd, PageBits: 12, MemPages: 4, TableBuckets: 1 << 8, Metrics: reg}
 
 	ckptDir, err := os.MkdirTemp("", "fishstore-crash-*")
 	if err != nil {
@@ -214,13 +243,31 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	for _, sess := range sessions {
 		sess.Close()
 	}
+	// The cut has fired by now; the flight ring holds the events leading up
+	// to it. Dump it before tearing the store down so a failed recovery
+	// below still leaves the pre-crash timeline on disk.
+	if cfg.ArtifactDir != "" {
+		if f, ferr := os.Create(filepath.Join(cfg.ArtifactDir, "FLIGHT.jsonl")); ferr == nil {
+			_ = s.DumpFlight(f)
+			_ = f.Close()
+		}
+	}
 	_ = s.Close() // post-cut flush errors are the crash itself
 
 	// Recovery runs against the surviving image (the unwrapped device): the
 	// machine rebooted, the fault injector is gone.
-	s2, info, err := fishstore.Recover(ckptDir, fishstore.RecoverOptions{
+	ropts := fishstore.RecoverOptions{
 		Options: fishstore.Options{Device: mem, TableBuckets: 1 << 8},
-	})
+	}
+	if cfg.ArtifactDir != "" {
+		// If the verifier finds corruption the recovered store auto-dumps
+		// its own flight ring (replay-era events) alongside the pre-crash one.
+		if f, ferr := os.Create(filepath.Join(cfg.ArtifactDir, "FLIGHT_RECOVERY.jsonl")); ferr == nil {
+			defer f.Close()
+			ropts.Options.FlightDumpWriter = f
+		}
+	}
+	s2, info, err := fishstore.Recover(ckptDir, ropts)
 	if err != nil {
 		return fmt.Errorf("recover: %w", err)
 	}

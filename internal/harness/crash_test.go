@@ -1,6 +1,10 @@
 package harness
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -12,6 +16,9 @@ func TestCrashRecoveryRandomizedCuts(t *testing.T) {
 	if testing.Verbose() {
 		cfg.Out = testWriter{t}
 	}
+	// CI points this at a directory it uploads as a workflow artifact when
+	// the job fails, so a red run ships its flight dump and fsck report.
+	cfg.ArtifactDir = os.Getenv("CRASH_ARTIFACT_DIR")
 	if !testing.Short() {
 		cfg.Cuts = 100
 	}
@@ -40,6 +47,55 @@ func TestCrashRecoveryDeterministicSeed(t *testing.T) {
 	if _, err := RunCrashRecovery(cfg); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestFlightRecorderDumpOnPowerCut asserts the flight-recorder artifact
+// contract: every cut round leaves a FLIGHT.jsonl whose event stream ends
+// with the injected "fault.powercut", preceded by the store activity
+// (flushes, checkpoints) that led up to it.
+func TestFlightRecorderDumpOnPowerCut(t *testing.T) {
+	cfg := DefaultCrashConfig()
+	cfg.Cuts = 1
+	cfg.Seed = 7
+	cfg.ArtifactDir = t.TempDir()
+	if _, err := RunCrashRecovery(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(filepath.Join(cfg.ArtifactDir, "FLIGHT.jsonl"))
+	if err != nil {
+		t.Fatalf("flight dump missing: %v", err)
+	}
+	defer f.Close()
+	type event struct {
+		Name string `json:"event"`
+	}
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad flight dump line %q: %v", sc.Text(), err)
+		}
+		names = append(names, ev.Name)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cut := -1
+	for i, n := range names {
+		if n == "fault.powercut" {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatalf("no fault.powercut event in flight dump; events: %v", names)
+	}
+	if cut == 0 {
+		t.Fatalf("powercut is the first flight event; expected preceding store activity, events: %v", names)
+	}
+	t.Logf("flight dump: %d events, powercut at index %d, preceding: %v", len(names), cut, names[:cut])
 }
 
 type testWriter struct{ t *testing.T }

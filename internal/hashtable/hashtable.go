@@ -327,6 +327,64 @@ func (t *Table) Stats() Stats {
 	return st
 }
 
+// Occupancy describes table occupancy in the detail the introspection
+// endpoints serve: slot counts split by finalized vs tentative, overflow
+// usage, and a per-bucket fill distribution over the main buckets.
+type Occupancy struct {
+	Buckets          int // main buckets
+	UsedEntries      int // occupied, finalized (main + overflow)
+	TentativeEntries int // occupied, mid two-phase insert
+	OverflowUsed     int // overflow buckets linked into chains
+	OverflowCap      int // overflow buckets allocated
+	// BucketFill[k] counts main buckets with exactly k used slots
+	// (k = 0..entriesPerBucket); overflow entries count toward their
+	// home bucket's fill, clamped at entriesPerBucket.
+	BucketFill []int
+}
+
+// Occupancy scans the table with atomic loads; like Stats it is fuzzy (not
+// linearizable) and never blocks inserters.
+func (t *Table) Occupancy() Occupancy {
+	nb := t.NumBuckets()
+	oc := Occupancy{
+		Buckets:     nb,
+		OverflowCap: len(t.overflow)/wordsPerBucket - 1, // index 0 means "none"
+		BucketFill:  make([]int, entriesPerBucket+1),
+	}
+	if oc.OverflowCap < 0 {
+		oc.OverflowCap = 0
+	}
+	for b := 0; b < nb; b++ {
+		words := t.bucketWords(uint64(b))
+		fill := 0
+		for {
+			for i := 0; i < entriesPerBucket; i++ {
+				w := atomic.LoadUint64(&words[i])
+				if w == 0 {
+					continue
+				}
+				if w&tentativeBit != 0 {
+					oc.TentativeEntries++
+				} else {
+					oc.UsedEntries++
+				}
+				fill++
+			}
+			next := atomic.LoadUint64(&words[entriesPerBucket])
+			if next == 0 {
+				break
+			}
+			oc.OverflowUsed++
+			words = t.overflowWords(next)
+		}
+		if fill > entriesPerBucket {
+			fill = entriesPerBucket
+		}
+		oc.BucketFill[fill]++
+	}
+	return oc
+}
+
 // Range calls fn for every occupied, non-tentative entry.
 func (t *Table) Range(fn func(hashBucket uint64, e Entry, s Slot) bool) {
 	nb := t.NumBuckets()

@@ -346,3 +346,49 @@ func TestSizeBytes(t *testing.T) {
 		t.Fatalf("NumBuckets = %d", tbl.NumBuckets())
 	}
 }
+
+func TestOccupancy(t *testing.T) {
+	tbl := New(8, 16)
+	oc := tbl.Occupancy()
+	if oc.Buckets != 8 || oc.UsedEntries != 0 || oc.TentativeEntries != 0 {
+		t.Fatalf("empty table occupancy = %+v", oc)
+	}
+	if oc.BucketFill[0] != 8 {
+		t.Fatalf("empty table BucketFill = %v", oc.BucketFill)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := tbl.FindOrCreate(HashProperty(uint16(i%5), []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oc = tbl.Occupancy()
+	if oc.UsedEntries != n {
+		t.Fatalf("UsedEntries = %d, want %d", oc.UsedEntries, n)
+	}
+	if oc.TentativeEntries != 0 {
+		t.Fatalf("TentativeEntries = %d, want 0 (FindOrCreate finalizes)", oc.TentativeEntries)
+	}
+	sum := 0
+	filled := 0
+	for k, c := range oc.BucketFill {
+		sum += c
+		if k > 0 {
+			filled += c
+		}
+	}
+	if sum != oc.Buckets {
+		t.Fatalf("BucketFill sums to %d buckets, want %d", sum, oc.Buckets)
+	}
+	if filled == 0 {
+		t.Fatal("no bucket shows fill > 0 after 40 inserts")
+	}
+	if oc.OverflowCap != 15 {
+		t.Fatalf("OverflowCap = %d, want 15 (16 minus reserved index 0)", oc.OverflowCap)
+	}
+	// 40 entries over 8 buckets of 7 slots must have spilled somewhere only
+	// if some bucket got >7; either way OverflowUsed must agree with Stats.
+	if st := tbl.Stats(); oc.OverflowUsed != st.OverflowBuckets {
+		t.Fatalf("OverflowUsed = %d, Stats().OverflowBuckets = %d", oc.OverflowUsed, st.OverflowBuckets)
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	Device storage.Device
 	// Epoch is the epoch manager shared with the store. Required.
 	Epoch *epoch.Manager
+	// OnFlush, if set, is called after every page flush completes, outside
+	// the log's flush lock, with the flushed page number and the device
+	// error (nil on success). Used by the store's flight recorder to keep a
+	// trace of durability progress leading up to a crash.
+	OnFlush func(page uint64, err error)
 }
 
 // DefaultConfig returns a config with 1MB pages and a 16MB buffer.
@@ -98,6 +103,7 @@ type Log struct {
 	flushedPgs map[uint64]uint64 // sealed page -> its end address, pending contiguous advance
 	flushErr   error
 	flushWG    sync.WaitGroup
+	onFlush    func(page uint64, err error)
 
 	closed atomic.Bool
 }
@@ -127,6 +133,7 @@ func New(cfg Config) (*Log, error) {
 		device:     dev,
 		epoch:      cfg.Epoch,
 		flushedPgs: make(map[uint64]uint64),
+		onFlush:    cfg.OnFlush,
 	}
 	l.frameFreeFor = make([]atomic.Uint64, cfg.MemPages)
 	for i := range l.frames {
@@ -387,24 +394,28 @@ func binary8(dst []byte, w uint64) {
 }
 
 // completeFlush records a finished page flush and advances flushedUntil
-// contiguously.
+// contiguously. The OnFlush hook runs after flushMu is released so it may
+// query the log freely.
 func (l *Log) completeFlush(page uint64, err error) {
 	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
 	if err != nil && l.flushErr == nil {
 		l.flushErr = err
-		return
-	}
-	l.flushedPgs[page] = l.address(page+1, 0)
-	for {
-		cur := l.flushedUntil.Load()
-		pg := l.PageOf(cur)
-		end, ok := l.flushedPgs[pg]
-		if !ok {
-			break
+	} else {
+		l.flushedPgs[page] = l.address(page+1, 0)
+		for {
+			cur := l.flushedUntil.Load()
+			pg := l.PageOf(cur)
+			end, ok := l.flushedPgs[pg]
+			if !ok {
+				break
+			}
+			delete(l.flushedPgs, pg)
+			l.flushedUntil.Store(end)
 		}
-		delete(l.flushedPgs, pg)
-		l.flushedUntil.Store(end)
+	}
+	l.flushMu.Unlock()
+	if l.onFlush != nil {
+		l.onFlush(page, err)
 	}
 }
 

@@ -1,0 +1,127 @@
+package introspect
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"fishstore/internal/metrics"
+)
+
+// FlightRecorder is a fixed-size lock-free ring of the most recent trace
+// events — the store's "black box". It implements metrics.TraceSink, so
+// installing it as a registry's sink captures every control-plane event
+// (page flushes, checkpoints, PSF transitions, epoch drains, fault trips)
+// right up to a crash; the retained window is what the crash harness and
+// `fishstore-cli inspect -flight` dump.
+//
+// Emit optionally tees to a downstream sink so a user-provided TraceSink
+// keeps working alongside the recorder.
+type FlightRecorder struct {
+	ring *Ring[metrics.TraceEvent]
+	next metrics.TraceSink
+}
+
+// DefaultFlightEvents is the default ring capacity.
+const DefaultFlightEvents = 256
+
+// NewFlightRecorder creates a recorder retaining up to capacity events
+// (DefaultFlightEvents when <= 0), teeing every event to next when non-nil.
+func NewFlightRecorder(capacity int, next metrics.TraceSink) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightEvents
+	}
+	return &FlightRecorder{ring: NewRing[metrics.TraceEvent](capacity), next: next}
+}
+
+// Emit implements metrics.TraceSink.
+func (f *FlightRecorder) Emit(e metrics.TraceEvent) {
+	f.ring.Put(e)
+	if f.next != nil {
+		f.next.Emit(e)
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []metrics.TraceEvent { return f.ring.Snapshot() }
+
+// Total returns how many events were ever recorded; Dropped how many fell
+// out of the ring.
+func (f *FlightRecorder) Total() uint64   { return f.ring.Total() }
+func (f *FlightRecorder) Dropped() uint64 { return f.ring.Dropped() }
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int { return f.ring.Cap() }
+
+// WriteJSON dumps the retained events as JSON lines (the WriterSink format:
+// {"ts":..., "event":..., <fields>}), oldest first.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	for _, e := range f.Events() {
+		m := make(map[string]any, len(e.Fields)+2)
+		m["ts"] = e.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
+		m["event"] = e.Name
+		for _, fld := range e.Fields {
+			m[fld.Key] = fld.Value
+		}
+		raw, err := json.Marshal(m)
+		if err != nil {
+			continue // an unmarshalable field value degrades to a skipped line
+		}
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlightSnapshot is the JSON form served by /debug/fishstore/flight.
+type FlightSnapshot struct {
+	Capacity int           `json:"capacity"`
+	Total    uint64        `json:"total"`
+	Dropped  uint64        `json:"dropped"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// FlightEvent is one trace event rendered for JSON.
+type FlightEvent struct {
+	Time   string         `json:"ts"`
+	Name   string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Snapshot renders the recorder for the debug endpoint.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	events := f.Events()
+	out := FlightSnapshot{
+		Capacity: f.Cap(),
+		Total:    f.Total(),
+		Dropped:  f.Dropped(),
+		Events:   make([]FlightEvent, 0, len(events)),
+	}
+	for _, e := range events {
+		fe := FlightEvent{
+			Time: e.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00"),
+			Name: e.Name,
+		}
+		if len(e.Fields) > 0 {
+			fe.Fields = make(map[string]any, len(e.Fields))
+			for _, fld := range e.Fields {
+				fe.Fields[fld.Key] = fld.Value
+			}
+		}
+		out.Events = append(out.Events, fe)
+	}
+	return out
+}
+
+// dumpMu serializes concurrent auto-dumps (e.g. two VerifyLog failures
+// racing) so their JSON lines do not interleave in the output writer.
+var dumpMu sync.Mutex
+
+// DumpLocked writes the flight snapshot to w under a process-wide mutex,
+// for failure paths that may fire concurrently.
+func (f *FlightRecorder) DumpLocked(w io.Writer) error {
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	return f.WriteJSON(w)
+}

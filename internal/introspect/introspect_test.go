@@ -1,0 +1,159 @@
+package introspect
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fishstore/internal/metrics"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		r.Put(i)
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("snapshot = %v, want [1 2 3]", got)
+	}
+	for i := 4; i <= 10; i++ {
+		r.Put(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("full ring retains %d items, want 4", len(got))
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if got[i] != want {
+			t.Fatalf("snapshot = %v, want [7 8 9 10]", got)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+// TestRingConcurrent hammers Put from many goroutines while snapshotting;
+// run with -race. Every snapshot must be strictly ordered by sequence.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing[uint64](64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Put(uint64(i))
+			}
+		}()
+	}
+	var snapErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if len(s) > r.Cap() {
+				snapErr = &overflowErr{len(s)}
+				return
+			}
+		}
+	}()
+	wgDone := make(chan struct{})
+	go func() {
+		for r.Total() < 20000 {
+			time.Sleep(time.Millisecond)
+		}
+		close(wgDone)
+	}()
+	<-wgDone
+	close(stop)
+	wg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	if r.Total() != 20000 {
+		t.Fatalf("Total = %d, want 20000", r.Total())
+	}
+	if len(r.Snapshot()) != 64 {
+		t.Fatalf("retained %d, want 64", len(r.Snapshot()))
+	}
+}
+
+type overflowErr struct{ n int }
+
+func (e *overflowErr) Error() string { return "snapshot exceeded capacity" }
+
+func TestFlightRecorderTeesAndDumps(t *testing.T) {
+	mem := metrics.NewMemorySink(16)
+	fr := NewFlightRecorder(4, mem)
+	for i := 0; i < 6; i++ {
+		fr.Emit(metrics.TraceEvent{
+			Time:   time.Date(2026, 8, 5, 0, 0, i, 0, time.UTC),
+			Name:   "test.event",
+			Fields: []metrics.Field{metrics.F("i", i)},
+		})
+	}
+	if got := len(mem.Events()); got != 6 {
+		t.Fatalf("downstream sink saw %d events, want 6", got)
+	}
+	ev := fr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("recorder retained %d events, want 4", len(ev))
+	}
+	if fr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", fr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dump has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"i":2`) || !strings.Contains(lines[3], `"i":5`) {
+		t.Fatalf("dump not ordered oldest-first:\n%s", buf.String())
+	}
+	snap := fr.Snapshot()
+	if snap.Capacity != 4 || snap.Total != 6 || snap.Dropped != 2 || len(snap.Events) != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Events[0].Fields["i"] != 2 {
+		t.Fatalf("snapshot first event fields = %v", snap.Events[0].Fields)
+	}
+}
+
+func TestPowHist(t *testing.T) {
+	var h PowHist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 9, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	want := map[uint64]int64{1: 2, 2: 1, 4: 2, 16: 1, 1024: 1}
+	for _, b := range h.Buckets() {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		delete(want, b.Le)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+}

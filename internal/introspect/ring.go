@@ -1,0 +1,78 @@
+// Package introspect holds FishStore's deep-introspection primitives: a
+// fixed-size lock-free ring (the building block of the crash flight recorder
+// and the adaptive-scan decision log) and the JSON snapshot types served by
+// the /debug/fishstore/* endpoints — index occupancy, per-PSF chain-length
+// histograms, log composition, and cost-model telemetry.
+//
+// Everything here is designed to sit on hot-path-adjacent code without
+// perturbing it: Put is two atomic operations plus one small allocation, and
+// snapshots never block writers.
+package introspect
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ringItem pairs a value with its global sequence number so Snapshot can
+// reconstruct emission order after concurrent writers land out of order.
+type ringItem[T any] struct {
+	seq uint64
+	v   T
+}
+
+// Ring is a fixed-capacity, lock-free, drop-oldest ring. Put claims a
+// sequence number with one atomic add and publishes into the slot with one
+// atomic pointer store; concurrent Puts never block each other or readers.
+// Snapshot is wait-free with respect to writers: it reads whatever slot
+// states it observes (a torn view can at worst miss or double-order items
+// racing with the snapshot, never corrupt them).
+type Ring[T any] struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[ringItem[T]]
+}
+
+// NewRing creates a ring holding up to capacity items (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[ringItem[T]], capacity)}
+}
+
+// Put appends v, overwriting the oldest retained item when full.
+func (r *Ring[T]) Put(v T) {
+	seq := r.seq.Add(1)
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&ringItem[T]{seq: seq, v: v})
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Total returns how many items were ever Put.
+func (r *Ring[T]) Total() uint64 { return r.seq.Load() }
+
+// Dropped returns how many items have been overwritten (total minus
+// capacity, never negative).
+func (r *Ring[T]) Dropped() uint64 {
+	if t := r.Total(); t > uint64(len(r.slots)) {
+		return t - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Snapshot returns the retained items, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	items := make([]*ringItem[T], 0, len(r.slots))
+	for i := range r.slots {
+		if it := r.slots[i].Load(); it != nil {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	out := make([]T, len(items))
+	for i, it := range items {
+		out[i] = it.v
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -114,13 +115,15 @@ func Handler(r *Registry) http.Handler {
 
 // NewMux builds the full observability endpoint:
 //
-//	/metrics      Prometheus text exposition of r
-//	/debug/vars   expvar JSON (includes the registry under "fishstore_metrics")
-//	/debug/pprof  CPU/heap/goroutine profiles
+//	/metrics            Prometheus text exposition of r
+//	/debug/vars         expvar JSON (includes the registry under "fishstore_metrics")
+//	/debug/pprof        CPU/heap/goroutine profiles
+//	/debug/fishstore/*  JSON introspection endpoints (RegisterDebug)
 func NewMux(r *Registry) *http.ServeMux {
 	PublishExpvar("fishstore_metrics", r)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/fishstore/", DebugHandler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -128,6 +131,43 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugHandler serves the registry's RegisterDebug endpoints under
+// /debug/fishstore/: each registered name becomes /debug/fishstore/<name>
+// returning the function's result as indented JSON. Lookup happens at
+// request time, so stores may register endpoints after the mux is built
+// (fishstore-cli serve builds the mux after Open). The bare prefix lists
+// the available endpoints.
+func DebugHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name := strings.TrimPrefix(req.URL.Path, "/debug/fishstore/")
+		name = strings.Trim(name, "/")
+		if name == "" {
+			writeDebugJSON(w, http.StatusOK, map[string]any{"endpoints": r.DebugNames()})
+			return
+		}
+		fn, ok := r.Debug(name)
+		if !ok {
+			writeDebugJSON(w, http.StatusNotFound, map[string]any{
+				"error":     fmt.Sprintf("unknown introspection endpoint %q", name),
+				"endpoints": r.DebugNames(),
+			})
+			return
+		}
+		writeDebugJSON(w, http.StatusOK, fn())
+	})
+}
+
+func writeDebugJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
 }
 
 var expvarMu sync.Mutex

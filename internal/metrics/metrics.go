@@ -123,6 +123,10 @@ type Registry struct {
 
 	sink   atomic.Pointer[sinkHolder] // trace.go
 	slowNs atomic.Int64               // trace.go
+
+	// debug maps /debug/fishstore/<name> endpoints to snapshot functions
+	// (RegisterDebug); guarded by mu, lazily allocated.
+	debug map[string]func() any
 }
 
 type family struct {
@@ -242,6 +246,53 @@ func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) 
 		return nil
 	}
 	return r.getOrCreate(name, help, TypeHistogram, scale, labels).h
+}
+
+// RegisterDebug exposes fn as the JSON introspection endpoint
+// /debug/fishstore/<name> on any mux built from this registry (NewMux). The
+// function is invoked at request time and its result rendered as JSON.
+// First-wins per name, mirroring GaugeFunc: when several stores share a
+// registry, the first store attached provides the view. Registration works
+// even on a disabled registry — structural introspection is orthogonal to
+// metric collection.
+func (r *Registry) RegisterDebug(name string, fn func() any) {
+	if r == nil || name == "" || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.debug == nil {
+		r.debug = make(map[string]func() any)
+	}
+	if _, ok := r.debug[name]; !ok {
+		r.debug[name] = fn
+	}
+}
+
+// Debug returns the debug function registered under name.
+func (r *Registry) Debug(name string) (func() any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.debug[name]
+	return fn, ok
+}
+
+// DebugNames returns the registered debug endpoint names, sorted.
+func (r *Registry) DebugNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.debug))
+	for name := range r.debug {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ---- snapshot ----

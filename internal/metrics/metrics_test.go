@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -279,5 +280,151 @@ func TestConcurrentUse(t *testing.T) {
 	m, _ := r.Snapshot().Find("ch")
 	if m.Buckets[len(m.Buckets)-1].Count != workers*per {
 		t.Fatal("cumulative bucket total mismatch")
+	}
+}
+
+// TestPrometheusHistogramCumulative pins the Prometheus histogram
+// convention: _bucket{le="..."} series are cumulative (each bucket counts
+// all observations <= its bound), monotonically non-decreasing, and the
+// +Inf bucket equals _count. The test parses the rendered text format so a
+// regression in either the snapshot or the renderer fails it.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cum_bytes", "sizes", ScaleNone)
+	// One observation per power-of-two bucket boundary plus repeats: buckets
+	// (le=1):2, (le=2):1, (le=4):2, (le=8):1, rest 0 until +Inf.
+	for _, v := range []int64{0, 1, 2, 3, 4, 7} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		le    string
+		count uint64
+	}
+	var buckets []sample
+	var count uint64
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed line %q", line)
+		}
+		switch {
+		case strings.HasPrefix(name, "cum_bytes_bucket{le="):
+			le := strings.TrimSuffix(strings.TrimPrefix(name, `cum_bytes_bucket{le="`), `"}`)
+			var c uint64
+			if _, err := fmt.Sscanf(val, "%d", &c); err != nil {
+				t.Fatalf("bucket count %q: %v", val, err)
+			}
+			buckets = append(buckets, sample{le: le, count: c})
+		case name == "cum_bytes_count":
+			fmt.Sscanf(val, "%d", &count)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatalf("no _bucket series rendered:\n%s", buf.String())
+	}
+	// Cumulative: monotone non-decreasing, ending at +Inf == _count.
+	var prev uint64
+	for _, b := range buckets {
+		if b.count < prev {
+			t.Fatalf("bucket le=%s count %d < previous %d (non-cumulative export)", b.le, b.count, prev)
+		}
+		prev = b.count
+	}
+	last := buckets[len(buckets)-1]
+	if last.le != "+Inf" {
+		t.Fatalf("last bucket le=%q, want +Inf", last.le)
+	}
+	if last.count != count || count != 6 {
+		t.Fatalf("+Inf bucket %d, _count %d, want both 6", last.count, count)
+	}
+	// Exact cumulative values at the low boundaries.
+	wantCum := map[string]uint64{"1": 2, "2": 3, "4": 5, "8": 6}
+	for _, b := range buckets {
+		if want, ok := wantCum[b.le]; ok && b.count != want {
+			t.Fatalf("bucket le=%s count %d, want cumulative %d", b.le, b.count, want)
+		}
+	}
+}
+
+// TestMemorySinkBounded proves a hot emission loop cannot grow the sink
+// without bound: retained events stay capped, overwrites are counted, and
+// the retained window is the most recent suffix in order.
+func TestMemorySinkBounded(t *testing.T) {
+	const max, emitted = 64, 50_000
+	s := NewMemorySink(max)
+	for i := 0; i < emitted; i++ {
+		s.Emit(TraceEvent{Name: "scan.slow", Fields: []Field{F("i", i)}})
+	}
+	evs := s.Events()
+	if len(evs) != max {
+		t.Fatalf("retained %d events, want %d", len(evs), max)
+	}
+	if got := s.Dropped(); got != emitted-max {
+		t.Fatalf("Dropped = %d, want %d", got, emitted-max)
+	}
+	for i, e := range evs {
+		if want := emitted - max + i; e.Fields[0].Value != want {
+			t.Fatalf("event %d carries i=%v, want %d (not the newest suffix)", i, e.Fields[0].Value, want)
+		}
+	}
+}
+
+// TestDebugEndpoints exercises RegisterDebug through the mux: a registered
+// name serves JSON, the bare prefix lists endpoints, unknown names 404 with
+// the available list, and registration is first-wins.
+func TestDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterDebug("probe", func() any { return map[string]int{"value": 42} })
+	r.RegisterDebug("probe", func() any { return map[string]int{"value": 7} }) // loses: first wins
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, map[string]any) {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: not JSON: %v", path, err)
+		}
+		return res.StatusCode, m
+	}
+
+	code, m := get("/debug/fishstore/probe")
+	if code != 200 || m["value"] != float64(42) {
+		t.Fatalf("probe endpoint: code %d body %v", code, m)
+	}
+	code, m = get("/debug/fishstore/")
+	if code != 200 {
+		t.Fatalf("listing: code %d", code)
+	}
+	if eps, _ := m["endpoints"].([]any); len(eps) != 1 || eps[0] != "probe" {
+		t.Fatalf("listing = %v", m)
+	}
+	code, m = get("/debug/fishstore/nope")
+	if code != 404 || m["error"] == nil {
+		t.Fatalf("unknown endpoint: code %d body %v", code, m)
+	}
+
+	// Registration after the mux is built is still served (request-time
+	// dispatch: fishstore-cli serve builds the mux before Open registers).
+	r.RegisterDebug("late", func() any { return []int{1, 2, 3} })
+	res, err := srv.Client().Get(srv.URL + "/debug/fishstore/late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("late endpoint: code %d", res.StatusCode)
 	}
 }

@@ -115,12 +115,17 @@ func (s *WriterSink) Emit(e TraceEvent) {
 	s.mu.Unlock()
 }
 
-// MemorySink keeps the most recent events in a ring buffer, for tests and
-// in-process inspection.
+// MemorySink keeps the most recent events in a fixed circular buffer, for
+// tests and in-process inspection. Memory use is bounded by the buffer: a
+// hot loop emitting events forever overwrites the oldest ones (counted by
+// Dropped) instead of growing the sink.
 type MemorySink struct {
-	mu     sync.Mutex
-	events []TraceEvent
-	max    int
+	mu      sync.Mutex
+	buf     []TraceEvent // allocated lazily, fixed at max entries
+	max     int
+	start   int // index of the oldest retained event
+	n       int // retained count, <= max
+	dropped uint64
 }
 
 // NewMemorySink creates a sink retaining up to max events (default 1024).
@@ -134,9 +139,16 @@ func NewMemorySink(max int) *MemorySink {
 // Emit implements TraceSink.
 func (s *MemorySink) Emit(e TraceEvent) {
 	s.mu.Lock()
-	s.events = append(s.events, e)
-	if len(s.events) > s.max {
-		s.events = s.events[len(s.events)-s.max:]
+	if s.buf == nil {
+		s.buf = make([]TraceEvent, s.max)
+	}
+	if s.n < s.max {
+		s.buf[(s.start+s.n)%s.max] = e
+		s.n++
+	} else {
+		s.buf[s.start] = e
+		s.start = (s.start + 1) % s.max
+		s.dropped++
 	}
 	s.mu.Unlock()
 }
@@ -145,7 +157,19 @@ func (s *MemorySink) Emit(e TraceEvent) {
 func (s *MemorySink) Events() []TraceEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]TraceEvent(nil), s.events...)
+	out := make([]TraceEvent, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%s.max])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten because the sink was
+// full.
+func (s *MemorySink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Named returns the retained events with the given name.

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -232,8 +233,8 @@ func ShardHash(id ID, canonical []byte, shard, shards int) uint64 {
 // PSF's index is guaranteed complete. To == math.MaxUint64 means "still
 // active".
 type Interval struct {
-	From uint64
-	To   uint64
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
 }
 
 // Open reports whether the interval is still being extended (PSF active).
@@ -504,6 +505,67 @@ func (r *Registry) LookupByName(name string) (ID, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Info is the lifecycle view of one PSF ever registered: its definition
+// summary, whether it is currently active, and every address interval over
+// which its index is complete (historical-index coverage). The last
+// interval's To == math.MaxUint64 while the PSF is active.
+type Info struct {
+	ID        ID         `json:"id"`
+	Name      string     `json:"name"`
+	Kind      string     `json:"kind"`
+	Fields    []string   `json:"fields,omitempty"`
+	Shards    int        `json:"shards"`
+	Active    bool       `json:"active"`
+	Intervals []Interval `json:"intervals"`
+}
+
+// RegistryStatus is a point-in-time view of the whole registry: the Fig 7
+// state machine position, the metadata version in force, and every PSF ever
+// registered with its coverage intervals.
+type RegistryStatus struct {
+	State   string   `json:"state"` // REST | PREPARE | PENDING
+	Version uint64   `json:"version"`
+	Active  int      `json:"active_psfs"`
+	Fields  []string `json:"fields_of_interest,omitempty"`
+	PSFs    []Info   `json:"psfs"`
+}
+
+// Status snapshots the registry for introspection. It takes the control-
+// plane mutex (never held by ingestion workers), so it cannot stall the
+// data plane; a concurrent Apply simply serializes with it.
+func (r *Registry) Status() RegistryStatus {
+	meta := r.CurrentMeta()
+	st := RegistryStatus{
+		State:   r.State().String(),
+		Version: meta.Version,
+		Active:  len(meta.PSFs),
+		Fields:  append([]string(nil), meta.Fields...),
+	}
+	r.mu.Lock()
+	ids := make([]ID, 0, len(r.registered))
+	for id := range r.registered {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		reg := r.registered[id]
+		info := Info{
+			ID:        id,
+			Name:      reg.def.Name,
+			Kind:      reg.def.Kind.String(),
+			Fields:    append([]string(nil), reg.def.Fields...),
+			Shards:    reg.def.ShardCount(),
+			Intervals: append([]Interval(nil), reg.intervals...),
+		}
+		if n := len(reg.intervals); n > 0 && reg.intervals[n-1].Open() {
+			info.Active = true
+		}
+		st.PSFs = append(st.PSFs, info)
+	}
+	r.mu.Unlock()
+	return st
 }
 
 // Intervals returns the address intervals over which id's index is complete.

@@ -308,3 +308,54 @@ func TestReRegistrationCreatesSecondInterval(t *testing.T) {
 		t.Fatalf("boundary = %d", res.SafeRegisterBoundary)
 	}
 }
+
+func TestRegistryStatus(t *testing.T) {
+	var tail atomic.Uint64
+	r, _ := newRegistry(&tail)
+	st := r.Status()
+	if st.State != "REST" || st.Version != 0 || st.Active != 0 || len(st.PSFs) != 0 {
+		t.Fatalf("fresh registry status = %+v", st)
+	}
+
+	tail.Store(100)
+	idA, _, err := r.Register(Projection("city"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail.Store(250)
+	idB, _, err := r.Register(Projection("stars"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail.Store(400)
+	if _, err := r.Deregister(idA); err != nil {
+		t.Fatal(err)
+	}
+
+	st = r.Status()
+	if st.State != "REST" || st.Active != 1 {
+		t.Fatalf("status after dereg = %+v", st)
+	}
+	if len(st.PSFs) != 2 {
+		t.Fatalf("status lists %d PSFs, want 2 (history kept)", len(st.PSFs))
+	}
+	if st.PSFs[0].ID != idA || st.PSFs[1].ID != idB {
+		t.Fatalf("PSFs not sorted by id: %+v", st.PSFs)
+	}
+	a, b := st.PSFs[0], st.PSFs[1]
+	if a.Active {
+		t.Fatal("deregistered PSF reported active")
+	}
+	if len(a.Intervals) != 1 || a.Intervals[0].From != 100 || a.Intervals[0].To != 400 {
+		t.Fatalf("deregistered PSF intervals = %+v", a.Intervals)
+	}
+	if !b.Active || len(b.Intervals) != 1 || b.Intervals[0].From != 250 || !b.Intervals[0].Open() {
+		t.Fatalf("active PSF = %+v", b)
+	}
+	if b.Kind != "projection" || b.Name != "proj(stars)" {
+		t.Fatalf("definition summary = %+v", b)
+	}
+	if st.Version == 0 || len(st.Fields) != 1 || st.Fields[0] != "stars" {
+		t.Fatalf("version/fields = %d %v", st.Version, st.Fields)
+	}
+}

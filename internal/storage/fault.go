@@ -51,6 +51,10 @@ type FaultConfig struct {
 	// TearAlign aligns tear and short-read boundaries (default 512, a
 	// sector; always rounded up to at least 8 so log words stay atomic).
 	TearAlign int
+	// OnPowerCut, if set, is called exactly once when the power cut fires
+	// (from the cut write or CutNow), outside the device's mutex. The crash
+	// harness uses it to timestamp the cut in the flight recorder.
+	OnPowerCut func()
 }
 
 // FaultStats counts operations and injected faults.
@@ -120,8 +124,13 @@ func (d *FaultDevice) ArmPowerCut(n int64) {
 
 // CutNow cuts power immediately: all subsequent writes and syncs fail.
 func (d *FaultDevice) CutNow() {
-	if d.cut.CompareAndSwap(false, true) && d.cutAt.Load() == 0 {
-		d.cutAt.Store(d.writes.Load())
+	if d.cut.CompareAndSwap(false, true) {
+		if d.cutAt.Load() == 0 {
+			d.cutAt.Store(d.writes.Load())
+		}
+		if d.cfg.OnPowerCut != nil {
+			d.cfg.OnPowerCut()
+		}
 	}
 }
 
@@ -174,7 +183,7 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 			// This write carries the power cut: a random aligned prefix
 			// reaches the medium, the rest is lost with the write cache.
 			keep := d.tearPoint(len(p))
-			d.cut.Store(true)
+			fired := d.cut.CompareAndSwap(false, true)
 			d.cutAt.Store(ord)
 			if keep > 0 {
 				d.torn.Add(1)
@@ -182,6 +191,9 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 			d.mu.Unlock()
 			if keep > 0 {
 				d.inner.WriteAt(p[:keep], off)
+			}
+			if fired && d.cfg.OnPowerCut != nil {
+				d.cfg.OnPowerCut()
 			}
 			return 0, ErrPowerCut
 		}

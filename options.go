@@ -2,6 +2,7 @@ package fishstore
 
 import (
 	"errors"
+	"io"
 	"time"
 
 	"fishstore/internal/metrics"
@@ -63,6 +64,24 @@ type Options struct {
 	// SlowOpThreshold makes operations slower than it emit *.slow trace
 	// events. Zero disables slow-operation tracing.
 	SlowOpThreshold time.Duration
+
+	// FlightRecorderSize is the capacity (in events) of the crash flight
+	// recorder: a lock-free ring that retains the most recent trace events
+	// and is dumped on VerifyLog corruption and on demand (DumpFlight,
+	// /debug/fishstore/flight). 0 means the default (256); negative disables
+	// the recorder. When enabled, the recorder becomes the registry's trace
+	// sink and tees every event to Options.TraceSink.
+	FlightRecorderSize int
+
+	// FlightDumpWriter, if set, receives an automatic JSON-lines flight dump
+	// whenever VerifyLog detects corruption.
+	FlightDumpWriter io.Writer
+
+	// ScanDecisionLog is the number of recent scan decisions retained for
+	// /debug/fishstore/scan and fishstore-cli inspect: per-segment
+	// index/full choices plus the cost-model inputs (Φ) each adaptive scan
+	// used. 0 means the default (64); negative disables the decision log.
+	ScanDecisionLog int
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -90,6 +109,12 @@ func (o *Options) withDefaults() (Options, error) {
 		if out.OverflowBuckets < 64 {
 			out.OverflowBuckets = 64
 		}
+	}
+	if out.FlightRecorderSize == 0 {
+		out.FlightRecorderSize = 256
+	}
+	if out.ScanDecisionLog == 0 {
+		out.ScanDecisionLog = 64
 	}
 	return out, nil
 }

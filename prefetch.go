@@ -49,12 +49,22 @@ type chainReader struct {
 	met *storeMetrics
 }
 
-func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
-	profile := storage.DefaultSSDProfile()
+// costModel returns the Φ threshold and the storage profile behind it: the
+// number of sequential bytes whose transfer time equals one random I/O's
+// fixed cost, computed from the device's profile (or the default SSD profile
+// when the device doesn't report one). Shared by the adaptive prefetcher,
+// the cost-model gauges, and the per-scan decision log.
+func costModel(log *hlog.Log) (phi uint64, profile storage.Profile) {
+	profile = storage.DefaultSSDProfile()
 	if p, ok := storage.Unwrap(log.Device()).(storage.Profiler); ok {
 		profile = p.Profile()
 	}
-	phi := (profile.SyscallCost.Seconds() + profile.RandLatency.Seconds()) * profile.SeqBandwidth
+	phi = uint64((profile.SyscallCost.Seconds() + profile.RandLatency.Seconds()) * profile.SeqBandwidth)
+	return phi, profile
+}
+
+func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
+	phi, profile := costModel(log)
 	cr := &chainReader{
 		log:    log,
 		useAP:  useAP,
@@ -63,7 +73,7 @@ func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
 		avgRec: 1024,
 		met:    met,
 	}
-	cr.tau = uint64(phi)
+	cr.tau = phi
 	if cr.maxWin < cr.minWin {
 		cr.maxWin = cr.minWin
 	}

@@ -43,6 +43,20 @@ const (
 	ScanIndexNoPrefetch
 )
 
+func (m ScanMode) String() string {
+	switch m {
+	case ScanAuto:
+		return "auto"
+	case ScanForceFull:
+		return "full"
+	case ScanForceIndex:
+		return "index"
+	case ScanIndexNoPrefetch:
+		return "index-noprefetch"
+	}
+	return "unknown"
+}
+
 // ScanOptions bounds and tunes a subset retrieval.
 type ScanOptions struct {
 	// From and To delimit the address range [From, To); zero means the
@@ -95,6 +109,13 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 		return st, nil
 	}
 	st.Plan = s.planScan(prop.PSF, from, to, opts.Mode)
+
+	if s.scanLog != nil {
+		start := time.Now()
+		defer func() {
+			s.recordScanDecision(prop.PSF, opts.Mode, from, to, &st, time.Since(start))
+		}()
+	}
 
 	if met := s.metrics; met.reg.Enabled() {
 		met.scans.Inc()

@@ -33,6 +33,7 @@ import (
 	"fishstore/internal/expr"
 	"fishstore/internal/hashtable"
 	"fishstore/internal/hlog"
+	"fishstore/internal/introspect"
 	"fishstore/internal/metrics"
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
@@ -58,6 +59,14 @@ type Store struct {
 	invalidated     atomic.Int64 // records abandoned by badCAS reallocation
 	truncatedUntil  atomic.Uint64
 
+	// scanLog retains the last N scan decisions (Φ inputs, segment split,
+	// observed work) for /debug/fishstore/scan; nil when disabled.
+	scanLog *introspect.Ring[introspect.ScanDecision]
+	scanSeq atomic.Uint64
+
+	// lastChain publishes the most recent chain sample (SampleChains).
+	lastChain atomic.Pointer[introspect.ChainSnapshot]
+
 	// ckptMu is the checkpoint barrier: ingestion batches hold it shared,
 	// Checkpoint holds it exclusively while taking its cut.
 	ckptMu sync.RWMutex
@@ -78,13 +87,21 @@ func initMetrics(o *Options) *storeMetrics {
 	if reg == nil {
 		reg = metrics.NewDisabled()
 	}
-	if o.TraceSink != nil {
+	var flight *introspect.FlightRecorder
+	if o.FlightRecorderSize > 0 {
+		// The flight recorder becomes the registry's sink and tees every
+		// event to the configured TraceSink. When several stores share a
+		// registry, the last store opened provides the recorder.
+		flight = introspect.NewFlightRecorder(o.FlightRecorderSize, o.TraceSink)
+		reg.SetTraceSink(flight)
+	} else if o.TraceSink != nil {
 		reg.SetTraceSink(o.TraceSink)
 	}
 	if o.SlowOpThreshold > 0 {
 		reg.SetSlowOpThreshold(o.SlowOpThreshold)
 	}
 	m := newStoreMetrics(reg)
+	m.flight = flight
 	if reg.Enabled() {
 		o.Device = storage.NewInstrumented(o.Device, m)
 	}
@@ -104,6 +121,7 @@ func Open(opts Options) (*Store, error) {
 		MemPages: o.MemPages,
 		Device:   o.Device,
 		Epoch:    em,
+		OnFlush:  flushTracer(met),
 	})
 	if err != nil {
 		return nil, err
@@ -118,7 +136,22 @@ func Open(opts Options) (*Store, error) {
 	}
 	s.registry = psf.NewRegistry(em, log.TailAddress)
 	s.wireInternalMetrics()
+	s.registerIntrospection()
 	return s, nil
+}
+
+// flushTracer returns the hlog OnFlush hook: a trace event per completed
+// page flush, giving the flight recorder a durability timeline leading up
+// to a crash. One atomic load per page flush when no sink is installed.
+func flushTracer(met *storeMetrics) func(page uint64, err error) {
+	return func(page uint64, err error) {
+		if err != nil {
+			met.reg.Trace("hlog.flush",
+				metrics.F("page", page), metrics.F("error", err.Error()))
+			return
+		}
+		met.reg.Trace("hlog.flush", metrics.F("page", page))
+	}
 }
 
 // wireInternalMetrics attaches counters and trace hooks to the store's
@@ -232,17 +265,34 @@ type Stats struct {
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
-	tail := s.log.TailAddress()
+	live, tail := s.liveLogBytes()
 	return Stats{
 		IngestedRecords:    s.ingestedRecords.Load(),
 		IngestedBytes:      s.ingestedBytes.Load(),
 		IndexedProperties:  s.indexedProps.Load(),
 		InvalidatedRecs:    s.invalidated.Load(),
 		TailAddress:        tail,
-		LogSizeBytes:       tail - s.TruncatedUntil(),
+		LogSizeBytes:       live,
 		TotalAppendedBytes: tail - hlog.BeginAddress,
 		TableStats:         s.table.Stats(),
 	}
+}
+
+// liveLogBytes returns the live log footprint (tail minus truncation point)
+// and the tail it used. The truncation point is loaded FIRST: TruncateUntil
+// never raises it past the tail it observed, so trunc <= tail holds for any
+// later tail read — loading in the other order can observe a tail from
+// before a concurrent truncation and underflow the subtraction.
+func (s *Store) liveLogBytes() (live, tail uint64) {
+	trunc := s.truncatedUntil.Load()
+	tail = s.log.TailAddress()
+	if trunc < hlog.BeginAddress {
+		trunc = hlog.BeginAddress
+	}
+	if tail < trunc {
+		return 0, tail
+	}
+	return tail - trunc, tail
 }
 
 // Device returns the underlying storage device (for experiment harnesses

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fishstore/internal/introspect"
 	"fishstore/internal/metrics"
 )
 
@@ -78,6 +79,12 @@ type storeMetrics struct {
 	epochActions   *metrics.Counter
 	htEntries      *metrics.Counter
 	htOverflowAdds *metrics.Counter
+
+	// flight is the crash flight recorder installed as the registry's trace
+	// sink (nil when Options.FlightRecorderSize < 0). Unlike the metric
+	// handles above it also works with a disabled registry: Trace only
+	// checks the sink.
+	flight *introspect.FlightRecorder
 }
 
 // newStoreMetrics registers (or re-resolves, when the registry is shared)
@@ -202,7 +209,7 @@ func (s *Store) registerGaugeFuncs() {
 		func() float64 { return float64(s.TruncatedUntil()) })
 	reg.GaugeFunc("fishstore_log_live_bytes",
 		"Live log footprint: tail minus truncation point.",
-		func() float64 { return float64(s.log.TailAddress() - s.TruncatedUntil()) })
+		func() float64 { live, _ := s.liveLogBytes(); return float64(live) })
 	reg.GaugeFunc("fishstore_log_appended_bytes",
 		"Total bytes ever appended to the log (ignores truncation).",
 		func() float64 { return float64(s.log.TailAddress() - s.BeginAddress()) })
@@ -219,6 +226,56 @@ func (s *Store) registerGaugeFuncs() {
 	reg.GaugeFunc("fishstore_psf_active",
 		"Currently registered (active) PSFs.",
 		func() float64 { return float64(len(s.registry.CurrentMeta().PSFs)) })
+
+	// Introspection gauges: live occupancy detail, cost-model inputs, and
+	// the freshness of the last chain sample.
+	reg.GaugeFunc("fishstore_hashtable_load_factor",
+		"Used entries over main-bucket slot capacity (tentative excluded).",
+		func() float64 {
+			oc := s.table.Occupancy()
+			slots := oc.Buckets * 7
+			if slots == 0 {
+				return 0
+			}
+			return float64(oc.UsedEntries) / float64(slots)
+		})
+	reg.GaugeFunc("fishstore_hashtable_tentative_entries",
+		"Entries mid two-phase insert at snapshot time.",
+		func() float64 { return float64(s.table.Occupancy().TentativeEntries) })
+	reg.GaugeFunc("fishstore_costmodel_phi_bytes",
+		"Adaptive prefetch threshold Φ = (c_syscall + lat_rand)·bw_seq (§7.2).",
+		func() float64 { phi, _ := costModel(s.log); return float64(phi) })
+	reg.GaugeFunc("fishstore_costmodel_bw_seq_bytes_per_sec",
+		"Sequential bandwidth the cost model assumes for the device.",
+		func() float64 { _, p := costModel(s.log); return p.SeqBandwidth })
+	reg.GaugeFunc("fishstore_costmodel_lat_rand_seconds",
+		"Random-access latency the cost model assumes for the device.",
+		func() float64 { _, p := costModel(s.log); return p.RandLatency.Seconds() })
+	reg.GaugeFunc("fishstore_chain_sample_age_seconds",
+		"Seconds since the last chain sample (-1 = never sampled).",
+		func() float64 {
+			cs := s.lastChain.Load()
+			if cs == nil {
+				return -1
+			}
+			return time.Since(cs.SampledAt).Seconds()
+		})
+	reg.GaugeFunc("fishstore_chain_sampled_chains",
+		"Chains walked by the last chain sample.",
+		func() float64 {
+			if cs := s.lastChain.Load(); cs != nil {
+				return float64(cs.Chains)
+			}
+			return 0
+		})
+	reg.GaugeFunc("fishstore_chain_sampled_links",
+		"Chain links traversed by the last chain sample.",
+		func() float64 {
+			if cs := s.lastChain.Load(); cs != nil {
+				return float64(cs.Links)
+			}
+			return 0
+		})
 }
 
 // Metrics returns a point-in-time snapshot of every metric family the store's

@@ -7,6 +7,7 @@ import (
 
 	"fishstore/internal/hashtable"
 	"fishstore/internal/hlog"
+	"fishstore/internal/metrics"
 	"fishstore/internal/record"
 	"fishstore/internal/storage"
 	"fishstore/internal/wordio"
@@ -280,6 +281,7 @@ func (s *Store) VerifyLog(opts VerifyOptions) (VerifyReport, error) {
 	}
 	rep, seen, err := verifyImage(s.log.Device(), s.opts.PageBits, from, to)
 	if err != nil || rep.Corruption != nil || opts.SkipChains {
+		s.reportCorruption(rep.Corruption)
 		return rep, err
 	}
 
@@ -330,5 +332,23 @@ func (s *Store) VerifyLog(opts VerifyOptions) (VerifyReport, error) {
 		return corrupt == nil
 	})
 	rep.Corruption = corrupt
+	s.reportCorruption(rep.Corruption)
 	return rep, nil
+}
+
+// reportCorruption emits the corruption as a trace event (so it lands in
+// the flight recorder) and then dumps the recorder to the configured
+// FlightDumpWriter — the crash-analysis artifact: the last trace events
+// leading up to the first detected integrity violation.
+func (s *Store) reportCorruption(c *Corruption) {
+	if c == nil {
+		return
+	}
+	s.metrics.reg.Trace("verify.corruption",
+		metrics.F("address", c.Address),
+		metrics.F("kind", c.Kind),
+		metrics.F("detail", c.Detail))
+	if w := s.opts.FlightDumpWriter; w != nil {
+		_ = s.DumpFlight(w)
+	}
 }
