@@ -165,6 +165,21 @@ func BenchmarkIngestYelpMetrics(b *testing.B) {
 		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewRegistry()})
 }
 
+// BenchmarkIngestYelpChecksum / BenchmarkIngestYelpNoChecksum bracket the
+// per-record CRC32-C seal cost paid at flush time. Both run with metrics
+// disabled so the seal is the only difference (the acceptance bar is <5%
+// regression with checksums on, which is the default).
+func BenchmarkIngestYelpChecksum(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled()})
+}
+
+func BenchmarkIngestYelpNoChecksum(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled(),
+			DisableRecordChecksums: true})
+}
+
 // BenchmarkIngestYelpPhases additionally collects the Fig 13 per-phase
 // breakdown (and exports per-phase means into BENCH_ingest.json).
 func BenchmarkIngestYelpPhases(b *testing.B) {
@@ -201,9 +216,17 @@ func BenchmarkIngestParallel(b *testing.B) {
 // ---- micro: scan modes over a disk-resident log ----
 
 func buildScanStore(b *testing.B) (*fishstore.Store, fishstore.Property) {
+	return buildScanStoreVerify(b, false)
+}
+
+// buildScanStoreVerify is buildScanStore with VerifyOnRead selectable, so
+// the CRC re-validation cost on device reads can be benchmarked in
+// isolation against the identical unverified scan.
+func buildScanStoreVerify(b *testing.B, verify bool) (*fishstore.Store, fishstore.Property) {
 	w := harness.Table1()["yelp"]
 	dev := storage.NewSimSSD(storage.NewMem(), storage.DefaultSSDProfile())
-	opts := fishstore.Options{Parser: w.Parser, PageBits: 18, MemPages: 2, Device: dev}
+	opts := fishstore.Options{Parser: w.Parser, PageBits: 18, MemPages: 2, Device: dev,
+		VerifyOnRead: verify}
 	s, err := fishstore.Open(opts)
 	if err != nil {
 		b.Fatal(err)
@@ -298,6 +321,20 @@ func benchScan(b *testing.B, mode fishstore.ScanMode) { benchScanStore(b, buildS
 func BenchmarkScanIndexPrefetch(b *testing.B)   { benchScan(b, fishstore.ScanForceIndex) }
 func BenchmarkScanIndexNoPrefetch(b *testing.B) { benchScan(b, fishstore.ScanIndexNoPrefetch) }
 func BenchmarkScanFull(b *testing.B)            { benchScan(b, fishstore.ScanForceFull) }
+
+// The same two scans with VerifyOnRead: every device record's checksum is
+// re-validated before it is surfaced. Compare against BenchmarkScanFull and
+// BenchmarkScanIndexPrefetch for the quarantine machinery's read-side cost.
+func BenchmarkScanFullVerify(b *testing.B) {
+	benchScanStore(b, func(b *testing.B) (*fishstore.Store, fishstore.Property) {
+		return buildScanStoreVerify(b, true)
+	}, fishstore.ScanForceFull)
+}
+func BenchmarkScanIndexVerify(b *testing.B) {
+	benchScanStore(b, func(b *testing.B) (*fishstore.Store, fishstore.Property) {
+		return buildScanStoreVerify(b, true)
+	}, fishstore.ScanForceIndex)
+}
 
 // The three modes over the half-indexed log: adaptive auto (mixed plan) vs
 // forced full vs forced index (which silently misses the unindexed prefix).

@@ -101,6 +101,9 @@ func ReadManifest(dir string) (Manifest, error) {
 // with hash-table size, recovery cost with the log suffix ingested since
 // the last checkpoint.
 func (s *Store) Checkpoint(dir string) error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -112,11 +115,16 @@ func (s *Store) Checkpoint(dir string) error {
 	tail := s.log.TailAddress()
 	s.metrics.reg.Trace("checkpoint.begin", metrics.F("tail", tail))
 	if err := s.log.FlushTail(); err != nil {
+		// The device permanently refused a log write (transient faults were
+		// retried below when IORetry is configured): no future checkpoint can
+		// succeed and ingestion can no longer be persisted. Degrade.
+		s.enterDegraded(fmt.Errorf("checkpoint flush: %w", err))
 		return fmt.Errorf("fishstore: checkpoint flush: %w", err)
 	}
 	// The manifest claims the log is durable below tail; force the device's
 	// write cache to stable media before any artifact can make that claim.
 	if err := storage.Sync(s.log.Device()); err != nil {
+		s.enterDegraded(fmt.Errorf("checkpoint log sync: %w", err))
 		return fmt.Errorf("fishstore: checkpoint log sync: %w", err)
 	}
 
@@ -228,20 +236,21 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	}
 	_ = probe
 
-	// 2. Reopen the log at the recovered tail.
+	// 2. Reopen the log at the recovered tail. As in Open, the store exists
+	// before its log so the flush hook can degrade it on permanent failures.
 	em := epoch.New()
+	s := &Store{opts: o, epoch: em, pf: o.Parser, metrics: met}
 	log, err := hlog.Recover(hlog.Config{
 		PageBits: o.PageBits,
 		MemPages: o.MemPages,
 		Device:   o.Device,
 		Epoch:    em,
-		OnFlush:  flushTracer(met),
+		OnFlush:  s.flushHook(),
 	}, replayEnd)
 	if err != nil {
 		return nil, info, err
 	}
-
-	s := &Store{opts: o, epoch: em, log: log, pf: o.Parser, metrics: met}
+	s.log = log
 	s.registry = psf.NewRegistry(em, log.TailAddress)
 	if err := s.registry.Restore(m.PSFs, ropts.CustomPSFs); err != nil {
 		return nil, info, err
@@ -307,7 +316,7 @@ func probeDurableEnd(o Options, from uint64) (pages int, end uint64, err error) 
 func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, int64, error) {
 	var replayed, replayedBytes int64
 	var cbErr error
-	err := s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
+	err := s.visitRange(g, from, to, nil, func(addr uint64, v record.View) bool {
 		h := v.Header()
 		replayed++
 		if !h.Indirect {

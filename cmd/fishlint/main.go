@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	fishlint [-q] ./...
+//	fishlint [-q] [-tests] ./...
+//
+// With -tests, packages are loaded in test mode: _test.go files (in-package
+// and external) are analyzed alongside the production sources — test code
+// takes epoch guards and reads shared words too, and a latch-free invariant
+// violated only under test still deadlocks or corrupts CI.
 //
 // Exit codes: 0 — no findings; 1 — findings reported; 2 — usage or load
 // error. Findings are suppressed by an inline
@@ -29,8 +34,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("fishlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	quiet := flags.Bool("q", false, "suppress the summary line")
+	tests := flags.Bool("tests", false, "analyze _test.go files alongside production sources")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: fishlint [-q] <package patterns>\n")
+		fmt.Fprintf(stderr, "usage: fishlint [-q] [-tests] <package patterns>\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -45,7 +51,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fishlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := lint.Load(dir, flags.Args()...)
+	loadFn := lint.Load
+	if *tests {
+		loadFn = lint.LoadTests
+	}
+	pkgs, err := loadFn(dir, flags.Args()...)
 	if err != nil {
 		fmt.Fprintf(stderr, "fishlint: %v\n", err)
 		return 2

@@ -4,18 +4,28 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"fishstore"
 	"fishstore/internal/storage"
 )
 
 // verifyMain implements `fishstore-cli verify`: an fsck for FishStore log
-// files. It walks every record header, key-pointer region, and prev link on
-// the device and reports the first corruption with its address. With -ckpt
-// the checkpoint manifest supplies the log geometry and the durable tail, so
-// a log torn short of the manifest's claim is also detected.
+// files. It walks every record header, key-pointer region, checksum seal,
+// and prev link on the device and reports the first corruption with its
+// address. With -ckpt the checkpoint manifest supplies the log geometry and
+// the durable tail, so a log torn short of the manifest's claim is also
+// detected.
 //
-// Exit status: 0 = clean, 1 = corruption found, 2 = unable to verify.
+// -repair truncates the log at the first corrupt record, amputating it and
+// everything after it. Without -repair the truncation is a dry run: the
+// command prints exactly what would be lost and changes nothing. Only
+// record-level corruption (bad header, bad checksum, torn record) is
+// repairable this way; chain-structure damage below the corruption point and
+// a log torn short of its manifest cannot be fixed by dropping a suffix.
+//
+// Exit status: 0 = clean (or repaired clean), 1 = corruption found,
+// 2 = unable to verify.
 func verifyMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -24,6 +34,7 @@ func verifyMain(args []string, stdout, stderr io.Writer) int {
 		ckptDir  = fs.String("ckpt", "", "checkpoint directory (supplies geometry and the durable tail)")
 		pageBits = fs.Uint("page-bits", 0, "log page size bits when no -ckpt is given (default 20)")
 		from     = fs.Uint64("from", 0, "start address (default: begin of log)")
+		repair   = fs.Bool("repair", false, "truncate the log at the first corrupt record (default: dry run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -35,6 +46,7 @@ func verifyMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var to uint64
+	var manifestTail uint64
 	bits := *pageBits
 	if *ckptDir != "" {
 		m, err := fishstore.ReadManifest(*ckptDir)
@@ -49,6 +61,7 @@ func verifyMain(args []string, stdout, stderr io.Writer) int {
 		}
 		bits = m.PageBits
 		to = m.Tail
+		manifestTail = m.Tail
 		fmt.Fprintf(stdout, "checkpoint: tail=%d page-bits=%d\n", m.Tail, m.PageBits)
 	}
 	if bits == 0 {
@@ -67,10 +80,63 @@ func verifyMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fishstore-cli verify: %v\n", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "walked [%d, %d): %d records, %d key pointers, %d fillers\n",
-		rep.From, rep.End, rep.Records, rep.KeyPointers, rep.Fillers)
-	if rep.Corruption != nil {
-		fmt.Fprintf(stdout, "CORRUPT: %s\n", rep.Corruption)
+	fmt.Fprintf(stdout, "walked [%d, %d): %d records (%d sealed, %d unchecked), %d key pointers, %d fillers\n",
+		rep.From, rep.End, rep.Records, rep.SealedRecords, rep.UncheckedRecords, rep.KeyPointers, rep.Fillers)
+	if rep.Corruption == nil {
+		fmt.Fprintln(stdout, "ok")
+		return 0
+	}
+	fmt.Fprintf(stdout, "CORRUPT: %s\n", rep.Corruption)
+
+	switch rep.Corruption.Kind {
+	case "record":
+		// Fall through to the repair path: the walk stopped at the first
+		// corrupt record, so everything before its address is intact.
+	case "truncated-log":
+		fmt.Fprintln(stdout, "repair: not applicable — the log ends before the manifest's durable tail; the missing data cannot be restored by truncation")
+		return 1
+	default:
+		fmt.Fprintf(stdout, "repair: not applicable — %s corruption is structural damage below the corruption point, not a bad trailing record\n", rep.Corruption.Kind)
+		return 1
+	}
+
+	cut := rep.Corruption.Address
+	st, err := os.Stat(*logPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "fishstore-cli verify: %v\n", err)
+		return 2
+	}
+	lost := st.Size() - int64(cut)
+	if lost < 0 {
+		lost = 0
+	}
+	fmt.Fprintf(stdout, "repair: truncating at %d drops the corrupt record and %d trailing bytes\n", cut, lost)
+	if manifestTail != 0 && cut < manifestTail {
+		fmt.Fprintf(stdout, "repair: WARNING: %d is below the checkpointed tail %d — truncation loses data a checkpoint acknowledged as durable\n",
+			cut, manifestTail)
+	}
+	if !*repair {
+		fmt.Fprintln(stdout, "repair: dry run — re-run with -repair to apply")
+		return 1
+	}
+
+	if err := os.Truncate(*logPath, int64(cut)); err != nil {
+		fmt.Fprintf(stderr, "fishstore-cli verify: truncating: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "repair: truncated %s to %d bytes\n", *logPath, cut)
+
+	// Re-verify the amputated log. The manifest tail may no longer be
+	// reachable, so walk to the new durable end rather than holding the
+	// repaired log to the manifest's claim.
+	rep2, err := fishstore.VerifyDevice(dev, bits, *from, 0)
+	if err != nil {
+		fmt.Fprintf(stderr, "fishstore-cli verify: re-verifying: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "re-verified [%d, %d): %d records\n", rep2.From, rep2.End, rep2.Records)
+	if rep2.Corruption != nil {
+		fmt.Fprintf(stdout, "CORRUPT after repair: %s\n", rep2.Corruption)
 		return 1
 	}
 	fmt.Fprintln(stdout, "ok")

@@ -47,7 +47,7 @@ func (s *Store) BuildHistoricalIndex(id psf.ID, from, to uint64) (int64, error) 
 			continue
 		}
 		var appendErr error
-		err := s.visitRange(sessG, seg.From, seg.To, func(addr uint64, v record.View) bool {
+		err := s.visitRange(sessG, seg.From, seg.To, nil, func(addr uint64, v record.View) bool {
 			if v.Header().Indirect {
 				return true // never index index records
 			}
@@ -103,6 +103,7 @@ func (s *Store) appendIndirect(g *epoch.Guard, id psf.ID, val expr.Value, target
 		Payload:  payload[:],
 		Pointers: []record.PointerSpec{ps},
 		Indirect: true,
+		Checksum: !s.opts.DisableRecordChecksums,
 	}
 	if ps.Mode == record.ModeValueRegion {
 		spec.ValueRegion = canonical

@@ -99,10 +99,16 @@ func TestRDBMisonPPIngestAndRetrieve(t *testing.T) {
 
 	// Brute force count.
 	e := expr.MustParse(`stars > 3 && useful > 5`)
-	ps, _ := pjson.New().NewSession(e.Fields())
+	ps, err := pjson.New().NewSession(e.Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var want int64
 	for _, rec := range batch {
-		p, _ := ps.Parse(rec)
+		p, perr := ps.Parse(rec)
+		if perr != nil {
+			t.Fatal(perr)
+		}
 		if e.EvalBool(p.Lookup) {
 			want++
 		}

@@ -14,7 +14,7 @@ func openKV(t testing.TB) *Store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() { _ = s.Close() })
 	return s
 }
 
@@ -29,7 +29,9 @@ func TestUpsertRead(t *testing.T) {
 	if err != nil || !ok || string(v) != "one" {
 		t.Fatalf("Read = %q, %v, %v", v, ok, err)
 	}
-	if _, ok, _ := sess.Read([]byte("missing")); ok {
+	if _, ok, err := sess.Read([]byte("missing")); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found absent key")
 	}
 }
@@ -43,7 +45,10 @@ func TestUpsertOverwrites(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	v, ok, _ := sess.Read([]byte("k"))
+	v, ok, err := sess.Read([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || string(v) != "v9" {
 		t.Fatalf("Read = %q", v)
 	}

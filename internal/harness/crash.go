@@ -21,12 +21,18 @@ import (
 // durability contract: ingest under concurrent load, cut power at a
 // randomized device write, recover from the surviving image, and assert
 // that (1) the log verifier finds no corruption — every PSF chain has no
-// forward links and no dangling key pointers, (2) each worker's surviving
-// records form a contiguous prefix of what it ingested (every hash chain is
-// a suffix of its pre-crash self — a crash can only truncate history, never
-// resurrect, reorder, or invent records), (3) everything acknowledged by a
-// successful checkpoint survives, (4) index scans and full scans agree on
-// the recovered store, and (5) the recovered store accepts new ingestion.
+// forward links, no dangling key pointers, and no record whose payload
+// fails its checksum, (2) each worker's surviving records form a contiguous
+// prefix of what it ingested (every hash chain is a suffix of its pre-crash
+// self — a crash can only truncate history, never resurrect, reorder, or
+// invent records), (3) everything acknowledged by a successful checkpoint
+// survives, (4) index scans and full scans agree on the recovered store and
+// NO scan — index or full — ever surfaces a torn or corrupt payload, and
+// (5) the recovered store accepts new ingestion. Recovery runs with
+// VerifyOnRead so even a record that somehow slipped past the durable-end
+// probe would be quarantined rather than surfaced; the harness then asserts
+// the quarantine count is zero — recovery must truncate corruption away, not
+// paper over it.
 
 // CrashConfig scales a crash/recovery run.
 type CrashConfig struct {
@@ -257,7 +263,7 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	// Recovery runs against the surviving image (the unwrapped device): the
 	// machine rebooted, the fault injector is gone.
 	ropts := fishstore.RecoverOptions{
-		Options: fishstore.Options{Device: mem, TableBuckets: 1 << 8},
+		Options: fishstore.Options{Device: mem, TableBuckets: 1 << 8, VerifyOnRead: true},
 	}
 	if cfg.ArtifactDir != "" {
 		// If the verifier finds corruption the recovered store auto-dumps
@@ -291,17 +297,16 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 		maxSeq[w] = -1
 	}
 	survivors := 0
-	var fullTorn []uint64
 	var scanErr error
-	if _, err := s2.Scan(fishstore.PropertyString(idRepo, "spark"),
+	fullStats, err := s2.Scan(fishstore.PropertyString(idRepo, "spark"),
 		fishstore.ScanOptions{Mode: fishstore.ScanForceFull}, func(r fishstore.Record) bool {
 			var ev crashEvent
 			if err := json.Unmarshal(r.Payload, &ev); err != nil {
-				// The store's field-extracting parser can match a record whose
-				// payload was torn after the matched field; tolerate it here
-				// and hold it to the single-torn-tail-record shape below.
-				fullTorn = append(fullTorn, r.Address)
-				return true
+				// Checksums close the torn-record exposure: a record whose
+				// payload was torn fails its seal, recovery truncates the
+				// durable end before it, and no scan may ever surface it.
+				scanErr = fmt.Errorf("full scan surfaced a record with corrupt payload at %d: %v", r.Address, err)
+				return false
 			}
 			if ev.Worker < 0 || ev.Worker >= cfg.Workers {
 				scanErr = fmt.Errorf("recovered record at %d from unknown worker %d", r.Address, ev.Worker)
@@ -315,11 +320,15 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 			maxSeq[ev.Worker] = ev.Seq
 			survivors++
 			return true
-		}); err != nil {
+		})
+	if err != nil {
 		return fmt.Errorf("full scan: %w", err)
 	}
 	if scanErr != nil {
 		return scanErr
+	}
+	if fullStats.Quarantined != 0 {
+		return fmt.Errorf("full scan quarantined %d records on a freshly recovered store; recovery must truncate corruption, not admit it", fullStats.Quarantined)
 	}
 	pushes := 0
 	for w, m := range maxSeq {
@@ -335,48 +344,28 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 		rep.MaxSurvivors = survivors
 	}
 
-	// (4) the restored + replayed index agrees with a full scan — up to the
-	// one documented exposure of the checksum-less record format: a power
-	// cut can tear the FINAL record of the durable log so that its header,
-	// key pointers, and value region survive (making it structurally valid
-	// and index-reachable) while its payload is zeroed. At most one such
-	// record can exist (only one record spans the single torn write), it is
-	// always the last record, and it always lies in the unsynced suffix
-	// above the last checkpoint. Anything outside that exact shape is a
-	// chain-integrity violation.
-	man, err := fishstore.ReadManifest(ckptDir)
-	if err != nil {
-		return fmt.Errorf("reading manifest: %w", err)
-	}
-	repoCS, err := indexScanSet(s2, fishstore.PropertyString(idRepo, "spark"))
+	// (4) the restored + replayed index agrees exactly with the full scan.
+	// Before record checksums, a power cut could tear the FINAL record of
+	// the durable log so that its header, key pointers, and value region
+	// survived — structurally valid and index-reachable — while its payload
+	// was zeroed, and this check had to tolerate one such record. The seal
+	// closes that hole: a torn payload fails its checksum, the durable-end
+	// probe truncates the log before it, and any record either scan surfaces
+	// with an unparseable payload is an immediate failure.
+	repoCount, err := indexScanSet(s2, fishstore.PropertyString(idRepo, "spark"))
 	if err != nil {
 		return fmt.Errorf("index scan: %w", err)
 	}
-	if repoCS.parseable != survivors {
-		return fmt.Errorf("index scan found %d parseable records, full scan %d", repoCS.parseable, survivors)
+	if repoCount != survivors {
+		return fmt.Errorf("index scan found %d records, full scan %d", repoCount, survivors)
 	}
-	predCS, err := indexScanSet(s2, fishstore.PropertyBool(idPred, true))
+	predCount, err := indexScanSet(s2, fishstore.PropertyBool(idPred, true))
 	if err != nil {
 		return fmt.Errorf("predicate index scan: %w", err)
 	}
-	if predCS.parseable != pushes {
-		return fmt.Errorf("predicate index scan found %d parseable PushEvents, payloads say %d",
-			predCS.parseable, pushes)
-	}
-	torn := map[uint64]bool{}
-	for _, set := range [][]uint64{fullTorn, repoCS.torn, predCS.torn} {
-		for _, a := range set {
-			torn[a] = true
-		}
-	}
-	if len(torn) > 1 {
-		return fmt.Errorf("%d distinct torn-payload records in the index, at most 1 possible: %v",
-			len(torn), torn)
-	}
-	for a := range torn {
-		if a < man.Tail {
-			return fmt.Errorf("torn-payload record at %d below the checkpointed tail %d", a, man.Tail)
-		}
+	if predCount != pushes {
+		return fmt.Errorf("predicate index scan found %d PushEvents, payloads say %d",
+			predCount, pushes)
 	}
 
 	// (5) the recovered store is live: it ingests and indexes new records.
@@ -389,7 +378,7 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	if err != nil {
 		return fmt.Errorf("post-recovery scan: %w", err)
 	}
-	if after.parseable != survivors+1 {
+	if after != survivors+1 {
 		var idx, full []string
 		// Best-effort diagnostics inside a failure path: a scan error here
 		// only degrades the dump, so both results are deliberately dropped.
@@ -397,7 +386,7 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 			fishstore.ScanOptions{Mode: fishstore.ScanForceIndex}, func(r fishstore.Record) bool {
 				var ev crashEvent
 				if json.Unmarshal(r.Payload, &ev) != nil {
-					idx = append(idx, fmt.Sprintf("torn@%d", r.Address))
+					idx = append(idx, fmt.Sprintf("corrupt@%d", r.Address))
 				} else {
 					idx = append(idx, fmt.Sprintf("w%d/s%d@%d", ev.Worker, ev.Seq, r.Address))
 				}
@@ -407,14 +396,14 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 			fishstore.ScanOptions{Mode: fishstore.ScanForceFull}, func(r fishstore.Record) bool {
 				var ev crashEvent
 				if json.Unmarshal(r.Payload, &ev) != nil {
-					full = append(full, fmt.Sprintf("torn@%d", r.Address))
+					full = append(full, fmt.Sprintf("corrupt@%d", r.Address))
 				} else {
 					full = append(full, fmt.Sprintf("w%d/s%d@%d", ev.Worker, ev.Seq, r.Address))
 				}
 				return true
 			})
-		return fmt.Errorf("post-recovery index scan found %d, want %d (torn %v)\nrecovery: %+v manifest tail: %d\nidx(%d): %v\nfull(%d): %v\nstats: %+v",
-			after.parseable, survivors+1, after.torn, info, man.Tail, len(idx), idx, len(full), full, s2.Stats())
+		return fmt.Errorf("post-recovery index scan found %d, want %d\nrecovery: %+v\nidx(%d): %v\nfull(%d): %v\nstats: %+v",
+			after, survivors+1, info, len(idx), idx, len(full), full, s2.Stats())
 	}
 
 	if cfg.Out != nil {
@@ -424,26 +413,33 @@ func runOneCut(cfg CrashConfig, seed int64, rep *CrashReport) error {
 	return nil
 }
 
-// chainScanSet classifies one index scan's matches: records whose payload
-// still parses vs. index-reachable records with a torn (zeroed) payload.
-type chainScanSet struct {
-	parseable int
-	torn      []uint64
-}
-
-func indexScanSet(s *fishstore.Store, prop fishstore.Property) (chainScanSet, error) {
-	var cs chainScanSet
-	_, err := s.Scan(prop, fishstore.ScanOptions{Mode: fishstore.ScanForceIndex},
+// indexScanSet counts one index scan's matches. Every surfaced payload must
+// parse — an index-reachable record with a torn or corrupt payload cannot
+// exist once checksums gate the durable end — and nothing may be quarantined
+// on a freshly recovered store.
+func indexScanSet(s *fishstore.Store, prop fishstore.Property) (int, error) {
+	var n int
+	var bad error
+	st, err := s.Scan(prop, fishstore.ScanOptions{Mode: fishstore.ScanForceIndex},
 		func(r fishstore.Record) bool {
 			var ev crashEvent
-			if json.Unmarshal(r.Payload, &ev) != nil {
-				cs.torn = append(cs.torn, r.Address)
-			} else {
-				cs.parseable++
+			if uerr := json.Unmarshal(r.Payload, &ev); uerr != nil {
+				bad = fmt.Errorf("index scan surfaced a record with corrupt payload at %d: %v", r.Address, uerr)
+				return false
 			}
+			n++
 			return true
 		})
-	return cs, err
+	if err != nil {
+		return n, err
+	}
+	if bad != nil {
+		return n, bad
+	}
+	if st.Quarantined != 0 {
+		return n, fmt.Errorf("index scan quarantined %d records on a freshly recovered store", st.Quarantined)
+	}
+	return n, nil
 }
 
 // crashWorkload is the minimal workload the crash harness ingests: one

@@ -35,6 +35,7 @@ func TestAllocateAfterFlushFailure(t *testing.T) {
 		g2 := em.Acquire()
 		defer g2.Release()
 		_, err := l.Allocate(g2, 100)
+		//lint:ignore epochguard the channel has buffer 1 and a single sender, so the send cannot block
 		done <- err
 	}()
 	select {
@@ -45,7 +46,7 @@ func TestAllocateAfterFlushFailure(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("Allocate deadlocked after a flush failure")
 	}
-	l.Close()
+	_ = l.Close() // the device is cut: the final tail flush fails by design
 }
 
 // TestTailAddressExactlyFullOddPage: when an allocation exactly fills a page,
@@ -73,5 +74,7 @@ func TestTailAddressExactlyFullOddPage(t *testing.T) {
 		t.Fatalf("tail after exactly filling page 1 = %d, want 8192", got)
 	}
 	g.Release()
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

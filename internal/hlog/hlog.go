@@ -16,6 +16,7 @@
 package hlog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
@@ -377,8 +378,51 @@ func (l *Log) doFlush(page uint64) {
 	for i := 0; i < l.pageWords; i++ {
 		binary8(buf[i*8:], atomic.LoadUint64(&frame[i]))
 	}
+	l.sealPageRecords(page, frame, buf, l.pageWords)
 	_, err := l.device.WriteAt(buf, int64(l.address(page, 0)))
 	l.completeFlush(page, err)
+}
+
+// sealPageRecords walks the record headers serialized into buf (the private
+// staging copy of frame[:endWord)) and seals every complete format-v1
+// record before buf reaches the device. The CRC runs over buf's contiguous
+// bytes — not per-word atomic loads from the frame — and the trailer word
+// is patched into both buf (what the device receives) and the live frame
+// (what in-memory readers and later re-flushes observe). This is the
+// checksum seal point: it runs at flush time, after the epoch bump guarding
+// the flush has proven every multi-word record write on the page finished,
+// i.e. strictly after the four-phase ingest protocol. Sealing is
+// idempotent, so a page re-flushed by FlushTail and later by doFlush
+// persists identical trailer words. The walk stops at the first hole (zero
+// header), invisible record (an allocation whose owner died mid-ingest —
+// nothing after it can be trusted to be complete, and recovery truncates
+// there anyway), or structurally absurd size, leaving such suffixes
+// unsealed.
+func (l *Log) sealPageRecords(page uint64, frame []uint64, buf []byte, endWord int) {
+	off := 0
+	if page == 0 {
+		off = int(BeginAddress / 8) // low addresses are reserved, never records
+	}
+	for off < endWord {
+		hw := binary.LittleEndian.Uint64(buf[off*8:])
+		if hw == 0 {
+			return
+		}
+		h := record.UnpackHeader(hw)
+		if h.SizeWords <= 0 || off+h.SizeWords > endWord {
+			return
+		}
+		if !h.Filler {
+			if !h.Visible {
+				return
+			}
+			if tw, ok := record.SealedTrailer(h, buf[off*8:(off+h.SizeWords)*8]); ok {
+				binary8(buf[(off+h.SizeWords-1)*8:], tw)
+				atomic.StoreUint64(&frame[off+h.SizeWords-1], tw)
+			}
+		}
+		off += h.SizeWords
+	}
 }
 
 func binary8(dst []byte, w uint64) {
@@ -465,6 +509,12 @@ func (l *Log) FlushTail() error {
 	for i := 0; i < n/8; i++ {
 		binary8(buf[i*8:], atomic.LoadUint64(&frame[i]))
 	}
+	// Seal after serializing: the tail never splits a record, so every
+	// record covered by [0, off) is complete. Callers that need durability
+	// guarantees (checkpoint) hold the ingest barrier, so covered records are
+	// also visible; without the barrier a trailing in-flight record simply
+	// stays unsealed and recovery truncates before it.
+	l.sealPageRecords(page, frame, buf, n/8)
 	if _, err := l.device.WriteAt(buf, int64(l.address(page, 0))); err != nil {
 		return err
 	}

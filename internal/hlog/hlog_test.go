@@ -172,7 +172,9 @@ func TestHeadAdvancesOnWrap(t *testing.T) {
 		t.Fatalf("in-memory span too large: head %d tail %d", l.SafeHeadAddress(), l.TailAddress())
 	}
 	g.Release()
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestFlushedUntilMonotonicAndContiguous(t *testing.T) {
@@ -192,7 +194,9 @@ func TestFlushedUntilMonotonicAndContiguous(t *testing.T) {
 		prev = fu
 	}
 	g.Release()
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestFlushTailMakesTailDurable(t *testing.T) {
@@ -218,7 +222,9 @@ func TestFlushTailMakesTailDurable(t *testing.T) {
 	if words[0] != 0xfeed {
 		t.Fatalf("device word %x", words[0])
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestConcurrentAllocationNoOverlap(t *testing.T) {
@@ -278,12 +284,16 @@ func TestConcurrentAllocationNoOverlap(t *testing.T) {
 			t.Fatalf("overlap: [%d,%d) and [%d,...)", starts[i-1], ranges[starts[i-1]], starts[i])
 		}
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestAllocateAfterClose(t *testing.T) {
 	l, em := newTestLog(t, 12, 4, storage.NewMem())
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 	g := em.Acquire()
 	defer g.Release()
 	if _, err := l.Allocate(g, 8); err != ErrClosed {
@@ -303,7 +313,7 @@ func TestNullDeviceIngestion(t *testing.T) {
 		g.Refresh()
 	}
 	g.Release()
-	l.Close()
+	_ = l.Close() // a null device cannot flush the tail; the error is by design
 }
 
 func TestPageWordsFrom(t *testing.T) {
@@ -395,7 +405,7 @@ func TestManyPagesStress(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				a.Words[0] = uint64(w)<<32 | uint64(i)
+				a.Words[0] = uint64(w)<<32 | uint64(i)&0xffffffff
 				if i%8 == 0 {
 					g.Refresh()
 				}

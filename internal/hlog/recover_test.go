@@ -94,7 +94,9 @@ func TestRecoverAtPageBoundary(t *testing.T) {
 	if tail != 4096 {
 		t.Fatalf("tail %d, want 4096", tail)
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	em2 := epoch.New()
 	l2, err := Recover(Config{PageBits: 12, MemPages: 2, Device: dev, Epoch: em2}, tail)
@@ -110,7 +112,9 @@ func TestRecoverAtPageBoundary(t *testing.T) {
 		t.Fatalf("allocation after boundary recovery at %d", a.Address)
 	}
 	g2.Release()
-	l2.Close()
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestRecoverRejectsBadTail(t *testing.T) {

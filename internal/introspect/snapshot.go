@@ -121,6 +121,10 @@ type LogSnapshot struct {
 	InvalidBytes   int64     `json:"invalid_bytes"`
 	FillerBytes    int64     `json:"filler_bytes"`
 	KeyPointers    int64     `json:"key_pointers"`
+	// Degraded reports whether the store has flipped to read-only after a
+	// permanent I/O failure; DegradedCause is the first error that did it.
+	Degraded      bool   `json:"degraded"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // ScanSegment is one piece of an executed scan plan.

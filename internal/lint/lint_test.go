@@ -27,12 +27,17 @@ type want struct {
 var wantRE = regexp.MustCompile(`//\s*want\s+(\w+)\s+"([^"]*)"`)
 
 // collectWants scans every fixture .go file under dir for want comments.
-func collectWants(t *testing.T, dir string) []*want {
+// With includeTests false, _test.go files are skipped — their wants are only
+// reachable through LoadTests.
+func collectWants(t *testing.T, dir string, includeTests bool) []*want {
 	t.Helper()
 	var wants []*want
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
 			return err
+		}
+		if !includeTests && strings.HasSuffix(path, "_test.go") {
+			return nil
 		}
 		f, err := os.Open(path)
 		if err != nil {
@@ -76,23 +81,12 @@ func fixturePatterns(t *testing.T) []string {
 	return pats
 }
 
-// TestGolden loads every fixture package, runs all four analyzers, and
-// requires an exact bidirectional match between findings and the // want
-// comments seeded in the fixtures: every want must be hit by a finding of
-// that analyzer on that line whose message contains the quoted substring,
-// and every finding must be claimed by some want.
-func TestGolden(t *testing.T) {
-	pkgs, err := Load(".", fixturePatterns(t)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res := Run(pkgs, Analyzers())
-
-	wants := collectWants(t, "testdata/src")
-	if len(wants) == 0 {
-		t.Fatal("no // want comments found in fixtures")
-	}
-
+// matchGolden requires an exact bidirectional match between findings and
+// want comments: every want must be hit by a finding of that analyzer on
+// that line whose message contains the quoted substring, and every finding
+// must be claimed by some want.
+func matchGolden(t *testing.T, res Result, wants []*want) {
+	t.Helper()
 	var unexpected []string
 	for _, f := range res.Findings {
 		claimed := false
@@ -120,9 +114,49 @@ func TestGolden(t *testing.T) {
 	for _, u := range unexpected {
 		t.Errorf("unexpected finding: %s", u)
 	}
+}
+
+// TestGolden loads every fixture package in production mode and matches
+// findings against the want comments in non-test files. The testmode
+// fixture's _test.go wants are invisible here by construction: production
+// mode must not see them.
+func TestGolden(t *testing.T) {
+	pkgs, err := Load(".", fixturePatterns(t)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, Analyzers())
+
+	wants := collectWants(t, "testdata/src", false)
+	if len(wants) == 0 {
+		t.Fatal("no // want comments found in fixtures")
+	}
+	matchGolden(t, res, wants)
 
 	// The suppresstest fixture seeds exactly one addrcompose finding behind
 	// a //lint:ignore directive; it must be the run's only suppression.
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1 (suppresstest fixture)", res.Suppressed)
+	}
+}
+
+// TestGoldenTests loads the same fixtures in test mode (LoadTests, as
+// `fishlint -tests` does) and matches against ALL want comments, including
+// those seeded in the testmode fixture's in-package and external _test.go
+// files. Production findings must still appear — test mode is a superset.
+func TestGoldenTests(t *testing.T) {
+	pkgs, err := LoadTests(".", fixturePatterns(t)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, Analyzers())
+
+	wants := collectWants(t, "testdata/src", true)
+	if len(wants) == 0 {
+		t.Fatal("no // want comments found in fixtures")
+	}
+	matchGolden(t, res, wants)
+
 	if res.Suppressed != 1 {
 		t.Errorf("Suppressed = %d, want 1 (suppresstest fixture)", res.Suppressed)
 	}
@@ -132,7 +166,7 @@ func TestGolden(t *testing.T) {
 // each analyzer must have at least one want comment proving its golden
 // coverage exists.
 func TestAnalyzersCoverEveryFixture(t *testing.T) {
-	wants := collectWants(t, "testdata/src")
+	wants := collectWants(t, "testdata/src", true)
 	byAnalyzer := make(map[string]int)
 	for _, w := range wants {
 		byAnalyzer[w.analyzer]++

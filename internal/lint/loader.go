@@ -38,12 +38,19 @@ type Package struct {
 	Info    *types.Info
 }
 
-// listPkg is the subset of `go list -json` output the loader consumes.
+// listPkg is the subset of `go list -json` output the loader consumes. With
+// -test, go list also reports synthesized test packages: "pkg.test" (the
+// generated test main), "pkg [pkg.test]" (the package recompiled with its
+// in-package _test.go files), and "pkg_test [pkg.test]" (the external test
+// package); ForTest names the package under test, and ImportMap redirects
+// imports of the plain package to its test variant.
 type listPkg struct {
 	ImportPath string
 	Name       string
 	Dir        string
 	GoFiles    []string
+	ForTest    string
+	ImportMap  map[string]string
 	Standard   bool
 	Module     *struct{ Path string }
 	Error      *struct{ Err string }
@@ -65,14 +72,27 @@ type loader struct {
 // its transitive dependencies from source. It returns the matched packages
 // in the order the go tool reported them.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, false, patterns)
+}
+
+// LoadTests is Load in test mode: go list runs with -test, so every matched
+// package with _test.go files yields its test variants instead of (not in
+// addition to) the plain package — "pkg [pkg.test]" carries the package's own
+// files plus its in-package tests, and "pkg_test [pkg.test]" the external
+// test package. The generated test mains ("pkg.test") are never analyzed.
+func LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns)
+}
+
+func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("lint: no package patterns given")
 	}
-	targets, err := goList(dir, false, patterns)
+	targets, err := goList(dir, false, tests, patterns)
 	if err != nil {
 		return nil, err
 	}
-	universe, err := goList(dir, true, patterns)
+	universe, err := goList(dir, true, tests, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +106,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for _, p := range universe {
 		ld.meta[p.ImportPath] = p
 	}
+	// In test mode the plain package is subsumed by its in-package test
+	// variant (same files plus the tests): analyzing both would duplicate
+	// every finding on the shared files.
+	subsumed := make(map[string]bool)
+	if tests {
+		for _, t := range targets {
+			if t.ForTest != "" && t.ImportPath == t.ForTest+" ["+t.ForTest+".test]" {
+				subsumed[t.ForTest] = true
+			}
+		}
+	}
 	var out []*Package
 	for _, t := range targets {
 		if t.Error != nil {
@@ -93,6 +124,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		if t.Name == "" || len(t.GoFiles) == 0 {
 			continue // no buildable Go files (e.g. directory of fixtures only)
+		}
+		if strings.HasSuffix(t.ImportPath, ".test") && t.Name == "main" {
+			continue // generated test main: nothing hand-written to analyze
+		}
+		if subsumed[t.ImportPath] {
+			continue
 		}
 		if _, err := ld.load(t.ImportPath); err != nil {
 			return nil, err
@@ -109,10 +146,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // goList shells out to `go list -json` (with -deps when deps is true) and
 // decodes the JSON stream. CGO is disabled so the reported GoFiles are a
 // pure-Go, type-checkable file set.
-func goList(dir string, deps bool, patterns []string) ([]*listPkg, error) {
+func goList(dir string, deps, tests bool, patterns []string) ([]*listPkg, error) {
 	args := []string{"list", "-json"}
 	if deps {
 		args = append(args, "-deps")
+	}
+	if tests {
+		args = append(args, "-test")
 	}
 	args = append(args, "--")
 	args = append(args, patterns...)
@@ -182,8 +222,16 @@ func (ld *loader) load(path string) (*types.Package, error) {
 	}
 	var firstErr error
 	conf := types.Config{
-		Importer: importerFunc(func(p string) (*types.Package, error) { return ld.load(p) }),
-		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Imports resolve through this package's ImportMap first: an external
+		// test package's import of the package under test must land on the
+		// "pkg [pkg.test]" variant, not the plain compilation.
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if mapped, ok := meta.ImportMap[p]; ok {
+				p = mapped
+			}
+			return ld.load(p)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err

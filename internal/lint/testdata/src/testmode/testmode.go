@@ -1,0 +1,27 @@
+// Package testmode is the golden fixture for fishlint's -tests mode: the
+// production file is clean, and every seeded violation lives in a _test.go
+// file (in-package and external), so findings here prove the loader really
+// analyzes test sources.
+package testmode
+
+import "errors"
+
+const offsetBits = 14
+
+const offsetMask = uint64(1)<<offsetBits - 1
+
+// Pack is clean: the offset is masked into its field.
+func Pack(page, offset uint64) uint64 {
+	return page<<offsetBits | offset&offsetMask
+}
+
+// PackChecked rejects offsets that would overflow into the page number.
+func PackChecked(page, offset uint64) (uint64, error) {
+	if offset > offsetMask {
+		return 0, errors.New("offset overflows its field")
+	}
+	return Pack(page, offset), nil
+}
+
+// open exists for the in-package test to call with its error dropped.
+func open() error { return nil }

@@ -1,0 +1,20 @@
+package testmode
+
+import "testing"
+
+const pageBits = 14
+
+func TestPackRoundTrip(t *testing.T) {
+	if Pack(3, 9) == 0 {
+		t.Fatal("pack lost the offset")
+	}
+	open() // want errflow "result ignored"
+}
+
+// packUnmasked is the OR-composition bug shape living inside test helper
+// code: nothing bounds offset below 1<<pageBits.
+func packUnmasked(page, offset uint64) uint64 {
+	return page<<pageBits | offset // want addrcompose "may both set bits"
+}
+
+var _ = packUnmasked

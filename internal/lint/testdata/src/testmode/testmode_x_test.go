@@ -1,0 +1,16 @@
+package testmode_test
+
+import (
+	"testing"
+
+	"fishstore/internal/lint/testdata/src/testmode"
+)
+
+// The external test variant exercises go list -test's ImportMap: this
+// package's import of testmode resolves to the test variant.
+func TestExternalPack(t *testing.T) {
+	v, _ := testmode.PackChecked(1, 2) // want errflow "discarded with _"
+	if v == 0 {
+		t.Fatal("pack lost the offset")
+	}
+}

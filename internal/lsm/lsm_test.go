@@ -34,7 +34,9 @@ func TestPutGetBasic(t *testing.T) {
 			t.Fatalf("Get key-%03d = %q, %v, %v", i, v, ok, err)
 		}
 	}
-	if _, ok, _ := db.Get([]byte("absent")); ok {
+	if _, ok, err := db.Get([]byte("absent")); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found absent key")
 	}
 }
@@ -74,18 +76,26 @@ func TestOverwriteAcrossLevels(t *testing.T) {
 	defer db.Close()
 	pad := make([]byte, 200)
 	// First version, then enough churn to push it down, then overwrite.
-	db.Put([]byte("target"), append([]byte("v1-"), pad...))
+	if err := db.Put([]byte("target"), append([]byte("v1-"), pad...)); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 500; i++ {
-		db.Put([]byte(fmt.Sprintf("fill-%04d", i)), pad)
+		if err := db.Put([]byte(fmt.Sprintf("fill-%04d", i)), pad); err != nil {
+			t.Fatal(err)
+		}
 	}
 	db.WaitIdle()
-	db.Put([]byte("target"), []byte("v2"))
+	if err := db.Put([]byte("target"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
 	v, ok, err := db.Get([]byte("target"))
 	if err != nil || !ok || string(v) != "v2" {
 		t.Fatalf("Get = %q, %v, %v", v, ok, err)
 	}
 	for i := 0; i < 500; i++ {
-		db.Put([]byte(fmt.Sprintf("fill2-%04d", i)), pad)
+		if err := db.Put([]byte(fmt.Sprintf("fill2-%04d", i)), pad); err != nil {
+			t.Fatal(err)
+		}
 	}
 	db.WaitIdle()
 	v, ok, err = db.Get([]byte("target"))
@@ -104,7 +114,9 @@ func TestIteratorMergesAllLevels(t *testing.T) {
 		k := fmt.Sprintf("key-%05d", rng.Intn(3000))
 		v := fmt.Sprintf("val-%d", i)
 		want[k] = v
-		db.Put([]byte(k), append([]byte(v+"|"), pad...))
+		if err := db.Put([]byte(k), append([]byte(v+"|"), pad...)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	db.WaitIdle()
 
@@ -137,8 +149,12 @@ func TestPrefixScan(t *testing.T) {
 	db := Open(smallOpts())
 	defer db.Close()
 	for i := 0; i < 50; i++ {
-		db.Put([]byte(fmt.Sprintf("a/%03d", i)), []byte("x"))
-		db.Put([]byte(fmt.Sprintf("b/%03d", i)), []byte("y"))
+		if err := db.Put([]byte(fmt.Sprintf("a/%03d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put([]byte(fmt.Sprintf("b/%03d", i)), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var got int
 	if err := db.PrefixScan([]byte("a/"), func(k, v []byte) bool {
@@ -152,7 +168,9 @@ func TestPrefixScan(t *testing.T) {
 	}
 	// Early stop.
 	got = 0
-	db.PrefixScan([]byte("a/"), func(k, v []byte) bool { got++; return got < 5 })
+	if err := db.PrefixScan([]byte("a/"), func(k, v []byte) bool { got++; return got < 5 }); err != nil {
+		t.Fatal(err)
+	}
 	if got != 5 {
 		t.Fatalf("early stop got %d", got)
 	}
@@ -162,11 +180,15 @@ func TestWriteAmplificationAccounted(t *testing.T) {
 	db := Open(smallOpts())
 	pad := make([]byte, 200)
 	for i := 0; i < 2000; i++ {
-		db.Put([]byte(fmt.Sprintf("key-%06d", i%500)), pad)
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i%500)), pad); err != nil {
+			t.Fatal(err)
+		}
 	}
 	db.WaitIdle()
 	st := db.Stats()
-	db.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if st.UserBytes == 0 || st.StorageBytes == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -205,7 +227,9 @@ func TestConcurrentWriters(t *testing.T) {
 
 func TestPutAfterClose(t *testing.T) {
 	db := Open(smallOpts())
-	db.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -216,7 +240,9 @@ func TestCloseFlushesMemtable(t *testing.T) {
 	opts := smallOpts()
 	opts.Device = dev
 	db := Open(opts)
-	db.Put([]byte("persist"), []byte("me"))
+	if err := db.Put([]byte("persist"), []byte("me")); err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -243,11 +269,15 @@ func BenchmarkLSMGet(b *testing.B) {
 	defer db.Close()
 	val := make([]byte, 128)
 	for i := 0; i < 100000; i++ {
-		db.Put([]byte(fmt.Sprintf("key-%010d", i)), val)
+		if err := db.Put([]byte(fmt.Sprintf("key-%010d", i)), val); err != nil {
+			b.Fatal(err)
+		}
 	}
 	db.WaitIdle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db.Get([]byte(fmt.Sprintf("key-%010d", i%100000)))
+		if _, _, err := db.Get([]byte(fmt.Sprintf("key-%010d", i%100000))); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -34,13 +34,19 @@ func TestTableGet(t *testing.T) {
 			t.Fatalf("get %s = %q", key, v)
 		}
 	}
-	if _, ok, _ := meta.get(ts, []byte("key-99999")); ok {
+	if _, ok, err := meta.get(ts, []byte("key-99999")); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found absent key")
 	}
-	if _, ok, _ := meta.get(ts, []byte("aaa")); ok {
+	if _, ok, err := meta.get(ts, []byte("aaa")); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found key below min")
 	}
-	if _, ok, _ := meta.get(ts, []byte("zzz")); ok {
+	if _, ok, err := meta.get(ts, []byte("zzz")); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found key above max")
 	}
 }

@@ -38,7 +38,10 @@ func TestExtract(t *testing.T) {
 }
 
 func TestNoOffsets(t *testing.T) {
-	s, _ := New().NewSession([]string{"id"})
+	s, err := New().NewSession([]string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte(rec))
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +53,10 @@ func TestNoOffsets(t *testing.T) {
 }
 
 func TestMissingAndBadJSON(t *testing.T) {
-	s, _ := New().NewSession([]string{"a.b.c"})
+	s, err := New().NewSession([]string{"a.b.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte(rec))
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +70,10 @@ func TestMissingAndBadJSON(t *testing.T) {
 }
 
 func BenchmarkParseFull(b *testing.B) {
-	s, _ := New().NewSession([]string{"id", "user.lang"})
+	s, err := New().NewSession([]string{"id", "user.lang"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	raw := []byte(rec)
 	b.SetBytes(int64(len(raw)))
 	for i := 0; i < b.N; i++ {

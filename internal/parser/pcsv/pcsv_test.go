@@ -28,7 +28,10 @@ func TestExtractColumns(t *testing.T) {
 
 func TestOffsets(t *testing.T) {
 	f := New(header)
-	s, _ := f.NewSession([]string{"business_id"})
+	s, err := f.NewSession([]string{"business_id"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw := []byte("r001,u42,b777,4,11,text")
 	p, err := s.Parse(raw)
 	if err != nil {
@@ -45,7 +48,10 @@ func TestOffsets(t *testing.T) {
 
 func TestQuotedFields(t *testing.T) {
 	f := New([]string{"a", "b", "c"})
-	s, _ := f.NewSession([]string{"b", "c"})
+	s, err := f.NewSession([]string{"b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte(`x,"has, comma",3`))
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +67,10 @@ func TestQuotedFields(t *testing.T) {
 func TestStopsAtMaxColumn(t *testing.T) {
 	// Only column 0 requested: trailing garbage shouldn't matter.
 	f := New([]string{"a", "b"})
-	s, _ := f.NewSession([]string{"a"})
+	s, err := f.NewSession([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte("hello,\"unterminated"))
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +82,10 @@ func TestStopsAtMaxColumn(t *testing.T) {
 
 func TestShortRow(t *testing.T) {
 	f := New([]string{"a", "b", "c"})
-	s, _ := f.NewSession([]string{"c"})
+	s, err := f.NewSession([]string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte("only,two"))
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +97,10 @@ func TestShortRow(t *testing.T) {
 
 func TestEmptyCellIsNull(t *testing.T) {
 	f := New([]string{"a", "b"})
-	s, _ := f.NewSession([]string{"a", "b"})
+	s, err := f.NewSession([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := s.Parse([]byte(",x"))
 	if err != nil {
 		t.Fatal(err)
@@ -97,8 +112,14 @@ func TestEmptyCellIsNull(t *testing.T) {
 
 func TestBoolSniffing(t *testing.T) {
 	f := New([]string{"flag"})
-	s, _ := f.NewSession([]string{"flag"})
-	p, _ := s.Parse([]byte("true"))
+	s, err := f.NewSession([]string{"flag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Parse([]byte("true"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !p.Lookup("flag").IsTrue() {
 		t.Fatal("true not sniffed")
 	}
@@ -113,7 +134,10 @@ func TestUnknownColumn(t *testing.T) {
 
 func TestTrailingNewlineVariants(t *testing.T) {
 	f := New([]string{"a", "b"})
-	s, _ := f.NewSession([]string{"b"})
+	s, err := f.NewSession([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, raw := range []string{"x,y", "x,y\n", "x,y\r\n"} {
 		p, err := s.Parse([]byte(raw))
 		if err != nil {
@@ -127,7 +151,10 @@ func TestTrailingNewlineVariants(t *testing.T) {
 
 func BenchmarkParseCSV(b *testing.B) {
 	f := New(header)
-	s, _ := f.NewSession([]string{"review_id", "stars", "useful"})
+	s, err := f.NewSession([]string{"review_id", "stars", "useful"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	raw := []byte("r00000001,u4242,b700,4,11,the quick brown fox jumped over the lazy dog and reviewed a restaurant")
 	b.SetBytes(int64(len(raw)))
 	for i := 0; i < b.N; i++ {

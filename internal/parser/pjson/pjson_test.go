@@ -264,7 +264,10 @@ func TestEqBits(t *testing.T) {
 }
 
 func BenchmarkParsePartial(b *testing.B) {
-	s, _ := New().NewSession([]string{"id", "type", "repo.name"})
+	s, err := New().NewSession([]string{"id", "type", "repo.name"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	raw := []byte(githubRecord)
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
@@ -360,7 +363,10 @@ func TestSpeculationMissingFieldRecords(t *testing.T) {
 }
 
 func BenchmarkParseSpeculationOn(b *testing.B) {
-	s, _ := New().NewSession([]string{"id", "type", "repo.name"})
+	s, err := New().NewSession([]string{"id", "type", "repo.name"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	raw := []byte(githubRecord)
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
@@ -372,7 +378,10 @@ func BenchmarkParseSpeculationOn(b *testing.B) {
 }
 
 func BenchmarkParseSpeculationOff(b *testing.B) {
-	s, _ := NewWithoutSpeculation().NewSession([]string{"id", "type", "repo.name"})
+	s, err := NewWithoutSpeculation().NewSession([]string{"id", "type", "repo.name"})
+	if err != nil {
+		b.Fatal(err)
+	}
 	raw := []byte(githubRecord)
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()

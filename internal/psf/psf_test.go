@@ -244,6 +244,7 @@ func TestWorkersObserveMetaAfterRefresh(t *testing.T) {
 	default:
 	}
 	g.Refresh()
+	//lint:ignore epochguard Refresh above already unblocked Apply, so this receive cannot pin the epoch
 	res := <-applied
 	if res.Registered["p"] != 0 {
 		t.Fatalf("registered ids = %v", res.Registered)
@@ -265,7 +266,10 @@ func TestDeregisterUnknown(t *testing.T) {
 func TestLookupByName(t *testing.T) {
 	var tail atomic.Uint64
 	r, _ := newRegistry(&tail)
-	id, _, _ := r.Register(Projection("x"))
+	id, _, err := r.Register(Projection("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, ok := r.LookupByName("proj(x)")
 	if !ok || got != id {
 		t.Fatalf("LookupByName = %d, %v", got, ok)
@@ -290,7 +294,10 @@ func TestReRegistrationCreatesSecondInterval(t *testing.T) {
 	var tail atomic.Uint64
 	r, _ := newRegistry(&tail)
 	tail.Store(100)
-	id1, _, _ := r.Register(Projection("x"))
+	id1, _, err := r.Register(Projection("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	tail.Store(200)
 	if _, err := r.Deregister(id1); err != nil {
 		t.Fatal(err)

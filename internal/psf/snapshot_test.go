@@ -118,7 +118,10 @@ func TestExtendInterval(t *testing.T) {
 	var tail atomic.Uint64
 	tail.Store(1000)
 	r, _ := newRegistry(&tail)
-	id, _, _ := r.Register(Projection("x"))
+	id, _, err := r.Register(Projection("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := r.ExtendInterval(id, Interval{From: 0, To: 500}); err != nil {
 		t.Fatal(err)
 	}

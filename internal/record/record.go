@@ -18,11 +18,18 @@
 package record
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"sync"
 	"sync/atomic"
 
 	"fishstore/internal/wordio"
 )
+
+// castagnoli is the CRC32-C polynomial table used for record checksums
+// (hardware-accelerated on amd64/arm64 via hash/crc32).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Mode discriminates key pointer classes (Fig 6, "sample key pointer
 // constructions").
@@ -46,11 +53,17 @@ const InvalidAddress uint64 = 0
 
 const (
 	// Header word layout.
-	hdrSizeBits    = 24
-	hdrSizeMask    = uint64(1)<<hdrSizeBits - 1
-	hdrPtrsShift   = 24
-	hdrPtrsBits    = 16
-	hdrPtrsMask    = (uint64(1)<<hdrPtrsBits - 1) << hdrPtrsShift
+	hdrSizeBits  = 24
+	hdrSizeMask  = uint64(1)<<hdrSizeBits - 1
+	hdrPtrsShift = 24
+	hdrPtrsBits  = 15
+	hdrPtrsMask  = (uint64(1)<<hdrPtrsBits - 1) << hdrPtrsShift
+	// hdrChecksumBit is the record-format version bit (v1): the record
+	// carries a trailing checksum word sealed at flush time. v0 records
+	// (bit clear) predate checksums; readers accept them unchecked. The bit
+	// was carved out of the pointer-count field, which v0 never filled past
+	// 15 bits, so v0 headers decode identically under both layouts.
+	hdrChecksumBit = uint64(1) << 39
 	hdrPadShift    = 40
 	hdrPadMask     = uint64(7) << hdrPadShift
 	hdrValShift    = 43
@@ -82,6 +95,12 @@ const (
 	kpValSzShift  = 40
 	kpValSzBits   = 24
 	kpValSzMask   = (uint64(1)<<kpValSzBits - 1) << kpValSzShift
+
+	// sealMagic occupies the high 32 bits of a sealed checksum trailer. An
+	// unsealed trailer is all-zero (Spec.Write clears it), so any v1 record
+	// that reaches the device without passing through the flush-time sealer
+	// fails validation rather than passing vacuously.
+	sealMagic = uint64(0xF15C5EA1) << 32
 )
 
 // WordsPerPointer is the size of one key pointer in words.
@@ -97,10 +116,20 @@ type Header struct {
 	PayloadPad int   // zero-padding bytes at the end of the payload
 	ValueWords int   // size of the optional value region in words
 	Version    uint8 // checkpoint version (mod 16)
+	Checksum   bool  // format v1: record ends with a sealed checksum word
 	Indirect   bool  // historical index record: payload is a log address
 	Filler     bool  // page-fill hole, not a record
 	Invalid    bool  // abandoned allocation (only in realloc/badCAS mode)
 	Visible    bool  // fully ingested and linked
+}
+
+// TrailerWords returns the number of trailing checksum words (1 for format
+// v1 records, 0 for v0), already included in SizeWords.
+func (h Header) TrailerWords() int {
+	if h.Checksum {
+		return 1
+	}
+	return 0
 }
 
 // PackHeader encodes h into its word form.
@@ -110,6 +139,9 @@ func PackHeader(h Header) uint64 {
 	w |= uint64(h.PayloadPad) << hdrPadShift & hdrPadMask
 	w |= uint64(h.ValueWords) << hdrValShift & hdrValMask
 	w |= uint64(h.Version&0xf) << hdrVerShift
+	if h.Checksum {
+		w |= hdrChecksumBit
+	}
 	if h.Indirect {
 		w |= hdrIndirectBit
 	}
@@ -133,6 +165,7 @@ func UnpackHeader(w uint64) Header {
 		PayloadPad: int((w & hdrPadMask) >> hdrPadShift),
 		ValueWords: int((w & hdrValMask) >> hdrValShift),
 		Version:    uint8((w & hdrVerMask) >> hdrVerShift),
+		Checksum:   w&hdrChecksumBit != 0,
 		Indirect:   w&hdrIndirectBit != 0,
 		Filler:     w&hdrFillerBit != 0,
 		Invalid:    w&hdrInvalidBit != 0,
@@ -236,15 +269,23 @@ type Spec struct {
 	// Indirect marks a historical index record (Appendix A): the payload is
 	// an 8-byte little-endian log address of the actual data record.
 	Indirect bool
+	// Checksum reserves a trailing checksum word (format v1). The word is
+	// written as zero; the hybrid log seals it (View.Seal) when the record
+	// is flushed, after the four-phase ingest protocol has finished.
+	Checksum bool
 }
 
 // SizeWords returns the number of log words the record will occupy:
-// 1 header + 2 per pointer + value region + payload (padded).
-// This is the byte formula 8 + 16k + ceil(s/8)*8 from §6.2 when the value
-// region is empty.
+// 1 header + 2 per pointer + value region + payload (padded) + optional
+// checksum trailer. This is the byte formula 8 + 16k + ceil(s/8)*8 from
+// §6.2 when the value region is empty and checksums are disabled.
 func (s *Spec) SizeWords() int {
-	return HeaderWords + WordsPerPointer*len(s.Pointers) +
+	n := HeaderWords + WordsPerPointer*len(s.Pointers) +
 		wordio.WordsFor(len(s.ValueRegion)) + wordio.WordsFor(len(s.Payload))
+	if s.Checksum {
+		n++
+	}
+	return n
 }
 
 // Validate checks the spec against layout limits.
@@ -283,8 +324,12 @@ func (s *Spec) Write(dst []uint64) {
 		ValueWords: valueWords,
 		Version:    s.Version,
 		Indirect:   s.Indirect,
+		Checksum:   s.Checksum,
 	}
 	dst[0] = PackHeader(hdr)
+	if s.Checksum {
+		dst[n-1] = 0 // unsealed trailer; frames are recycled, so clear it
+	}
 	for i, ps := range s.Pointers {
 		kp := KeyPointer{
 			Mode:      ps.Mode,
@@ -352,11 +397,17 @@ func (v View) KeyPointerAt(i int) KeyPointer {
 	return UnpackKeyPointer(a, b)
 }
 
-// payloadBounds returns (firstWord, byteLen).
+// payloadBounds returns (firstWord, byteLen). Bounds are clamped to zero so
+// a corrupt header (oversized pointer or value region) yields an empty
+// payload instead of a panic; integrity checks flag such records separately.
 func (v View) payloadBounds(h Header) (int, int) {
 	first := HeaderWords + h.NumPtrs*WordsPerPointer + h.ValueWords
-	words := h.SizeWords - first
-	return first, words*8 - h.PayloadPad
+	words := h.SizeWords - h.TrailerWords() - first
+	n := words*8 - h.PayloadPad
+	if n < 0 {
+		n = 0
+	}
+	return first, n
 }
 
 // PayloadLen returns the raw payload length in bytes.
@@ -382,6 +433,103 @@ func (v View) AppendPayload(buf []byte) []byte {
 	buf = append(buf, make([]byte, n)...)
 	wordio.WordsToBytes(buf[off:], v.Words[first:])
 	return buf
+}
+
+// bodyBounds returns the word range [start, end) covered by the record
+// checksum: the value region plus the padded payload. The header and key
+// pointers are excluded — the header's visibility/invalid bits and each
+// pointer's previous-address word mutate after the body is written (and,
+// for addresses, even after the record is durable, via chain splicing), so
+// they cannot be part of a stable checksum.
+func bodyBounds(h Header) (int, int) {
+	return HeaderWords + h.NumPtrs*WordsPerPointer, h.SizeWords - h.TrailerWords()
+}
+
+// crcScratch pools the staging buffers checksumBody feeds to crc32: the
+// crc32.Update call defeats escape analysis, so a local array would be a
+// fresh heap allocation (plus zeroing) on every seal and every verify.
+var crcScratch = sync.Pool{New: func() any {
+	b := make([]byte, crcChunkWords*8)
+	return &b
+}}
+
+const crcChunkWords = 512
+
+// checksumBody computes the CRC32-C of the record body. Words are loaded
+// atomically because views may alias live page frames, but are staged into a
+// pooled 4 KiB scratch buffer so crc32 runs its bulk (hardware-accelerated)
+// kernel instead of paying per-call overhead on every word.
+func (v View) checksumBody(h Header) uint32 {
+	start, end := bodyBounds(h)
+	bp := crcScratch.Get().(*[]byte)
+	buf := *bp
+	var crc uint32
+	for i := start; i < end; {
+		n := end - i
+		if n > crcChunkWords {
+			n = crcChunkWords
+		}
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint64(buf[j*8:], atomic.LoadUint64(&v.Words[i+j]))
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:n*8])
+		i += n
+	}
+	crcScratch.Put(bp)
+	return crc
+}
+
+// Seal computes and stores the checksum trailer of a format-v1 record. The
+// hybrid log calls it at flush time, once the record is complete; sealing is
+// idempotent (the body is immutable, so re-sealing stores the same word).
+// v0 records and fillers are left untouched.
+func (v View) Seal() {
+	h := v.Header()
+	if !h.Checksum || h.Filler {
+		return
+	}
+	start, end := bodyBounds(h)
+	if start > end || h.SizeWords > len(v.Words) {
+		return // corrupt header; never sealable
+	}
+	atomic.StoreUint64(&v.Words[h.SizeWords-1], sealMagic|uint64(v.checksumBody(h)))
+}
+
+// SealedTrailer computes the checksum trailer word for a record already
+// serialized little-endian into b (at least h.SizeWords*8 bytes). The
+// flush path uses it to CRC directly over its private staging buffer —
+// contiguous bytes, no per-word atomic loads — and then patches the trailer
+// into both the buffer and the live frame. The byte stream is identical to
+// what checksumBody stages, so the two always agree. Returns false for
+// records that are not sealable (v0, fillers, corrupt headers).
+func SealedTrailer(h Header, b []byte) (uint64, bool) {
+	if !h.Checksum || h.Filler {
+		return 0, false
+	}
+	start, end := bodyBounds(h)
+	if start > end || h.SizeWords < 1 || h.SizeWords*8 > len(b) {
+		return 0, false
+	}
+	return sealMagic | uint64(crc32.Update(0, castagnoli, b[start*8:end*8])), true
+}
+
+// ChecksumOK reports whether the record's body matches its sealed checksum
+// trailer. v0 (checksum-less) records always pass: they predate the format
+// bit and carry nothing to verify. An unsealed or torn trailer fails.
+func (v View) ChecksumOK() bool {
+	h := v.Header()
+	if !h.Checksum || h.Filler {
+		return true
+	}
+	start, end := bodyBounds(h)
+	if start > end || h.SizeWords < 1 || h.SizeWords > len(v.Words) {
+		return false
+	}
+	tw := atomic.LoadUint64(&v.Words[h.SizeWords-1])
+	if tw&^(uint64(1)<<32-1) != sealMagic {
+		return false
+	}
+	return uint32(tw) == v.checksumBody(h)
 }
 
 // ValueBytes extracts the evaluated PSF value referenced by kp. For

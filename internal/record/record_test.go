@@ -7,13 +7,14 @@ import (
 )
 
 func TestHeaderRoundTripProperty(t *testing.T) {
-	f := func(size uint32, ptrs uint16, pad uint8, valWords uint16, ver uint8, filler, invalid, visible bool) bool {
+	f := func(size uint32, ptrs uint16, pad uint8, valWords uint16, ver uint8, cksum, filler, invalid, visible bool) bool {
 		h := Header{
 			SizeWords:  int(size) & maxSizeWords,
-			NumPtrs:    int(ptrs),
+			NumPtrs:    int(ptrs) & maxPointers,
 			PayloadPad: int(pad % 8),
 			ValueWords: int(valWords) & maxValueWords,
 			Version:    ver & 0xf,
+			Checksum:   cksum,
 			Indirect:   filler != invalid,
 			Filler:     filler,
 			Invalid:    invalid,
@@ -242,6 +243,127 @@ func TestPayloadRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChecksumSealAndVerify(t *testing.T) {
+	payload := []byte(`{"id": 1, "repo": "spark", "seq": 42}`)
+	spec := Spec{
+		Payload:     payload,
+		ValueRegion: []byte("psf-value"),
+		Pointers: []PointerSpec{
+			{PSFID: 1, Mode: ModeBool, BoolValue: true},
+			{PSFID: 2, Mode: ModePayload, ValOffset: 11, ValSize: 5},
+		},
+		Checksum: true,
+	}
+	v0 := Spec{Payload: payload, Pointers: spec.Pointers}
+	if spec.SizeWords() != v0.SizeWords()+wordsForTest(len(spec.ValueRegion))+1 {
+		t.Fatalf("checksum trailer must add exactly one word: %d vs %d",
+			spec.SizeWords(), v0.SizeWords())
+	}
+	words := make([]uint64, spec.SizeWords())
+	// Dirty the destination: frames are recycled, Write must clear the trailer.
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	spec.Write(words)
+	v := View{Words: words}
+	h := v.Header()
+	if !h.Checksum || h.TrailerWords() != 1 {
+		t.Fatalf("header = %+v", h)
+	}
+	if words[len(words)-1] != 0 {
+		t.Fatal("Write must leave the trailer unsealed (zero)")
+	}
+	if v.ChecksumOK() {
+		t.Fatal("unsealed record must fail verification")
+	}
+	if !bytes.Equal(v.Payload(), payload) {
+		t.Fatalf("payload with trailer = %q", v.Payload())
+	}
+	if v.PayloadLen() != len(payload) {
+		t.Fatalf("PayloadLen = %d, want %d", v.PayloadLen(), len(payload))
+	}
+
+	v.SetVisible()
+	v.Seal()
+	if !v.ChecksumOK() {
+		t.Fatal("sealed record must verify")
+	}
+	sealed := words[len(words)-1]
+	if sealed == 0 {
+		t.Fatal("seal left trailer zero")
+	}
+	v.Seal()
+	if words[len(words)-1] != sealed {
+		t.Fatal("sealing is not idempotent")
+	}
+
+	// Header and pointer mutations (visibility, chain CAS) must not break the
+	// seal — they are excluded from the checksum body.
+	v.SetInvalid()
+	SetPrevAddress(&words[v.PointerWordIndex(0)], 0xbeef00)
+	if !v.ChecksumOK() {
+		t.Fatal("header/pointer mutation broke the checksum")
+	}
+
+	// Any body flip must break it.
+	start, end := bodyBounds(v.Header())
+	for i := start; i < end; i++ {
+		for bit := 0; bit < 64; bit += 17 {
+			words[i] ^= 1 << bit
+			if v.ChecksumOK() {
+				t.Fatalf("flip of word %d bit %d went undetected", i, bit)
+			}
+			words[i] ^= 1 << bit
+		}
+	}
+	if !v.ChecksumOK() {
+		t.Fatal("restored record must verify again")
+	}
+
+	// A torn trailer (zeroed by a partial write) fails.
+	words[len(words)-1] = 0
+	if v.ChecksumOK() {
+		t.Fatal("zeroed trailer accepted")
+	}
+}
+
+func TestChecksumV0RecordsAlwaysPass(t *testing.T) {
+	spec := Spec{Payload: []byte("v0 record"), Pointers: []PointerSpec{{PSFID: 3, Mode: ModeBool}}}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	if v.Header().Checksum {
+		t.Fatal("spec without Checksum produced a v1 header")
+	}
+	if !v.ChecksumOK() {
+		t.Fatal("v0 record must pass checksum verification unchecked")
+	}
+	v.Seal() // must be a no-op
+	if words[len(words)-1] == 0 && len(words) > 1 {
+		// last payload word may legitimately be zero; just ensure size didn't change
+		_ = words
+	}
+	if h := v.Header(); h.SizeWords != spec.SizeWords() {
+		t.Fatalf("Seal mutated a v0 record: %+v", h)
+	}
+}
+
+func TestChecksumEmptyBody(t *testing.T) {
+	spec := Spec{Checksum: true}
+	words := make([]uint64, spec.SizeWords())
+	spec.Write(words)
+	v := View{Words: words}
+	if v.ChecksumOK() {
+		t.Fatal("unsealed empty record passed")
+	}
+	v.Seal()
+	if !v.ChecksumOK() {
+		t.Fatal("sealed empty-body record must verify")
+	}
+}
+
+func wordsForTest(n int) int { return (n + 7) / 8 }
 
 func BenchmarkSpecWrite1KB(b *testing.B) {
 	payload := make([]byte, 1024)

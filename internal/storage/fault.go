@@ -158,6 +158,36 @@ func (d *FaultDevice) Stats() FaultStats {
 	}
 }
 
+// FlipRandomBits corrupts the persisted image: it flips n bits at seeded
+// random positions within byte offsets [lo, hi) of the inner device,
+// modeling silent media decay (the corruption FishStore's per-record
+// checksums exist to catch). The flips go straight to the inner device —
+// they are invisible to the fault counters and unaffected by a power cut,
+// like real bit rot. Returns the flipped positions as bit offsets
+// (byteOffset*8 + bit) so tests can assert on exactly what was damaged.
+func (d *FaultDevice) FlipRandomBits(n int, lo, hi int64) ([]int64, error) {
+	if hi <= lo || n <= 0 {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	flipped := make([]int64, 0, n)
+	var b [1]byte
+	for i := 0; i < n; i++ {
+		off := lo + d.rng.Int63n(hi-lo)
+		bit := d.rng.Intn(8)
+		if _, err := d.inner.ReadAt(b[:], off); err != nil {
+			return flipped, fmt.Errorf("storage: bit flip read at %d: %w", off, err)
+		}
+		b[0] ^= 1 << bit
+		if _, err := d.inner.WriteAt(b[:], off); err != nil {
+			return flipped, fmt.Errorf("storage: bit flip write at %d: %w", off, err)
+		}
+		flipped = append(flipped, off*8+int64(bit))
+	}
+	return flipped, nil
+}
+
 // tearPoint picks an aligned prefix length in [0, n).
 func (d *FaultDevice) tearPoint(n int) int {
 	if n <= d.cfg.TearAlign {

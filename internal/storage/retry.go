@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures a Retrying device wrapper. The zero value of each
+// field selects a sensible default; a nil Classify uses IsTransient.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, including the
+	// first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms). Each
+	// subsequent retry doubles it, capped at MaxDelay (default 100ms), then
+	// jitters the result uniformly in [delay/2, delay).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed seeds the jitter PRNG; zero is a valid fixed seed.
+	Seed int64
+	// Classify reports whether err is transient (worth retrying). nil means
+	// IsTransient. Permanent errors are returned to the caller immediately.
+	Classify func(error) bool
+	// Sleep is a test hook replacing time.Sleep for the backoff waits.
+	Sleep func(time.Duration)
+	// OnRetry, if set, observes every retry: the operation ("read"/"write"),
+	// the attempt number just failed (1-based), and its error. The store
+	// wires this to the fishstore_io_retries_total counter and a trace event.
+	OnRetry func(op string, attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Classify == nil {
+		p.Classify = IsTransient
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// IsTransient is the default transient-error classifier: short reads and
+// torn writes model momentary faults a retry can heal; a power cut (and any
+// unrecognized error) is permanent. Callers with richer devices can supply
+// their own Classify.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrShortRead) || errors.Is(err, ErrTornWrite)
+}
+
+// Retrying wraps a Device and retries transient read/write errors with
+// bounded exponential backoff plus jitter. Permanent errors (per the
+// policy's Classify) pass through untouched, preserving their identity for
+// errors.Is — a power cut still looks like a power cut.
+type Retrying struct {
+	inner  Device
+	policy RetryPolicy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries int64
+}
+
+// NewRetrying wraps inner with the given retry policy.
+func NewRetrying(inner Device, policy RetryPolicy) *Retrying {
+	p := policy.withDefaults()
+	return &Retrying{inner: inner, policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Unwrap returns the wrapped device.
+func (d *Retrying) Unwrap() Device { return d.inner }
+
+// Retries returns the total number of retries performed so far.
+func (d *Retrying) Retries() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retries
+}
+
+// backoff computes the jittered delay before retry number `attempt` (1-based)
+// and counts the retry.
+func (d *Retrying) backoff(attempt int) time.Duration {
+	delay := d.policy.BaseDelay << (attempt - 1)
+	if delay > d.policy.MaxDelay || delay <= 0 {
+		delay = d.policy.MaxDelay
+	}
+	d.mu.Lock()
+	d.retries++
+	jittered := delay/2 + time.Duration(d.rng.Int63n(int64(delay/2)+1))
+	d.mu.Unlock()
+	return jittered
+}
+
+func (d *Retrying) do(op string, f func() (int, error)) (int, error) {
+	var n int
+	var err error
+	for attempt := 1; ; attempt++ {
+		n, err = f()
+		if err == nil || attempt >= d.policy.MaxAttempts || !d.policy.Classify(err) {
+			return n, err
+		}
+		if d.policy.OnRetry != nil {
+			d.policy.OnRetry(op, attempt, err)
+		}
+		d.policy.Sleep(d.backoff(attempt))
+	}
+}
+
+func (d *Retrying) ReadAt(p []byte, off int64) (int, error) {
+	return d.do("read", func() (int, error) { return d.inner.ReadAt(p, off) })
+}
+
+func (d *Retrying) WriteAt(p []byte, off int64) (int, error) {
+	// Positional writes are idempotent, so re-issuing the full range after a
+	// torn prefix is safe.
+	return d.do("write", func() (int, error) { return d.inner.WriteAt(p, off) })
+}
+
+// Sync forwards to the inner device (via the Syncer-walking helper). Sync
+// failures are not retried: a lying fsync must surface immediately so the
+// store can degrade rather than claim durability.
+func (d *Retrying) Sync() error { return Sync(d.inner) }
+
+func (d *Retrying) Close() error { return d.inner.Close() }

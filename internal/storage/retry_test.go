@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flaky fails the first failN calls of each op kind with err, then succeeds.
+type flaky struct {
+	inner Device
+	err   error
+	failN int
+
+	readCalls, writeCalls int
+}
+
+func (f *flaky) ReadAt(p []byte, off int64) (int, error) {
+	f.readCalls++
+	if f.readCalls <= f.failN {
+		return 0, f.err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *flaky) WriteAt(p []byte, off int64) (int, error) {
+	f.writeCalls++
+	if f.writeCalls <= f.failN {
+		return 0, f.err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *flaky) Close() error { return f.inner.Close() }
+
+func TestRetryingHealsTransientErrors(t *testing.T) {
+	mem := NewMem()
+	if _, err := mem.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fd := &flaky{inner: mem, err: ErrShortRead, failN: 2}
+	var slept []time.Duration
+	var retried []string
+	r := NewRetrying(fd, RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    8 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		OnRetry:     func(op string, attempt int, err error) { retried = append(retried, op) },
+	})
+	buf := make([]byte, 5)
+	n, err := r.ReadAt(buf, 0)
+	if err != nil || n != 5 || string(buf) != "hello" {
+		t.Fatalf("ReadAt = %d, %v, %q", n, err, buf)
+	}
+	if fd.readCalls != 3 {
+		t.Fatalf("readCalls = %d, want 3 (2 failures + success)", fd.readCalls)
+	}
+	if len(slept) != 2 || len(retried) != 2 || retried[0] != "read" {
+		t.Fatalf("slept=%v retried=%v", slept, retried)
+	}
+	if r.Retries() != 2 {
+		t.Fatalf("Retries = %d", r.Retries())
+	}
+	// Exponential envelope with jitter in [delay/2, delay].
+	if slept[0] < time.Millisecond/2 || slept[0] > time.Millisecond {
+		t.Fatalf("first backoff %v outside [0.5ms, 1ms]", slept[0])
+	}
+	if slept[1] < time.Millisecond || slept[1] > 2*time.Millisecond {
+		t.Fatalf("second backoff %v outside [1ms, 2ms]", slept[1])
+	}
+}
+
+func TestRetryingWriteRetryAndExhaustion(t *testing.T) {
+	fd := &flaky{inner: NewMem(), err: ErrTornWrite, failN: 1}
+	r := NewRetrying(fd, RetryPolicy{Sleep: func(time.Duration) {}})
+	if _, err := r.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatalf("write after one torn attempt: %v", err)
+	}
+	if fd.writeCalls != 2 {
+		t.Fatalf("writeCalls = %d", fd.writeCalls)
+	}
+
+	// A device that never stops failing exhausts MaxAttempts and returns the
+	// transient error.
+	always := &flaky{inner: NewMem(), err: ErrShortRead, failN: 1 << 30}
+	r2 := NewRetrying(always, RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	if _, err := r2.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("exhausted retry error = %v", err)
+	}
+	if always.readCalls != 3 {
+		t.Fatalf("readCalls = %d, want MaxAttempts", always.readCalls)
+	}
+}
+
+func TestRetryingPermanentErrorPassesThrough(t *testing.T) {
+	fd := &flaky{inner: NewMem(), err: ErrPowerCut, failN: 1 << 30}
+	slept := 0
+	r := NewRetrying(fd, RetryPolicy{Sleep: func(time.Duration) { slept++ }})
+	if _, err := r.WriteAt([]byte("x"), 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("permanent error = %v", err)
+	}
+	if fd.writeCalls != 1 || slept != 0 {
+		t.Fatalf("permanent error was retried: calls=%d slept=%d", fd.writeCalls, slept)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("Retries = %d", r.Retries())
+	}
+}
+
+func TestRetryingUnwrapAndSync(t *testing.T) {
+	mem := NewMem()
+	r := NewRetrying(mem, RetryPolicy{})
+	if Unwrap(r) != mem {
+		t.Fatal("Unwrap did not reach the inner device")
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func TestFlipRandomBits(t *testing.T) {
+	mem := NewMem()
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := mem.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFaultDevice(mem, FaultConfig{Seed: 7})
+	flips, err := fd.FlipRandomBits(16, 1024, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) != 16 {
+		t.Fatalf("flips = %d", len(flips))
+	}
+	got := make([]byte, len(data))
+	if _, err := mem.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	diff := map[int64]int{}
+	for _, f := range flips {
+		if f/8 < 1024 || f/8 >= 2048 {
+			t.Fatalf("flip %d outside requested range", f)
+		}
+		diff[f/8]++
+	}
+	for i := range got {
+		if got[i] == data[i] {
+			if diff[int64(i)]%2 == 1 {
+				t.Fatalf("byte %d should differ (odd flips)", i)
+			}
+			continue
+		}
+		if diff[int64(i)] == 0 {
+			t.Fatalf("byte %d changed without a recorded flip", i)
+		}
+	}
+	// Deterministic under the same seed.
+	mem2 := NewMem()
+	if _, err := mem2.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	fd2 := NewFaultDevice(mem2, FaultConfig{Seed: 7})
+	flips2, err := fd2.FlipRandomBits(16, 1024, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flips {
+		if flips[i] != flips2[i] {
+			t.Fatalf("seeded flips diverge at %d: %d vs %d", i, flips[i], flips2[i])
+		}
+	}
+}

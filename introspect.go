@@ -210,6 +210,7 @@ func (s *Store) LogComposition(opts LogSampleOptions) (*introspect.LogSnapshot, 
 		opts.MaxBytes = 64 << 20
 	}
 	ls := &introspect.LogSnapshot{SampledAt: time.Now(), From: from, To: to}
+	ls.Degraded, ls.DegradedCause = s.Degraded()
 	if from >= to {
 		return ls, nil
 	}

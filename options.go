@@ -82,6 +82,28 @@ type Options struct {
 	// index/full choices plus the cost-model inputs (Φ) each adaptive scan
 	// used. 0 means the default (64); negative disables the decision log.
 	ScanDecisionLog int
+
+	// DisableRecordChecksums writes format-v0 records without the per-record
+	// checksum trailer (8 bytes/record smaller, no CRC at flush). Readers
+	// accept both formats regardless of this setting, so a store may be
+	// reopened with either value; only newly ingested records are affected.
+	// Leave false outside of benchmarks: without checksums a torn flush at
+	// the log tail can survive recovery with a zeroed payload.
+	DisableRecordChecksums bool
+
+	// VerifyOnRead validates the checksum of every record fetched from the
+	// device on the scan, chain-walk, and indirect-resolution paths. A record
+	// that fails is quarantined: skipped (and its chain not followed), counted
+	// in ScanStats.Quarantined and the fishstore_corrupt_records_total metric,
+	// and logged to the flight recorder with its address — never surfaced to
+	// the user. In-memory records are exempt (they are sealed only at flush).
+	VerifyOnRead bool
+
+	// IORetry, if set, wraps Device in storage.Retrying: transient read and
+	// write errors (per the policy's Classify, default storage.IsTransient)
+	// are retried with bounded exponential backoff and jitter. Each retry is
+	// counted in fishstore_io_retries_total and traced.
+	IORetry *storage.RetryPolicy
 }
 
 func (o *Options) withDefaults() (Options, error) {

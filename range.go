@@ -62,6 +62,7 @@ func (s *Store) ScanRange(id psf.ID, lo, hi float64, opts ScanOptions, cb func(r
 		agg.FullScanBytes += st.FullScanBytes
 		agg.IOs += st.IOs
 		agg.ReadBytes += st.ReadBytes
+		agg.Quarantined += st.Quarantined
 		agg.Plan = append(agg.Plan, st.Plan...)
 		if err != nil {
 			return agg, err
@@ -83,7 +84,7 @@ func (s *Store) Iterate(from, to uint64, cb func(r Record) bool) error {
 	from, to = s.clampRange(from, to)
 	g := s.epoch.Acquire()
 	defer g.Release()
-	return s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
+	return s.visitRange(g, from, to, nil, func(addr uint64, v record.View) bool {
 		if v.Header().Indirect {
 			return true // skip historical index records
 		}

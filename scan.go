@@ -3,6 +3,7 @@ package fishstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,10 @@ type ScanStats struct {
 	// PrefetchHits is the number of chain hops served from the adaptive
 	// prefetcher's speculation buffer (random I/Os saved).
 	PrefetchHits int64
+	// Quarantined counts device-fetched records this scan skipped because
+	// their checksum failed (Options.VerifyOnRead). Such records are never
+	// delivered to the callback and their chain links are not followed.
+	Quarantined int64
 	// Stopped is set when the callback terminated the scan early (the
 	// paper's Touch early-stop signal).
 	Stopped bool
@@ -265,7 +270,7 @@ func (s *Store) fullScanSegment(g *epoch.Guard, def psf.Definition, canon []byte
 		return false, err
 	}
 	stopped := false
-	err = s.visitRange(g, from, to, func(addr uint64, v record.View) bool {
+	err = s.visitRange(g, from, to, &st.Quarantined, func(addr uint64, v record.View) bool {
 		st.Visited++
 		payload := v.Payload()
 		parsed, perr := psess.Parse(payload)
@@ -299,6 +304,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 	var mu sync.Mutex
 	var stopped atomic.Bool
 	var visited atomic.Int64
+	var quarantined int64 // updated atomically by visitRange across workers
 	var firstErr error
 	var errMu sync.Mutex
 	var wg sync.WaitGroup
@@ -331,7 +337,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 				if hi > to {
 					hi = to
 				}
-				err := s.visitRange(wg2, lo, hi, func(addr uint64, v record.View) bool {
+				err := s.visitRange(wg2, lo, hi, &quarantined, func(addr uint64, v record.View) bool {
 					visited.Add(1)
 					payload := v.Payload()
 					parsed, perr := psess.Parse(payload)
@@ -364,13 +370,19 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 	}
 	wg.Wait()
 	st.Visited += visited.Load()
+	st.Quarantined += atomic.LoadInt64(&quarantined)
 	return stopped.Load(), firstErr
 }
 
 // visitRange walks all visible records in [from, to) in address order,
 // reading pages from memory or storage as appropriate. from and to must be
-// record boundaries.
-func (s *Store) visitRange(g *epoch.Guard, from, to uint64, visit func(addr uint64, v record.View) bool) error {
+// record boundaries. With Options.VerifyOnRead, records on device-resident
+// pages are checksum-validated and quarantined on failure: skipped (counted
+// into quarantined, when non-nil, with an atomic add — parallel scan workers
+// share the counter) rather than delivered. In-memory pages are exempt:
+// their records are sealed only at flush time.
+func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined *int64,
+	visit func(addr uint64, v record.View) bool) error {
 	pageSize := s.log.PageSize()
 
 	for addr := from; addr < to; {
@@ -382,6 +394,7 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, visit func(addr uint
 		}
 		g.Refresh()
 
+		vfn := visit
 		var words []uint64 // page words from addr onward
 		if addr >= s.log.HeadAddress() {
 			words = s.log.PageWordsFrom(addr)
@@ -397,13 +410,40 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, visit func(addr uint
 				return fmt.Errorf("fishstore: full scan read at %d: %w", addr, err)
 			}
 			words = w
+			if s.opts.VerifyOnRead {
+				vfn = func(addr uint64, v record.View) bool {
+					h := v.Header()
+					if reason := validateRecord(addr, h, v); reason != "" || !v.ChecksumOK() {
+						if reason == "" {
+							reason = "checksum mismatch"
+						}
+						s.quarantineRecord(addr, quarantined, reason)
+						return true // skip the record, continue the walk
+					}
+					return visit(addr, v)
+				}
+			}
 		}
-		if !walkRecords(words, addr, limit, visit) {
+		if !walkRecords(words, addr, limit, vfn) {
 			return nil
 		}
 		addr = pageEnd
 	}
 	return nil
+}
+
+// quarantineRecord accounts for a device-fetched record whose checksum (or
+// structure) failed under VerifyOnRead: it is counted, traced with its
+// address so the flight recorder pins where the log is damaged, and never
+// surfaced. quarantined may be nil (callers without scan stats).
+func (s *Store) quarantineRecord(addr uint64, quarantined *int64, reason string) {
+	if quarantined != nil {
+		atomic.AddInt64(quarantined, 1)
+	}
+	s.metrics.corruptRecords.Inc()
+	s.metrics.reg.Trace("scan.quarantine",
+		metrics.F("address", addr),
+		metrics.F("reason", reason))
 }
 
 // walkRecords iterates the records laid out in words (whose first word is
@@ -568,6 +608,20 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 			if err != nil {
 				return fmt.Errorf("fishstore: chain read at %d: %w", cur, err)
 			}
+			if s.opts.VerifyOnRead {
+				h := v.Header()
+				reason := validateRecord(b, h, v)
+				if reason == "" && !v.ChecksumOK() {
+					reason = "checksum mismatch"
+				}
+				if reason != "" {
+					// Quarantine AND terminate the walk: the prev pointer we
+					// would follow lives in this corrupt record, so every
+					// address it yields is untrustworthy.
+					s.quarantineRecord(b, &st.Quarantined, "chain record: "+reason)
+					return nil
+				}
+			}
 			view, base = v, b
 		}
 		st.IndexHops++
@@ -598,6 +652,9 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 				bytes.Equal(view.ValueBytes(kp), canon)
 			if match {
 				rec, merr := s.materialize(g, view, base, st)
+				if errors.Is(merr, errQuarantined) {
+					return true // indirect target corrupt: skip, keep walking
+				}
 				if merr != nil {
 					cbErr = merr
 					return false
@@ -667,6 +724,10 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 			return Record{}, err
 		}
 		th := record.UnpackHeader(hw[0])
+		if s.opts.VerifyOnRead && th.SizeWords == 0 {
+			s.quarantineRecord(target, &st.Quarantined, "indirect target: empty header")
+			return Record{}, errQuarantined
+		}
 		g.Unprotect()
 		words, err := s.log.ReadWordsFromDevice(target, th.SizeWords)
 		g.Protect()
@@ -676,6 +737,21 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 		st.IOs += 2
 		st.ReadBytes += int64(8 + th.SizeWords*8)
 		tv = record.View{Words: words}
+		if s.opts.VerifyOnRead {
+			reason := validateRecord(target, tv.Header(), tv)
+			if reason == "" && !tv.ChecksumOK() {
+				reason = "checksum mismatch"
+			}
+			if reason != "" {
+				s.quarantineRecord(target, &st.Quarantined, "indirect target: "+reason)
+				return Record{}, errQuarantined
+			}
+		}
 	}
 	return Record{Address: target, Payload: tv.Payload()}, nil
 }
+
+// errQuarantined is the internal sentinel materialize returns when
+// VerifyOnRead rejected an indirect record's device-resident target; the
+// chain walk skips the record instead of aborting the scan.
+var errQuarantined = errors.New("fishstore: record quarantined")

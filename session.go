@@ -119,6 +119,9 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 	if sess.closed {
 		return IngestStats{}, ErrClosed
 	}
+	if sess.store.degraded.Load() {
+		return IngestStats{}, ErrDegraded
+	}
 	sess.store.ckptMu.RLock()
 	defer sess.store.ckptMu.RUnlock()
 	sess.guard.Protect()
@@ -172,6 +175,7 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 				Payload:     payload,
 				Pointers:    sess.ptrSpecs,
 				ValueRegion: sess.valueRegion,
+				Checksum:    !sess.store.opts.DisableRecordChecksums,
 			}
 			if err := spec.Validate(); err != nil {
 				return st, err

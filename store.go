@@ -71,6 +71,12 @@ type Store struct {
 	// Checkpoint holds it exclusively while taking its cut.
 	ckptMu sync.RWMutex
 
+	// degraded flips (once, sticky) when a permanent write/sync failure
+	// proves the device can no longer persist the log. The store then serves
+	// reads only: Ingest/Checkpoint/Flush return ErrDegraded.
+	degraded      atomic.Bool
+	degradedCause atomic.Pointer[string]
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -102,6 +108,24 @@ func initMetrics(o *Options) *storeMetrics {
 	}
 	m := newStoreMetrics(reg)
 	m.flight = flight
+	if o.IORetry != nil && o.Device != nil {
+		// Retry closest to the hardware so instrumentation above it observes
+		// one logical operation per log request. The user's OnRetry still
+		// fires; the store adds its counter and trace on top.
+		policy := *o.IORetry
+		userHook := policy.OnRetry
+		policy.OnRetry = func(op string, attempt int, err error) {
+			m.ioRetries.Inc()
+			m.reg.Trace("storage.retry",
+				metrics.F("op", op),
+				metrics.F("attempt", attempt),
+				metrics.F("error", err.Error()))
+			if userHook != nil {
+				userHook(op, attempt, err)
+			}
+		}
+		o.Device = storage.NewRetrying(o.Device, policy)
+	}
 	if reg.Enabled() {
 		o.Device = storage.NewInstrumented(o.Device, m)
 	}
@@ -116,42 +140,82 @@ func Open(opts Options) (*Store, error) {
 	}
 	met := initMetrics(&o)
 	em := epoch.New()
+	// The store is built before its log so the flush hook can flip it into
+	// degraded mode; flushes only start once ingestion does, after Open
+	// returns with s.log assigned.
+	s := &Store{
+		opts:    o,
+		epoch:   em,
+		table:   hashtable.New(o.TableBuckets, o.OverflowBuckets),
+		pf:      o.Parser,
+		metrics: met,
+	}
 	log, err := hlog.New(hlog.Config{
 		PageBits: o.PageBits,
 		MemPages: o.MemPages,
 		Device:   o.Device,
 		Epoch:    em,
-		OnFlush:  flushTracer(met),
+		OnFlush:  s.flushHook(),
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{
-		opts:    o,
-		epoch:   em,
-		log:     log,
-		table:   hashtable.New(o.TableBuckets, o.OverflowBuckets),
-		pf:      o.Parser,
-		metrics: met,
-	}
+	s.log = log
 	s.registry = psf.NewRegistry(em, log.TailAddress)
 	s.wireInternalMetrics()
 	s.registerIntrospection()
 	return s, nil
 }
 
-// flushTracer returns the hlog OnFlush hook: a trace event per completed
-// page flush, giving the flight recorder a durability timeline leading up
-// to a crash. One atomic load per page flush when no sink is installed.
-func flushTracer(met *storeMetrics) func(page uint64, err error) {
+// flushHook returns the hlog OnFlush hook: a trace event per completed page
+// flush (giving the flight recorder a durability timeline leading up to a
+// crash), and — on a flush failure — the transition into degraded read-only
+// mode. A failed background flush means the device permanently refused a
+// write (transient faults were already retried below, when IORetry is set),
+// so the store stops pretending it can persist instead of surfacing the
+// sticky error at the next page boundary.
+func (s *Store) flushHook() func(page uint64, err error) {
 	return func(page uint64, err error) {
 		if err != nil {
-			met.reg.Trace("hlog.flush",
+			s.metrics.reg.Trace("hlog.flush",
 				metrics.F("page", page), metrics.F("error", err.Error()))
+			s.enterDegraded(fmt.Errorf("page %d flush: %w", page, err))
 			return
 		}
-		met.reg.Trace("hlog.flush", metrics.F("page", page))
+		s.metrics.reg.Trace("hlog.flush", metrics.F("page", page))
 	}
+}
+
+// ErrDegraded is returned by Ingest, Checkpoint, and Flush once the store
+// has entered degraded read-only mode after a permanent write or sync
+// failure. Reads, scans, and verification keep working; the only way out is
+// to fix the device and reopen the store.
+var ErrDegraded = errors.New("fishstore: store degraded to read-only after permanent I/O failure")
+
+// enterDegraded flips the store into degraded read-only mode (once; the
+// first cause wins and is retained for Stats and introspection).
+func (s *Store) enterDegraded(cause error) {
+	if cause == nil || !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	msg := cause.Error()
+	s.degradedCause.Store(&msg)
+	s.metrics.reg.Trace("store.degraded", metrics.F("cause", msg))
+	if w := s.opts.FlightDumpWriter; w != nil {
+		_ = s.DumpFlight(w)
+	}
+}
+
+// Degraded reports whether the store is in degraded read-only mode, and the
+// cause that put it there.
+func (s *Store) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	if c := s.degradedCause.Load(); c != nil {
+		return true, *c
+	}
+	return true, ""
 }
 
 // wireInternalMetrics attaches counters and trace hooks to the store's
@@ -261,11 +325,16 @@ type Stats struct {
 	LogSizeBytes       uint64 // live footprint: tail - truncation point
 	TotalAppendedBytes uint64 // tail - begin: everything ever appended, incl. truncated
 	TableStats         hashtable.Stats
+	// Degraded is true once a permanent I/O failure has flipped the store
+	// into read-only mode; DegradedCause describes the failure.
+	Degraded      bool
+	DegradedCause string
 }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	live, tail := s.liveLogBytes()
+	deg, cause := s.Degraded()
 	return Stats{
 		IngestedRecords:    s.ingestedRecords.Load(),
 		IngestedBytes:      s.ingestedBytes.Load(),
@@ -275,6 +344,8 @@ func (s *Store) Stats() Stats {
 		LogSizeBytes:       live,
 		TotalAppendedBytes: tail - hlog.BeginAddress,
 		TableStats:         s.table.Stats(),
+		Degraded:           deg,
+		DegradedCause:      cause,
 	}
 }
 
@@ -305,5 +376,15 @@ var ErrClosed = errors.New("fishstore: store closed")
 
 // Flush synchronously persists everything ingested so far (the periodic
 // "line of persistence" of Appendix E): on return, FlushedUntil covers the
-// tail observed at the time of the call.
-func (s *Store) Flush() error { return s.log.FlushTail() }
+// tail observed at the time of the call. A write failure here is permanent
+// (retries, if configured, already ran below) and degrades the store.
+func (s *Store) Flush() error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
+	if err := s.log.FlushTail(); err != nil {
+		s.enterDegraded(fmt.Errorf("flush tail: %w", err))
+		return err
+	}
+	return nil
+}

@@ -74,6 +74,10 @@ type storeMetrics struct {
 	deviceReadBytes    *metrics.Counter
 	deviceWriteBytes   *metrics.Counter
 
+	// Integrity (checksums, retry, degradation).
+	corruptRecords *metrics.Counter
+	ioRetries      *metrics.Counter
+
 	// Internals (epoch, hash table).
 	epochBumps     *metrics.Counter
 	epochActions   *metrics.Counter
@@ -165,6 +169,12 @@ func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
 	m.deviceWriteBytes = reg.Counter("fishstore_device_write_bytes_total",
 		"Bytes written to the storage device.")
 
+	m.corruptRecords = reg.Counter("fishstore_corrupt_records_total",
+		"Records quarantined by VerifyOnRead: fetched from the device with a "+
+			"failing checksum and skipped instead of surfaced.")
+	m.ioRetries = reg.Counter("fishstore_io_retries_total",
+		"Transient device I/O errors retried by the storage.Retrying wrapper.")
+
 	m.epochBumps = reg.Counter("fishstore_epoch_bumps_total",
 		"Epoch bumps (version increments).")
 	m.epochActions = reg.Counter("fishstore_epoch_actions_total",
@@ -226,6 +236,14 @@ func (s *Store) registerGaugeFuncs() {
 	reg.GaugeFunc("fishstore_psf_active",
 		"Currently registered (active) PSFs.",
 		func() float64 { return float64(len(s.registry.CurrentMeta().PSFs)) })
+	reg.GaugeFunc("fishstore_degraded",
+		"1 once a permanent I/O failure has degraded the store to read-only.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 
 	// Introspection gauges: live occupancy detail, cost-model inputs, and
 	// the freshness of the last chain sample.

@@ -41,6 +41,10 @@ type VerifyReport struct {
 	From, To, End uint64
 	// Records, Fillers, KeyPointers count the structures walked.
 	Records, Fillers, KeyPointers int64
+	// SealedRecords counts format-v1 records whose checksum trailer was
+	// verified; UncheckedRecords counts v0 (pre-checksum) records, which
+	// carry nothing to verify.
+	SealedRecords, UncheckedRecords int64
 	// ChainsWalked / ChainLinks count the hash-chain phase (store verify
 	// only; zero for device-level verification).
 	ChainsWalked, ChainLinks int64
@@ -116,6 +120,12 @@ func walkDeviceLog(dev storage.Device, pageBits uint, from, to uint64,
 				if reason := validateRecord(recAddr, h, v); reason != "" {
 					return recAddr, reason, pages, nil
 				}
+				if !v.ChecksumOK() {
+					// A v1 record whose body does not match its sealed
+					// trailer: a torn flush zeroed part of the payload, or
+					// the media flipped bits. Recovery truncates here.
+					return recAddr, "record checksum mismatch (torn or corrupt payload)", pages, nil
+				}
 			}
 			if visit != nil && !visit(recAddr, h, v) {
 				return recAddr, "", pages, nil
@@ -134,11 +144,11 @@ func walkDeviceLog(dev storage.Device, pageBits uint, from, to uint64,
 // bounds, and the no-forward-link invariant. Returns "" when consistent.
 func validateRecord(addr uint64, h record.Header, v record.View) string {
 	first := record.HeaderWords + h.NumPtrs*record.WordsPerPointer + h.ValueWords
-	if first > h.SizeWords {
-		return fmt.Sprintf("pointer/value regions (%d words) exceed record size (%d words)",
-			first, h.SizeWords)
+	if first+h.TrailerWords() > h.SizeWords {
+		return fmt.Sprintf("pointer/value/trailer regions (%d words) exceed record size (%d words)",
+			first+h.TrailerWords(), h.SizeWords)
 	}
-	payloadLen := (h.SizeWords-first)*8 - h.PayloadPad
+	payloadLen := (h.SizeWords-h.TrailerWords()-first)*8 - h.PayloadPad
 	if payloadLen < 0 {
 		return "payload padding exceeds payload region"
 	}
@@ -196,6 +206,11 @@ func verifyImage(dev storage.Device, pageBits uint, from, to uint64) (VerifyRepo
 				return true
 			}
 			rep.Records++
+			if h.Checksum {
+				rep.SealedRecords++ // walkDeviceLog already verified it
+			} else {
+				rep.UncheckedRecords++
+			}
 			for i := 0; i < h.NumPtrs; i++ {
 				kptAddr := addr + uint64(v.PointerWordIndex(i))*8
 				kp := v.KeyPointerAt(i)
