@@ -18,6 +18,7 @@ import (
 	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
+	"fishstore/internal/trace"
 )
 
 // ---- benchmark artifact ----
@@ -163,6 +164,22 @@ func BenchmarkIngestYelpNoMetrics(b *testing.B) {
 func BenchmarkIngestYelpMetrics(b *testing.B) {
 	benchIngestOpts(b, harness.Table1()["yelp"],
 		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewRegistry()})
+}
+
+// BenchmarkIngestYelpNoTracing / BenchmarkIngestYelpTracing bracket the
+// span layer's cost: identical workloads with no tracer vs an enabled
+// tracer recording every ingest batch (root span + five phase children per
+// record). The attached-but-disabled case is covered separately by
+// TestTracingDisabledOverheadBounded, whose bar is ≤2%.
+func BenchmarkIngestYelpNoTracing(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled()})
+}
+
+func BenchmarkIngestYelpTracing(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled(),
+			Tracer: trace.New(trace.Options{})})
 }
 
 // BenchmarkIngestYelpChecksum / BenchmarkIngestYelpNoChecksum bracket the

@@ -111,10 +111,19 @@ func (s *Store) Checkpoint(dir string) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
+	if pl := s.plabels; pl != nil {
+		pl.set(pl.checkpoint)
+		defer pl.clear()
+	}
 	start := time.Now()
 	tail := s.log.TailAddress()
+	sp := s.tracer.StartRoot("checkpoint")
+	sp.SetUint("tail", tail)
+	defer sp.End()
 	s.metrics.reg.Trace("checkpoint.begin", metrics.F("tail", tail))
+	fsp := sp.Child("checkpoint.flush")
 	if err := s.log.FlushTail(); err != nil {
+		fsp.End()
 		// The device permanently refused a log write (transient faults were
 		// retried below when IORetry is configured): no future checkpoint can
 		// succeed and ingestion can no longer be persisted. Degrade.
@@ -124,9 +133,11 @@ func (s *Store) Checkpoint(dir string) error {
 	// The manifest claims the log is durable below tail; force the device's
 	// write cache to stable media before any artifact can make that claim.
 	if err := storage.Sync(s.log.Device()); err != nil {
+		fsp.End()
 		s.enterDegraded(fmt.Errorf("checkpoint log sync: %w", err))
 		return fmt.Errorf("fishstore: checkpoint log sync: %w", err)
 	}
+	fsp.End()
 
 	// Both artifacts are written to a temp file, fsynced, then renamed over
 	// the previous image, so a crash at any point leaves either the old
@@ -134,9 +145,12 @@ func (s *Store) Checkpoint(dir string) error {
 	// The table is renamed first: a new table with the old manifest is still
 	// consistent, because replay's head installation is a monotonic CAS.
 	tablePath := filepath.Join(dir, tableFile)
+	tbsp := sp.Child("checkpoint.table")
 	tableBytes, err := writeFileDurable(tablePath, func(f *os.File) (int64, error) {
 		return s.table.WriteTo(f)
 	})
+	tbsp.SetInt("bytes", tableBytes)
+	tbsp.End()
 	if err != nil {
 		return fmt.Errorf("fishstore: checkpoint table: %w", err)
 	}
@@ -157,15 +171,19 @@ func (s *Store) Checkpoint(dir string) error {
 	if err != nil {
 		return err
 	}
+	msp := sp.Child("checkpoint.manifest")
 	if _, err := writeFileDurable(filepath.Join(dir, manifestFile), func(f *os.File) (int64, error) {
 		n, werr := f.Write(raw)
 		return int64(n), werr
 	}); err != nil {
+		msp.End()
 		return err
 	}
 	// The renames themselves live in the directory; sync it so the new
 	// checkpoint survives a crash of the whole machine.
-	if err := syncDir(dir); err != nil {
+	err = syncDir(dir)
+	msp.End()
+	if err != nil {
 		return err
 	}
 
@@ -224,13 +242,21 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 		o.MemPages = m.MemPages
 	}
 	met := initMetrics(&o)
+	tr := resolveTracer(&o)
 	recoveryStart := time.Now()
+
+	rsp := tr.StartRoot("recover")
+	rsp.SetUint("checkpoint_tail", m.Tail)
+	defer rsp.End()
 
 	info.CheckpointTail = m.Tail
 
 	// 1. Find how far the durable suffix extends beyond the checkpoint by
 	// probing record headers page by page.
+	psp := rsp.Child("recover.probe")
 	probe, replayEnd, err := probeDurableEnd(o, m.Tail)
+	psp.SetUint("durable_end", replayEnd)
+	psp.End()
 	if err != nil {
 		return nil, info, err
 	}
@@ -239,13 +265,20 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	// 2. Reopen the log at the recovered tail. As in Open, the store exists
 	// before its log so the flush hook can degrade it on permanent failures.
 	em := epoch.New()
-	s := &Store{opts: o, epoch: em, pf: o.Parser, metrics: met}
+	s := &Store{opts: o, epoch: em, pf: o.Parser, metrics: met, tracer: tr}
+	if o.ProfileLabels {
+		s.plabels = newProfileLabels()
+		s.plabels.set(s.plabels.recover)
+		defer s.plabels.clear()
+	}
 	log, err := hlog.Recover(hlog.Config{
-		PageBits: o.PageBits,
-		MemPages: o.MemPages,
-		Device:   o.Device,
-		Epoch:    em,
-		OnFlush:  s.flushHook(),
+		PageBits:      o.PageBits,
+		MemPages:      o.MemPages,
+		Device:        o.Device,
+		Epoch:         em,
+		OnFlush:       s.flushHook(),
+		Tracer:        tr,
+		ProfileLabels: o.ProfileLabels,
 	}, replayEnd)
 	if err != nil {
 		return nil, info, err
@@ -257,26 +290,34 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	}
 
 	// 3. Restore the hash-table image.
+	tsp := rsp.Child("recover.table")
 	tf, err := os.Open(filepath.Join(dir, tableFile))
 	if err != nil {
+		tsp.End()
 		return nil, info, err
 	}
 	s.table = hashtable.New(1, 1)
 	if _, err := s.table.ReadFrom(tf); err != nil {
 		tf.Close()
+		tsp.End()
 		return nil, info, fmt.Errorf("fishstore: restoring table: %w", err)
 	}
 	tf.Close()
+	tsp.End()
 	s.wireInternalMetrics()
+	s.wireSpanTee()
 	s.registerIntrospection()
 
 	// 4. Replay the suffix [m.Tail, replayEnd): scan records in address
 	// order and re-install chain heads. Prev pointers inside the records
 	// are already durable and consistent (no forward links), so setting the
 	// head to each successive key pointer reconstructs every chain.
+	rpsp := rsp.Child("recover.replay")
 	g := em.Acquire()
 	replayed, replayedBytes, err := s.replaySuffix(g, m.Tail, replayEnd)
 	g.Release()
+	rpsp.SetInt("replayed", replayed)
+	rpsp.End()
 	if err != nil {
 		return nil, info, err
 	}
@@ -286,6 +327,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	s.ingestedRecords.Store(m.IngestedRecords + replayed)
 	s.ingestedBytes.Store(m.IngestedBytes + replayedBytes)
 
+	rsp.SetUint("recovered_tail", replayEnd)
 	elapsed := time.Since(recoveryStart)
 	met.recoverySeconds.Observe(int64(elapsed))
 	met.recoveryReplayed.Add(replayed)

@@ -12,6 +12,15 @@
 // series of the corresponding paper artifact. Shapes (who wins, crossover
 // points, scaling trends) are the reproduction target; absolute numbers
 // depend on the host.
+//
+// Regression-gate mode compares freshly generated BENCH_*.json files (from
+// `go test -bench`) against committed baselines instead of running
+// experiments:
+//
+//	fishbench -compare baselines/BENCH_ingest.json,baselines/BENCH_scan.json
+//
+// Exit status: 0 all benchmarks within threshold, 1 regression (or a
+// baseline benchmark missing from the current run), 2 usage or I/O error.
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +37,8 @@ import (
 	"fishstore"
 	"fishstore/internal/harness"
 	"fishstore/internal/metrics"
+	"fishstore/internal/perfgate"
+	"fishstore/internal/trace"
 )
 
 func main() {
@@ -37,48 +50,110 @@ func main() {
 		quick   = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		diskBW  = flag.Float64("disk-mbps", 256, "rate-limited 'SSD' write bandwidth (MB/s) for on-disk experiments")
 		metAddr = flag.String("metrics-addr", "", "serve aggregated store metrics/pprof on this address while experiments run")
+
+		compare   = flag.String("compare", "", "comma-separated baseline BENCH_*.json files; compare and exit instead of running experiments")
+		current   = flag.String("current", "", "comma-separated current-run files paired with -compare (default: baseline basenames in the working directory)")
+		threshold = flag.Float64("threshold", 0.10, "tolerated fractional slowdown before -compare fails (0.10 = 10%)")
+
+		spanOut    = flag.String("span-out", "", "write spans from all experiments as Chrome trace-event JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with operation/phase pprof labels) to this file")
 	)
 	flag.Parse()
 
-	if *metAddr != "" {
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *current, *threshold))
+	}
+	// Experiments run inside a helper so the -span-out and -cpuprofile
+	// defers fire even on a failing run (os.Exit skips defers).
+	os.Exit(runExperiments(*exp, *list, *dataMB, *threads, *quick, *diskBW,
+		*metAddr, *spanOut, *cpuProfile))
+}
+
+func runExperiments(exp string, list bool, dataMB int, threads string, quick bool,
+	diskBW float64, metAddr, spanOut, cpuProfile string) int {
+
+	var tracer *trace.Tracer
+	if spanOut != "" {
+		// Every store the experiments open picks this up via the default-
+		// tracer hook, the same way -metrics-addr shares one registry.
+		tracer = trace.New(trace.Options{BufferSize: 1 << 16})
+		fishstore.SetDefaultTracer(tracer)
+	}
+	if cpuProfile != "" {
+		// Label every store the experiments open so the profile slices along
+		// operation= / phase= / mode= / psf= (README "Tracing & profiling").
+		fishstore.SetDefaultProfileLabels(true)
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fishbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fishbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if spanOut != "" {
+		defer func() {
+			f, err := os.Create(spanOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fishbench: -span-out: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteChrome(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fishbench: -span-out: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d spans -> %s (%d dropped)]\n",
+				len(tracer.Spans()), spanOut, tracer.Dropped())
+		}()
+	}
+
+	if metAddr != "" {
 		// One shared registry aggregates every store the experiments open.
 		reg := metrics.NewRegistry()
 		fishstore.SetDefaultMetricsRegistry(reg)
 		go func() {
-			if err := http.ListenAndServe(*metAddr, metrics.NewMux(reg)); err != nil {
+			if err := http.ListenAndServe(metAddr, metrics.NewMux(reg)); err != nil {
 				fmt.Fprintf(os.Stderr, "fishbench: metrics endpoint: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "[metrics on http://localhost%s/metrics]\n", *metAddr)
+		fmt.Fprintf(os.Stderr, "[metrics on http://localhost%s/metrics]\n", metAddr)
 	}
 
-	if *list {
+	if list {
 		for _, id := range harness.ExperimentOrder() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
-	if *exp == "" {
+	if exp == "" {
 		fmt.Fprintln(os.Stderr, "fishbench: -exp required (or -list); e.g. -exp fig11")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := harness.DefaultConfig(os.Stdout)
-	cfg.DataMB = *dataMB
-	cfg.Quick = *quick
-	cfg.DiskBandwidth = *diskBW * (1 << 20)
-	if *quick {
+	cfg.DataMB = dataMB
+	cfg.Quick = quick
+	cfg.DiskBandwidth = diskBW * (1 << 20)
+	if quick {
 		q := harness.QuickConfig(os.Stdout)
-		q.DataMB = *dataMB
+		q.DataMB = dataMB
 		cfg = q
 	}
-	if *threads != "" {
+	if threads != "" {
 		var sweep []int
-		for _, part := range strings.Split(*threads, ",") {
+		for _, part := range strings.Split(threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
 				fmt.Fprintf(os.Stderr, "fishbench: bad -threads element %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			sweep = append(sweep, n)
 		}
@@ -86,21 +161,70 @@ func main() {
 	}
 
 	exps := harness.Experiments()
-	ids := []string{*exp}
-	if *exp == "all" {
+	ids := []string{exp}
+	if exp == "all" {
 		ids = harness.ExperimentOrder()
 	}
 	for _, id := range ids {
 		run, ok := exps[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "fishbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
 		if err := run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "fishbench: %s failed: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runCompare is the perf-regression gate: diff each baseline file against
+// the matching current-run file and report. currentList may be empty, in
+// which case each baseline's basename is looked up in the working directory
+// (where `go test -bench` writes BENCH_*.json).
+func runCompare(compareList, currentList string, threshold float64) int {
+	baselines := strings.Split(compareList, ",")
+	var currents []string
+	if currentList != "" {
+		currents = strings.Split(currentList, ",")
+		if len(currents) != len(baselines) {
+			fmt.Fprintf(os.Stderr, "fishbench: -current has %d files, -compare has %d\n",
+				len(currents), len(baselines))
+			return 2
+		}
+	} else {
+		for _, b := range baselines {
+			currents = append(currents, filepath.Base(strings.TrimSpace(b)))
+		}
+	}
+
+	failed := false
+	for i, b := range baselines {
+		b, c := strings.TrimSpace(b), strings.TrimSpace(currents[i])
+		base, err := perfgate.Load(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fishbench: baseline %s: %v\n", b, err)
+			return 2
+		}
+		cur, err := perfgate.Load(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fishbench: current %s: %v\n", c, err)
+			return 2
+		}
+		rep := perfgate.Compare(base, cur, threshold)
+		fmt.Printf("== %s vs %s (threshold %.0f%%)\n", c, b, threshold*100)
+		rep.Write(os.Stdout)
+		if rep.Failed() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "fishbench: performance regression gate FAILED")
+		return 1
+	}
+	fmt.Println("fishbench: performance gate passed")
+	return 0
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCompareGate exercises the perf-regression gate end to end through
+// the same entry point the CI job calls: pass within threshold, fail on an
+// injected >=10% regression, and usage errors on bad input.
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base_ingest.json",
+		`[{"name":"BenchmarkIngestYelp","records_per_sec":100000}]`)
+	scanBase := writeBench(t, dir, "base_scan.json",
+		`[{"name":"BenchmarkScanIndex","mode":"index","records_per_sec":50000}]`)
+
+	ok := writeBench(t, dir, "ok_ingest.json",
+		`[{"name":"BenchmarkIngestYelp","records_per_sec":96000}]`)
+	scanOK := writeBench(t, dir, "ok_scan.json",
+		`[{"name":"BenchmarkScanIndex","mode":"index","records_per_sec":52000}]`)
+	if code := runCompare(base+","+scanBase, ok+","+scanOK, 0.10); code != 0 {
+		t.Fatalf("within-threshold compare exited %d, want 0", code)
+	}
+
+	// Injected 12% ingest regression must exit nonzero.
+	slow := writeBench(t, dir, "slow_ingest.json",
+		`[{"name":"BenchmarkIngestYelp","records_per_sec":88000}]`)
+	if code := runCompare(base+","+scanBase, slow+","+scanOK, 0.10); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1", code)
+	}
+
+	// A benchmark vanishing from the current run also trips the gate.
+	empty := writeBench(t, dir, "empty.json", `[]`)
+	if code := runCompare(base, empty, 0.10); code != 1 {
+		t.Fatalf("missing-benchmark compare exited %d, want 1", code)
+	}
+
+	if code := runCompare(filepath.Join(dir, "nope.json"), ok, 0.10); code != 2 {
+		t.Fatalf("unreadable baseline exited %d, want 2", code)
+	}
+	if code := runCompare(base+","+scanBase, ok, 0.10); code != 2 {
+		t.Fatalf("mismatched -compare/-current lengths exited %d, want 2", code)
+	}
+}
+
+// TestRunCompareDefaultsCurrentToBasename checks the CI-friendly shorthand:
+// with no -current, each baseline's basename is read from the working
+// directory.
+func TestRunCompareDefaultsCurrentToBasename(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baselines")
+	if err := os.Mkdir(baseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBench(t, baseDir, "BENCH_ingest.json",
+		`[{"name":"BenchmarkIngestYelp","records_per_sec":100000}]`)
+	writeBench(t, dir, "BENCH_ingest.json",
+		`[{"name":"BenchmarkIngestYelp","records_per_sec":99000}]`)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	if code := runCompare(filepath.Join("baselines", "BENCH_ingest.json"), "", 0.10); code != 0 {
+		t.Fatalf("basename-defaulted compare exited %d, want 0", code)
+	}
+}

@@ -24,6 +24,10 @@
 //
 //	# Inspect a live store: PSF lifecycle, chain histograms, scan decisions:
 //	fishstore-cli inspect -addr localhost:9187 -flight
+//
+//	# Pull operation spans from a tracing store as Chrome trace-event JSON:
+//	fishstore-cli serve -metrics-addr :9187 -spans &
+//	fishstore-cli trace -addr localhost:9187 -o spans.json
 package main
 
 import (
@@ -55,6 +59,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "inspect" {
 		os.Exit(inspectMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	var (
 		in        = flag.String("in", "", "newline-delimited JSON input file")

@@ -14,6 +14,7 @@ import (
 	"fishstore/internal/datagen"
 	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
+	itrace "fishstore/internal/trace"
 )
 
 // serveMain implements `fishstore-cli serve`: a long-running demo store that
@@ -26,15 +27,17 @@ import (
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("metrics-addr", ":9187", "address for the metrics/pprof HTTP endpoint")
-		gen      = fs.String("gen", "github", "synthetic dataset: github|twitter|yelp")
-		project  = fs.String("project", "type", "field-projection PSF to register and index")
-		query    = fs.String("query", "type=PushEvent", "periodic subset query (field=value; field must equal -project)")
-		rateMB   = fs.Float64("rate-mb", 8, "target ingestion rate (MB/s)")
-		scanSecs = fs.Float64("scan-every", 2, "seconds between periodic scans (0 disables)")
-		slow     = fs.Duration("slow", 250*time.Millisecond, "slow-operation trace threshold (0 disables)")
-		trace    = fs.Bool("trace", false, "emit trace events as JSON lines on stderr")
-		duration = fs.Duration("duration", 0, "exit after this long (0 = run until SIGINT)")
+		addr       = fs.String("metrics-addr", ":9187", "address for the metrics/pprof HTTP endpoint")
+		gen        = fs.String("gen", "github", "synthetic dataset: github|twitter|yelp")
+		project    = fs.String("project", "type", "field-projection PSF to register and index")
+		query      = fs.String("query", "type=PushEvent", "periodic subset query (field=value; field must equal -project)")
+		rateMB     = fs.Float64("rate-mb", 8, "target ingestion rate (MB/s)")
+		scanSecs   = fs.Float64("scan-every", 2, "seconds between periodic scans (0 disables)")
+		slow       = fs.Duration("slow", 250*time.Millisecond, "slow-operation trace threshold (0 disables)")
+		trace      = fs.Bool("trace", false, "emit trace events as JSON lines on stderr")
+		spans      = fs.Bool("spans", false, "record operation spans; fetch with `fishstore-cli trace` or /debug/fishstore/spans")
+		spanSample = fs.Uint64("span-sample", 1, "with -spans, trace 1 in N root operations (1 = every operation)")
+		duration   = fs.Duration("duration", 0, "exit after this long (0 = run until SIGINT)")
 	)
 	fs.Parse(args)
 
@@ -58,6 +61,10 @@ func serveMain(args []string) {
 	}
 	if *trace {
 		opts.TraceSink = metrics.NewWriterSink(os.Stderr)
+	}
+	if *spans {
+		opts.Tracer = itrace.New(itrace.Options{SampleEvery: *spanSample})
+		opts.ProfileLabels = true
 	}
 	s, err := fishstore.Open(opts)
 	if err != nil {

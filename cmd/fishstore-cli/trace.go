@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// traceMain implements `fishstore-cli trace`: it pulls the span buffer from
+// a live store's /debug/fishstore/spans endpoint — Chrome trace-event JSON
+// straight from the wire — and writes it to a file or stdout. Load the
+// output in Perfetto (ui.perfetto.dev) or chrome://tracing to see ingest
+// batches, scan plans, chain-walk I/Os, flushes, and checkpoints as nested
+// spans on per-operation tracks.
+//
+//	fishstore-cli serve -metrics-addr :9187 -spans &
+//	fishstore-cli trace -addr localhost:9187 -o spans.json
+//
+// Exit status: 0 = ok, 1 = fetch/decode/write failure.
+func traceMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr = fs.String("addr", "localhost:9187", "store observability address (host:port or URL)")
+		out  = fs.String("o", "", "output file (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Decode into a generic envelope rather than passing bytes through: a
+	// store with tracing off answers {"traceEvents":[],...}, and a decode
+	// here catches a half-written or non-span body before it lands in a
+	// file the user will feed to Perfetto.
+	var envelope struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := fetchJSON(client, base+"/debug/fishstore/spans", &envelope); err != nil {
+		fmt.Fprintf(stderr, "fishstore-cli trace: %v\n", err)
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "fishstore-cli trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(envelope); err != nil {
+		fmt.Fprintf(stderr, "fishstore-cli trace: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "%d spans -> %s (open in ui.perfetto.dev)\n", len(envelope.TraceEvents), *out)
+	}
+	if len(envelope.TraceEvents) == 0 {
+		fmt.Fprintln(stderr, "fishstore-cli trace: no spans buffered — is the store tracing? (serve -spans)")
+	}
+	return 0
+}

@@ -16,18 +16,27 @@
 package hlog
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"fishstore/internal/epoch"
 	"fishstore/internal/record"
 	"fishstore/internal/storage"
+	"fishstore/internal/trace"
 	"fishstore/internal/wordio"
 )
+
+// flushLabels is the pprof label set applied to background flush goroutines
+// when Config.ProfileLabels is on. Flush goroutines are single-purpose and
+// die after one page, so the label is set once per flush, never restored.
+var flushLabels = pprof.WithLabels(context.Background(),
+	pprof.Labels("operation", "flush"))
 
 // Address is a 48-bit logical byte address on the log. All record addresses
 // are 8-byte aligned; address 0 is invalid (nil chain terminator).
@@ -61,6 +70,13 @@ type Config struct {
 	// error (nil on success). Used by the store's flight recorder to keep a
 	// trace of durability progress leading up to a crash.
 	OnFlush func(page uint64, err error)
+	// Tracer, if set, gives every page flush (background and FlushTail) its
+	// own span. nil disables flush spans.
+	Tracer *trace.Tracer
+	// ProfileLabels attaches an operation=flush pprof label to background
+	// flush goroutines so CPU profiles attribute serialization and sealing
+	// cost to the flush path.
+	ProfileLabels bool
 }
 
 // DefaultConfig returns a config with 1MB pages and a 16MB buffer.
@@ -105,6 +121,8 @@ type Log struct {
 	flushErr   error
 	flushWG    sync.WaitGroup
 	onFlush    func(page uint64, err error)
+	tracer     *trace.Tracer
+	flushLbls  bool
 
 	closed atomic.Bool
 }
@@ -135,6 +153,8 @@ func New(cfg Config) (*Log, error) {
 		epoch:      cfg.Epoch,
 		flushedPgs: make(map[uint64]uint64),
 		onFlush:    cfg.OnFlush,
+		tracer:     cfg.Tracer,
+		flushLbls:  cfg.ProfileLabels,
 	}
 	l.frameFreeFor = make([]atomic.Uint64, cfg.MemPages)
 	for i := range l.frames {
@@ -372,6 +392,11 @@ func (l *Log) scheduleFlush(page uint64) {
 
 func (l *Log) doFlush(page uint64) {
 	defer l.flushWG.Done()
+	if l.flushLbls {
+		pprof.SetGoroutineLabels(flushLabels)
+	}
+	sp := l.tracer.StartRoot("hlog.flush")
+	sp.SetUint("page", page)
 	f := l.frameIndex(page)
 	frame := l.frames[f]
 	buf := make([]byte, l.pageSize)
@@ -381,6 +406,9 @@ func (l *Log) doFlush(page uint64) {
 	l.sealPageRecords(page, frame, buf, l.pageWords)
 	_, err := l.device.WriteAt(buf, int64(l.address(page, 0)))
 	l.completeFlush(page, err)
+	sp.SetInt("bytes", int64(l.pageSize))
+	sp.SetBool("error", err != nil)
+	sp.End()
 }
 
 // sealPageRecords walks the record headers serialized into buf (the private
@@ -490,7 +518,11 @@ func (l *Log) flushError() error {
 // FlushTail synchronously persists the current (unsealed) tail page prefix,
 // making everything below TailAddress durable. Used by checkpointing.
 func (l *Log) FlushTail() error {
+	sp := l.tracer.StartRoot("hlog.flush_tail")
+	defer sp.End()
 	page, off := unpack(l.pagedTail.Load())
+	sp.SetUint("page", page)
+	sp.SetUint("offset", off)
 	if off > l.pageSize {
 		off = l.pageSize
 	}

@@ -179,6 +179,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NewEpochGuard(),
 		NewAtomicField(),
+		NewWordsAt(),
 		NewErrFlow(),
 		NewAddrCompose(),
 	}

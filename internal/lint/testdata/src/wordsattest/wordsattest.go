@@ -1,0 +1,50 @@
+// Package wordsattest seeds the escaped-frame-alias bug class fishlint's
+// wordsat analyzer guards against: a slice returned by hlog.WordsAt handed
+// to another function, whose parameter is then indexed without sync/atomic.
+// The alias obligation must follow the slice through direct calls — one hop,
+// several hops, and as an inline argument — while []uint64 parameters that
+// never see a frame alias stay clean.
+package wordsattest
+
+import (
+	"sync/atomic"
+
+	"fishstore/internal/hlog"
+)
+
+// leakOneHop passes a WordsAt alias to a helper via a local.
+func leakOneHop(l *hlog.Log, addr uint64) uint64 {
+	w := l.WordsAt(addr, 2)
+	return sum(w)
+}
+
+// leakInline passes the WordsAt result without naming it.
+func leakInline(l *hlog.Log, addr uint64) uint64 {
+	return sum(l.WordsAt(addr, 2))
+}
+
+// sum receives frame aliases from leakOneHop and leakInline: the plain read
+// races, the atomic read and the address-of are fine, and forwarding to
+// deeper propagates the taint another hop.
+func sum(w []uint64) uint64 {
+	bad := w[0] // want wordsat "receives a slice aliasing the live page frame"
+	good := atomic.LoadUint64(&w[1])
+	return bad + good + deeper(w)
+}
+
+// deeper is only ever reached through sum, two hops from WordsAt.
+func deeper(w []uint64) uint64 {
+	return w[0] // want wordsat "receives a slice aliasing the live page frame"
+}
+
+// cleanSum has the same shape as sum but is only ever handed ordinary
+// heap slices; plain indexing is fine.
+func cleanSum(w []uint64) uint64 {
+	return w[0] + w[1]
+}
+
+// useClean keeps cleanSum reachable with a non-aliased argument.
+func useClean() uint64 {
+	scratch := make([]uint64, 2)
+	return cleanSum(scratch)
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewWordsAt builds the wordsat analyzer: the inter-procedural companion to
+// atomicfield's frame-alias rule. Slices returned by (*hlog.Log).WordsAt
+// alias the live page frame, and concurrent chain splices CAS key-pointer
+// words in place (§4.2) — so the no-plain-indexing obligation follows the
+// slice when it escapes into a callee, which the intra-procedural
+// atomicfield check cannot see.
+//
+// The analyzer records, per package, (a) call sites where a WordsAt-derived
+// slice — the call's direct result or a local assigned from it — is passed
+// to a module-local function's []uint64 parameter, (b) call sites where one
+// function's []uint64 parameter is passed on to another's, and (c) plain
+// (non-&) element accesses on []uint64 parameters. Finish runs a module-wide
+// fixpoint over the parameter-flow edges and reports the plain accesses on
+// every parameter that can transitively receive a frame alias.
+//
+// Scope, by design: only direct argument passing is followed. A frame alias
+// smuggled through a struct field, channel, closure capture, or reassigned
+// local is not tracked — same family of limitation as atomicfield rule 2,
+// documented in DESIGN.md §9. Local accesses on WordsAt results stay
+// atomicfield's to report; wordsat only reports parameter-flow findings, so
+// the two analyzers never duplicate a diagnostic.
+func NewWordsAt() *Analyzer {
+	a := &Analyzer{
+		Name: "wordsat",
+		Doc:  "WordsAt frame aliases passed across function boundaries must be accessed atomically in the callee",
+	}
+	type access struct {
+		pos  token.Position
+		name string
+	}
+	seeded := make(map[types.Object]bool)          // params receiving a WordsAt alias directly at some call site
+	edges := make(map[types.Object][]types.Object) // caller param -> callee params it is passed to
+	plain := make(map[types.Object][]access)       // plain element accesses on []uint64 params
+
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		wordsAt := "(*" + ModulePath + "/internal/hlog.Log).WordsAt"
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				params := wordSliceParams(info, fd)
+
+				// Locals assigned from WordsAt inside this body.
+				aliases := make(map[types.Object]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					as, ok := n.(*ast.AssignStmt)
+					if !ok || len(as.Lhs) != len(as.Rhs) {
+						return true
+					}
+					for i, rhs := range as.Rhs {
+						call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+						if !ok || callDisplayName(info, call) != wordsAt {
+							continue
+						}
+						id, ok := as.Lhs[i].(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						if obj := info.Defs[id]; obj != nil {
+							aliases[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							aliases[obj] = true
+						}
+					}
+					return true
+				})
+
+				// Argument flow: WordsAt aliases and params handed to
+				// module-local callees.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeOf(info, call)
+					if fn == nil || fn.Pkg() == nil || !inModulePath(fn.Pkg().Path()) {
+						return true
+					}
+					for i, arg := range call.Args {
+						dst := paramAt(fn, i)
+						if dst == nil || !isWordSlice(dst.Type()) {
+							continue
+						}
+						arg = ast.Unparen(arg)
+						if inner, ok := arg.(*ast.CallExpr); ok {
+							if callDisplayName(info, inner) == wordsAt {
+								seeded[dst] = true
+							}
+							continue
+						}
+						id, ok := arg.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						src := info.Uses[id]
+						switch {
+						case src == nil:
+						case aliases[src]:
+							seeded[dst] = true
+						case params[src]:
+							edges[src] = append(edges[src], dst)
+						}
+					}
+					return true
+				})
+
+				if len(params) == 0 {
+					continue
+				}
+				// Plain element accesses on the params, & operands excused.
+				addressed := make(map[ast.Expr]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						addressed[ast.Unparen(u.X)] = true
+					}
+					return true
+				})
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					ix, ok := n.(*ast.IndexExpr)
+					if !ok {
+						return true
+					}
+					id, ok := ast.Unparen(ix.X).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					if obj == nil || !params[obj] || addressed[ast.Expr(ix)] {
+						return true
+					}
+					plain[obj] = append(plain[obj], access{
+						pos:  pass.Pkg.Fset.Position(ix.Pos()),
+						name: id.Name,
+					})
+					return true
+				})
+			}
+		}
+	}
+
+	a.Finish = func(report func(Finding)) {
+		tainted := make(map[types.Object]bool, len(seeded))
+		for obj := range seeded {
+			tainted[obj] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for from, tos := range edges {
+				if !tainted[from] {
+					continue
+				}
+				for _, to := range tos {
+					if !tainted[to] {
+						tainted[to] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for obj, accs := range plain {
+			if !tainted[obj] {
+				continue
+			}
+			for _, acc := range accs {
+				report(Finding{
+					Pos:      acc.pos,
+					Analyzer: a.Name,
+					Message: "parameter " + acc.name + " receives a slice aliasing the live page frame (WordsAt) from a caller; " +
+						"this plain access of " + acc.name + "[...] races with concurrent chain-splice CASes " +
+						"(use atomic.LoadUint64/StoreUint64 on &" + acc.name + "[i])",
+				})
+			}
+		}
+	}
+	return a
+}
+
+// wordSliceParams collects the function's declared []uint64 parameters by
+// object identity.
+func wordSliceParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isWordSlice(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// paramAt returns fn's i-th declared parameter. Variadic tails are skipped:
+// an element passed to ...uint64 is not a slice alias, and a `slice...`
+// spread keeps the obligation on the named slice the caller already holds.
+func paramAt(fn *types.Func, i int) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if i >= sig.Params().Len() || (sig.Variadic() && i >= sig.Params().Len()-1) {
+		return nil
+	}
+	return sig.Params().At(i)
+}
+
+// isWordSlice reports whether t is []uint64.
+func isWordSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

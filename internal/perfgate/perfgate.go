@@ -1,0 +1,134 @@
+// Package perfgate compares benchmark result files against committed
+// baselines and decides whether throughput regressed past a threshold.
+//
+// Both BENCH_ingest.json and BENCH_scan.json are arrays of objects carrying
+// at least {"name": ..., "records_per_sec": ...}; the gate keys on those two
+// fields and ignores the rest, so one comparator covers both schemas. A
+// benchmark present in the baseline but missing from the current run is a
+// failure (the regression gate must not pass because a benchmark silently
+// stopped running); a benchmark present only in the current run is a
+// warning — it has no baseline yet.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Entry is the subset of a benchmark result the gate cares about.
+type Entry struct {
+	Name          string  `json:"name"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name      string
+	Baseline  float64 // records/sec in the baseline; 0 when new
+	Current   float64 // records/sec in the current run; 0 when missing
+	Ratio     float64 // Current / Baseline; 0 when either side is absent
+	Missing   bool    // in baseline, absent from current run
+	New       bool    // in current run, absent from baseline
+	Regressed bool    // Current < Baseline × (1 − threshold)
+}
+
+// Report is the outcome of comparing one current file against one baseline.
+type Report struct {
+	Threshold float64
+	Deltas    []Delta
+}
+
+// Failed reports whether any benchmark regressed past the threshold or went
+// missing from the current run.
+func (r *Report) Failed() bool {
+	for _, d := range r.Deltas {
+		if d.Regressed || d.Missing {
+			return true
+		}
+	}
+	return false
+}
+
+// Load reads a benchmark result file — an array of objects with at least
+// name and records_per_sec fields.
+func Load(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse decodes a benchmark result array from r.
+func Parse(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("perfgate: parse benchmark results: %w", err)
+	}
+	for i, e := range entries {
+		if e.Name == "" {
+			return nil, fmt.Errorf("perfgate: entry %d has no name", i)
+		}
+	}
+	return entries, nil
+}
+
+// Compare diffs current against baseline. threshold is the tolerated
+// fractional slowdown: with threshold 0.10, a benchmark fails when its
+// current throughput is below 90% of the baseline. Deltas are sorted by
+// name so reports are stable.
+func Compare(baseline, current []Entry, threshold float64) *Report {
+	if threshold < 0 {
+		threshold = 0
+	}
+	cur := make(map[string]float64, len(current))
+	for _, e := range current {
+		cur[e.Name] = e.RecordsPerSec
+	}
+	seen := make(map[string]bool, len(baseline))
+	rep := &Report{Threshold: threshold}
+	for _, b := range baseline {
+		seen[b.Name] = true
+		d := Delta{Name: b.Name, Baseline: b.RecordsPerSec}
+		if c, ok := cur[b.Name]; ok {
+			d.Current = c
+			if b.RecordsPerSec > 0 {
+				d.Ratio = c / b.RecordsPerSec
+				d.Regressed = c < b.RecordsPerSec*(1-threshold)
+			}
+		} else {
+			d.Missing = true
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, c := range current {
+		if !seen[c.Name] {
+			rep.Deltas = append(rep.Deltas, Delta{Name: c.Name, Current: c.RecordsPerSec, New: true})
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	return rep
+}
+
+// Write renders the report as a human-readable table, one line per
+// benchmark, with FAIL/MISS/new markers.
+func (r *Report) Write(w io.Writer) {
+	for _, d := range r.Deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "MISS %-40s baseline %12.0f rec/s, absent from current run\n", d.Name, d.Baseline)
+		case d.New:
+			fmt.Fprintf(w, "new  %-40s current %12.0f rec/s (no baseline)\n", d.Name, d.Current)
+		case d.Regressed:
+			fmt.Fprintf(w, "FAIL %-40s %12.0f -> %12.0f rec/s (%.1f%%, threshold %.1f%%)\n",
+				d.Name, d.Baseline, d.Current, (d.Ratio-1)*100, r.Threshold*100)
+		default:
+			fmt.Fprintf(w, "ok   %-40s %12.0f -> %12.0f rec/s (%+.1f%%)\n",
+				d.Name, d.Baseline, d.Current, (d.Ratio-1)*100)
+		}
+	}
+}

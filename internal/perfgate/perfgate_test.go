@@ -1,0 +1,118 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entries(pairs ...any) []Entry {
+	var out []Entry
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Entry{Name: pairs[i].(string), RecordsPerSec: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := entries("BenchmarkIngestYelp", 100000.0, "BenchmarkScanIndex", 50000.0)
+	cur := entries("BenchmarkIngestYelp", 95000.0, "BenchmarkScanIndex", 51000.0)
+	rep := Compare(base, cur, 0.10)
+	if rep.Failed() {
+		t.Fatalf("5%% slowdown under a 10%% threshold must pass: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareInjectedRegressionFails(t *testing.T) {
+	// The acceptance criterion: an injected >=10% regression trips the gate.
+	base := entries("BenchmarkIngestYelp", 100000.0)
+	cur := entries("BenchmarkIngestYelp", 89000.0)
+	rep := Compare(base, cur, 0.10)
+	if !rep.Failed() {
+		t.Fatal("11% regression under a 10% threshold must fail")
+	}
+	if !rep.Deltas[0].Regressed {
+		t.Fatalf("delta not marked regressed: %+v", rep.Deltas[0])
+	}
+}
+
+func TestCompareExactThresholdBoundary(t *testing.T) {
+	// current == baseline*(1-threshold) is NOT a regression (strict <).
+	base := entries("b", 1000.0)
+	cur := entries("b", 900.0)
+	if Compare(base, cur, 0.10).Failed() {
+		t.Fatal("exactly at the boundary must pass")
+	}
+	cur[0].RecordsPerSec = 899.999
+	if !Compare(base, cur, 0.10).Failed() {
+		t.Fatal("just past the boundary must fail")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := entries("a", 1000.0, "b", 1000.0)
+	cur := entries("a", 1000.0)
+	rep := Compare(base, cur, 0.10)
+	if !rep.Failed() {
+		t.Fatal("benchmark missing from the current run must fail the gate")
+	}
+	var found bool
+	for _, d := range rep.Deltas {
+		if d.Name == "b" && d.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected b marked missing: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareNewBenchmarkIsWarningOnly(t *testing.T) {
+	base := entries("a", 1000.0)
+	cur := entries("a", 1000.0, "brandnew", 42.0)
+	rep := Compare(base, cur, 0.10)
+	if rep.Failed() {
+		t.Fatal("a new benchmark with no baseline must not fail the gate")
+	}
+	var sb strings.Builder
+	rep.Write(&sb)
+	if !strings.Contains(sb.String(), "brandnew") || !strings.Contains(sb.String(), "no baseline") {
+		t.Fatalf("report should mention the new benchmark:\n%s", sb.String())
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_ingest.json")
+	body := `[{"name":"BenchmarkIngestYelp","records_per_sec":123456.7,"bytes_per_sec":1.0,"phase_means_ns":{"parse":10}}]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkIngestYelp" || got[0].RecordsPerSec != 123456.7 {
+		t.Fatalf("unexpected entries: %+v", got)
+	}
+}
+
+func TestParseRejectsNamelessEntry(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`[{"records_per_sec":1}]`)); err == nil {
+		t.Fatal("expected error for entry without a name")
+	}
+}
+
+func TestReportWriteMarksFailures(t *testing.T) {
+	rep := Compare(entries("slow", 1000.0, "gone", 500.0), entries("slow", 800.0), 0.10)
+	var sb strings.Builder
+	rep.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL slow") {
+		t.Fatalf("expected FAIL line for slow:\n%s", out)
+	}
+	if !strings.Contains(out, "MISS gone") {
+		t.Fatalf("expected MISS line for gone:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package storage
+
+import "fishstore/internal/trace"
+
+// Traced wraps a Device and emits one span per read and write, subject to
+// the tracer's enable gate and sampling (each operation is a root span, so
+// a 1-in-N sampler keeps 1-in-N I/Os). It composes with Instrumented and
+// Retrying; place it outermost so Unwrap still reaches the concrete device
+// and the span covers any retries below it.
+type Traced struct {
+	inner Device
+	tr    *trace.Tracer
+}
+
+// NewTraced wraps inner. A nil inner becomes the null device, matching
+// NewInstrumented.
+func NewTraced(inner Device, tr *trace.Tracer) *Traced {
+	if inner == nil {
+		inner = NewNull()
+	}
+	return &Traced{inner: inner, tr: tr}
+}
+
+// Unwrap returns the wrapped device.
+func (d *Traced) Unwrap() Device { return d.inner }
+
+func (d *Traced) ReadAt(p []byte, off int64) (int, error) {
+	sp := d.tr.StartRoot("storage.read")
+	n, err := d.inner.ReadAt(p, off)
+	if sp != nil {
+		sp.SetInt("offset", off)
+		sp.SetInt("bytes", int64(n))
+		sp.SetBool("error", err != nil)
+		sp.End()
+	}
+	return n, err
+}
+
+func (d *Traced) WriteAt(p []byte, off int64) (int, error) {
+	sp := d.tr.StartRoot("storage.write")
+	n, err := d.inner.WriteAt(p, off)
+	if sp != nil {
+		sp.SetInt("offset", off)
+		sp.SetInt("bytes", int64(n))
+		sp.SetBool("error", err != nil)
+		sp.End()
+	}
+	return n, err
+}
+
+func (d *Traced) Close() error { return d.inner.Close() }
+
+// Sync forwards to the inner device's Syncer, if any.
+func (d *Traced) Sync() error { return Sync(d.inner) }

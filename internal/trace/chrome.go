@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one complete ("ph":"X") event in the Chrome trace-event
+// JSON format, the array-of-events dialect Perfetto and chrome://tracing
+// load directly. Timestamps and durations are microseconds (float, so
+// sub-microsecond spans keep their nanosecond precision).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeEvent converts one finished span. The trace ID becomes the tid, so
+// each trace renders as its own track with the root on top and children
+// nested below it by time containment.
+func chromeEvent(d SpanData) ChromeEvent {
+	args := map[string]any{
+		"span_id":   d.SpanID,
+		"parent_id": d.ParentID,
+	}
+	if d.AllocBytes > 0 {
+		args["alloc_bytes"] = d.AllocBytes
+	}
+	for _, a := range d.Attrs {
+		args[a.Key] = a.Value()
+	}
+	return ChromeEvent{
+		Name: d.Name,
+		Cat:  "fishstore",
+		Ph:   "X",
+		Ts:   float64(d.Start.Nanoseconds()) / 1e3,
+		Dur:  float64(d.Duration.Nanoseconds()) / 1e3,
+		Pid:  1,
+		Tid:  d.TraceID,
+		Args: args,
+	}
+}
+
+// ChromeTrace converts the retained finished spans, ordered by start time
+// (ties broken by span ID, so parents precede the children they started).
+func (t *Tracer) ChromeTrace() ChromeTrace {
+	spans := t.Spans()
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, d := range spans {
+		events = append(events, chromeEvent(d))
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Args["span_id"].(uint64) < events[j].Args["span_id"].(uint64)
+	})
+	return ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"}
+}
+
+// WriteChrome writes the retained spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.ChromeTrace())
+}

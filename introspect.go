@@ -50,6 +50,9 @@ func (s *Store) registerIntrospection() {
 	if fr := s.metrics.flight; fr != nil {
 		reg.RegisterDebug("flight", func() any { return fr.Snapshot() })
 	}
+	// Chrome trace-event JSON of the retained spans; load the response body
+	// directly in Perfetto (ui.perfetto.dev). Valid (empty) with tracing off.
+	reg.RegisterDebug("spans", func() any { return s.tracer.ChromeTrace() })
 }
 
 // IndexStats returns hash-table occupancy (live, from atomic loads) plus the
@@ -123,7 +126,7 @@ func (s *Store) SampleChains(opts ChainSampleOptions) (*introspect.ChainSnapshot
 		var links uint64
 		var owner psf.ID
 		truncated := false
-		err := s.forEachChainLink(g, h, floor, false, &st,
+		err := s.forEachChainLink(g, h, floor, false, nil, &st,
 			func(cur uint64, _ record.View, _ uint64, kp record.KeyPointer) bool {
 				if links == 0 {
 					owner = kp.PSFID

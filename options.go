@@ -9,6 +9,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/parser/pjson"
 	"fishstore/internal/storage"
+	"fishstore/internal/trace"
 )
 
 // Options configures a Store. The zero value plus defaults gives an
@@ -104,6 +105,24 @@ type Options struct {
 	// are retried with bounded exponential backoff and jitter. Each retry is
 	// counted in fishstore_io_retries_total and traced.
 	IORetry *storage.RetryPolicy
+
+	// Tracer, if set, receives operation spans: a parent/child tree per
+	// ingest batch, scan, checkpoint, recovery, page flush, and device I/O,
+	// exportable as Chrome trace-event JSON (/debug/fishstore/spans,
+	// fishstore-cli trace). nil consults the process-wide default
+	// (SetDefaultTracer); when that too is unset, spans are disabled and
+	// every instrumented site degrades to one atomic load. Root spans are
+	// teed (as span.* trace events) into the metrics trace pipeline — the
+	// flight recorder and TraceSink — so the crash timeline and the span
+	// timeline stay on one stream.
+	Tracer *trace.Tracer
+
+	// ProfileLabels attaches runtime/pprof goroutine labels (operation,
+	// phase, psf, mode) to the ingest, scan, and flush paths, so CPU
+	// profiles attribute samples to the same taxonomy spans use. Scan
+	// workers inherit their scan's labels. Adds a few runtime label swaps
+	// per record on the ingest path; leave off unless profiling.
+	ProfileLabels bool
 }
 
 func (o *Options) withDefaults() (Options, error) {

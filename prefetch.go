@@ -7,6 +7,7 @@ import (
 	"fishstore/internal/metrics"
 	"fishstore/internal/record"
 	"fishstore/internal/storage"
+	"fishstore/internal/trace"
 	"fishstore/internal/wordio"
 )
 
@@ -47,6 +48,7 @@ type chainReader struct {
 	hits      int64 // fetches served from the speculation buffer
 
 	met *storeMetrics
+	sp  *trace.Span // scan span; each device read becomes a scan.io child
 }
 
 // costModel returns the Φ threshold and the storage profile behind it: the
@@ -63,7 +65,7 @@ func costModel(log *hlog.Log) (phi uint64, profile storage.Profile) {
 	return phi, profile
 }
 
-func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
+func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics, sp *trace.Span) *chainReader {
 	phi, profile := costModel(log)
 	cr := &chainReader{
 		log:    log,
@@ -72,6 +74,7 @@ func newChainReader(log *hlog.Log, useAP bool, met *storeMetrics) *chainReader {
 		maxWin: profile.QueueBytes,
 		avgRec: 1024,
 		met:    met,
+		sp:     sp,
 	}
 	cr.tau = phi
 	if cr.maxWin < cr.minWin {
@@ -193,7 +196,16 @@ func (cr *chainReader) fetch(addr uint64, n int) ([]byte, error) {
 		cr.buf = make([]byte, size)
 	}
 	cr.buf = cr.buf[:size]
-	if err := cr.log.ReadBytesFromDevice(start, cr.buf); err != nil {
+	var iosp *trace.Span
+	if cr.sp != nil {
+		iosp = cr.sp.Child("scan.io")
+		iosp.SetUint("addr", start)
+		iosp.SetInt("bytes", int64(size))
+		iosp.SetInt("window", int64(cr.window))
+	}
+	err := cr.log.ReadBytesFromDevice(start, cr.buf)
+	iosp.End()
+	if err != nil {
 		return nil, err
 	}
 	cr.ios++

@@ -2,9 +2,11 @@ package fishstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/trace"
 )
 
 // Record is one retrieved record.
@@ -113,7 +116,27 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 	if from >= to {
 		return st, nil
 	}
+	// One sampled root span per scan; nil (tracing off / unsampled) makes
+	// every child below nil too.
+	sp := s.tracer.StartRoot("scan")
+	defer sp.End()
+	psp := sp.Child("scan.plan")
 	st.Plan = s.planScan(prop.PSF, from, to, opts.Mode)
+	if psp != nil {
+		// The Φ decision: the cost-model inputs in force when this plan was
+		// chosen, pinned to the span so the trace explains the index/full
+		// split the same way /debug/fishstore/scan does.
+		phi, profile := costModel(s.log)
+		psp.SetInt("segments", int64(len(st.Plan)))
+		psp.SetUint("phi_bytes", phi)
+		psp.SetFloat("bw_seq_bytes_per_sec", profile.SeqBandwidth)
+		psp.SetFloat("lat_rand_seconds", profile.RandLatency.Seconds())
+		psp.End()
+		sp.SetInt("psf", int64(prop.PSF))
+		sp.SetStr("mode", opts.Mode.String())
+		sp.SetUint("from", from)
+		sp.SetUint("to", to)
+	}
 
 	if s.scanLog != nil {
 		start := time.Now()
@@ -155,6 +178,14 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 	}
 	canon := psf.CanonicalValue(prop.Value)
 
+	if pl := s.plabels; pl != nil {
+		// Scan workers spawned below inherit these goroutine labels, so CPU
+		// profiles attribute the whole scan tree to (operation, mode, psf).
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("operation", "scan", "mode", opts.Mode.String(), "psf", def.Name)))
+		defer pl.clear()
+	}
+
 	g := s.epoch.Acquire()
 	defer g.Release()
 
@@ -166,11 +197,26 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 	for _, seg := range st.Plan {
 		var stopped bool
 		var err error
+		var ssp *trace.Span
+		visitedBefore, iosBefore := st.Visited, st.IOs
 		if seg.Indexed {
+			if sp != nil {
+				ssp = sp.Child("scan.segment.index")
+			}
 			useAP := opts.Mode != ScanIndexNoPrefetch
-			stopped, err = s.indexScanSegment(g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, emit, &st)
+			stopped, err = s.indexScanSegment(g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, ssp, emit, &st)
 		} else {
+			if sp != nil {
+				ssp = sp.Child("scan.segment.full")
+			}
 			stopped, err = s.fullScanSegment(g, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
+		}
+		if ssp != nil {
+			ssp.SetUint("from", seg.From)
+			ssp.SetUint("to", seg.To)
+			ssp.SetInt("visited", st.Visited-visitedBefore)
+			ssp.SetInt("ios", st.IOs-iosBefore)
+			ssp.End()
 		}
 		if err != nil {
 			return st, err
@@ -179,6 +225,10 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 			st.Stopped = true
 			break
 		}
+	}
+	if sp != nil {
+		sp.SetInt("matched", st.Matched)
+		sp.SetInt("visited", st.Visited)
 	}
 	return st, nil
 }
@@ -481,7 +531,7 @@ func walkRecords(words []uint64, baseAddr, limit uint64, visit func(addr uint64,
 // traversed; with opts-level parallelism the shards run concurrently with
 // serialized emission.
 func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
-	from, to uint64, useAP bool, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
+	from, to uint64, useAP bool, parallelism int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	def, _ := s.registry.Lookup(prop.PSF)
 	shards := def.ShardCount()
@@ -490,7 +540,7 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		if !ok {
 			return false, nil
 		}
-		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, emit, st)
+		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, sp, emit, st)
 	}
 	var heads []uint64
 	for shard := 0; shard < shards; shard++ {
@@ -500,10 +550,10 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		}
 	}
 	if parallelism > 1 && len(heads) > 1 {
-		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, emit, st)
+		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, sp, emit, st)
 	}
 	for _, head := range heads {
-		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, emit, st)
+		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, sp, emit, st)
 		if err != nil || stopped {
 			return stopped, err
 		}
@@ -514,7 +564,7 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 // parallelChainWalk traverses shard chains concurrently (Appendix F's
 // parallel index scan), serializing emission.
 func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
-	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+	from, to uint64, useAP bool, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	var mu sync.Mutex // guards emit and st
 	var stopped atomic.Bool
@@ -540,7 +590,7 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 				}
 				return ok
 			}
-			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, wrapped, &local); err != nil {
+			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, sp, wrapped, &local); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -567,9 +617,10 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 // decoded key pointer. Traversal stops when fn returns false, the chain
 // terminates, or a link drops below floor (links below the floor are never
 // resolved — on a truncated log their records may be gone). I/O accounting
-// is added to st. Index scans and the log verifier's chain phase both walk
-// chains through this one path.
-func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useAP bool, st *ScanStats,
+// is added to st; when sp is a live span, each device read the chain reader
+// issues becomes a scan.io child under it. Index scans and the log
+// verifier's chain phase both walk chains through this one path.
+func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
 	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
 
 	cur := head
@@ -598,7 +649,7 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 			view, base = v, b
 		} else {
 			if cr == nil {
-				cr = newChainReader(s.log, useAP, s.metrics)
+				cr = newChainReader(s.log, useAP, s.metrics, sp)
 			}
 			// Device reads target the immutable on-disk log; drop epoch
 			// protection for their duration so page recycling can proceed.
@@ -641,11 +692,11 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 // whose address lies in [from, to). Entries above `to` are skipped (but
 // still traversed); traversal stops below `from`.
 func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
-	from, to uint64, useAP bool, emit func(Record) bool, st *ScanStats) (bool, error) {
+	from, to uint64, useAP bool, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	stopped := false
 	var cbErr error
-	err := s.forEachChainLink(g, head, from, useAP, st,
+	err := s.forEachChainLink(g, head, from, useAP, sp, st,
 		func(cur uint64, view record.View, base uint64, kp record.KeyPointer) bool {
 			h := view.Header()
 			match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&

@@ -3,6 +3,7 @@ package fishstore
 import (
 	"bytes"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"fishstore/internal/epoch"
@@ -12,6 +13,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/trace"
 )
 
 // Session is an ingestion worker's handle (§6). Each concurrent ingestion
@@ -132,9 +134,19 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 	timed := sess.store.opts.CollectPhaseStats
 
 	met := sess.store.metrics
+	// One sampled root span per batch; when it is nil (tracing off or the
+	// batch unsampled) every per-record child below stays nil too, so the
+	// whole span block costs one atomic load per batch.
+	sp := sess.store.tracer.StartRoot("ingest.batch")
+	defer sp.End()
+	pl := sess.store.plabels
+	if pl != nil {
+		pprof.SetGoroutineLabels(pl.ingest)
+		defer pl.clear()
+	}
 	var batchStart time.Time
 	var phasesBefore PhaseStats
-	if met.reg.Enabled() {
+	if met.reg.Enabled() || sp != nil {
 		batchStart = time.Now()
 		if timed {
 			phasesBefore = sess.phases
@@ -157,7 +169,16 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		}
 
 		// Phase 1a: parse the active fields of interest.
+		if pl != nil {
+			pprof.SetGoroutineLabels(pl.ingestPhase[0])
+		}
+		var csp *trace.Span
+		if sp != nil {
+			csp = sp.Child("ingest.parse")
+			csp.SetInt("bytes", int64(len(payload)))
+		}
 		parsed, perr := sess.psess.Parse(payload)
+		csp.End()
 		lap(&sess.phases.Parse)
 		if perr != nil {
 			// Malformed records are still stored (FishStore keeps raw data
@@ -165,8 +186,21 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 			st.ParseErrors++
 		}
 
-		// Phase 1b: evaluate PSFs and build key pointer specs.
+		// Phase 1b: evaluate PSFs, pre-compute property hashes, and build
+		// key pointer specs (subset hashing: the hash of each (PSF, value)
+		// property is computed here, inside psf_eval).
+		if pl != nil {
+			pprof.SetGoroutineLabels(pl.ingestPhase[1])
+		}
+		if sp != nil {
+			csp = sp.Child("ingest.psf_eval")
+		}
 		sess.buildPointers(payload, parsed, perr != nil)
+		if csp != nil {
+			csp.SetInt("pointers", int64(len(sess.ptrSpecs)))
+			csp.End()
+			csp = nil
+		}
 		lap(&sess.phases.PSFEval)
 
 		// Phases 2..4, with one retry loop for badCAS reallocation.
@@ -180,15 +214,35 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 			if err := spec.Validate(); err != nil {
 				return st, err
 			}
+			if pl != nil {
+				pprof.SetGoroutineLabels(pl.ingestPhase[2])
+			}
+			if sp != nil {
+				csp = sp.Child("ingest.append")
+			}
 			alloc, err := sess.store.log.Allocate(sess.guard, spec.SizeWords())
 			if err != nil {
+				csp.End()
 				return st, err
 			}
 			spec.Write(alloc.Words)
+			if csp != nil {
+				csp.SetUint("address", alloc.Address)
+				csp.End()
+				csp = nil
+			}
 			lap(&sess.phases.Memcpy)
 
+			if pl != nil {
+				pprof.SetGoroutineLabels(pl.ingestPhase[3])
+			}
+			if sp != nil {
+				csp = sp.Child("ingest.index")
+			}
 			view := record.View{Words: alloc.Words}
 			ok, err := sess.linkAll(alloc.Address, view)
+			csp.End()
+			csp = nil
 			lap(&sess.phases.Index)
 			if err != nil {
 				return st, err
@@ -202,8 +256,16 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 				continue
 			}
 
+			if pl != nil {
+				pprof.SetGoroutineLabels(pl.ingestPhase[4])
+			}
+			if sp != nil {
+				csp = sp.Child("ingest.visibility")
+			}
 			view.SetVisible()
 			sess.store.subs.notify(sess.store, alloc.Address, view, sess.ptrSpecs, payload, sess.valueRegion)
+			csp.End()
+			csp = nil
 			lap(&sess.phases.Others)
 			break
 		}
@@ -245,6 +307,13 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		met.reg.TraceSlow("ingest.slow_batch", elapsed,
 			metrics.F("records", st.Records),
 			metrics.F("bytes", st.Bytes))
+	}
+	if sp != nil {
+		sp.SetInt("records", int64(st.Records))
+		sp.SetInt("bytes", st.Bytes)
+		sp.SetInt("properties", int64(st.Properties))
+		sp.SetInt("parse_errors", int64(st.ParseErrors))
+		sp.SetInt("reallocs", int64(st.Reallocs))
 	}
 	return st, nil
 }

@@ -38,6 +38,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
+	"fishstore/internal/trace"
 )
 
 // Store is a FishStore instance. All methods are safe for concurrent use;
@@ -50,6 +51,11 @@ type Store struct {
 	registry *psf.Registry
 	pf       parser.Factory
 	metrics  *storeMetrics
+
+	// tracer is the span layer (nil = tracing off); plabels holds the
+	// prebuilt pprof label sets (nil = no profiler attribution).
+	tracer  *trace.Tracer
+	plabels *profileLabels
 
 	subs subscriptions
 
@@ -139,6 +145,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	met := initMetrics(&o)
+	tr := resolveTracer(&o)
 	em := epoch.New()
 	// The store is built before its log so the flush hook can flip it into
 	// degraded mode; flushes only start once ingestion does, after Open
@@ -149,13 +156,19 @@ func Open(opts Options) (*Store, error) {
 		table:   hashtable.New(o.TableBuckets, o.OverflowBuckets),
 		pf:      o.Parser,
 		metrics: met,
+		tracer:  tr,
+	}
+	if o.ProfileLabels {
+		s.plabels = newProfileLabels()
 	}
 	log, err := hlog.New(hlog.Config{
-		PageBits: o.PageBits,
-		MemPages: o.MemPages,
-		Device:   o.Device,
-		Epoch:    em,
-		OnFlush:  s.flushHook(),
+		PageBits:      o.PageBits,
+		MemPages:      o.MemPages,
+		Device:        o.Device,
+		Epoch:         em,
+		OnFlush:       s.flushHook(),
+		Tracer:        tr,
+		ProfileLabels: o.ProfileLabels,
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +176,7 @@ func Open(opts Options) (*Store, error) {
 	s.log = log
 	s.registry = psf.NewRegistry(em, log.TailAddress)
 	s.wireInternalMetrics()
+	s.wireSpanTee()
 	s.registerIntrospection()
 	return s, nil
 }

@@ -1,0 +1,132 @@
+package fishstore
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+
+	"fishstore/internal/metrics"
+	"fishstore/internal/storage"
+	"fishstore/internal/trace"
+)
+
+// This file is the store-side glue for the span layer (internal/trace): the
+// process-wide default tracer, the device wrapping that gives storage I/O
+// its own spans, the root-span tee into the metrics trace pipeline (flight
+// recorder + TraceSink), the /debug/fishstore/spans export, and the
+// prebuilt pprof label sets the hot paths switch between.
+
+// defaultTracer is consulted by Open/Recover when Options.Tracer is nil,
+// mirroring SetDefaultMetricsRegistry: process-wide tooling (fishbench
+// -span-out) can trace every store opened by experiment code that doesn't
+// plumb a tracer through its own options.
+var defaultTracer atomic.Pointer[trace.Tracer]
+
+// SetDefaultTracer installs a tracer used by every subsequently opened Store
+// whose Options.Tracer is nil. Pass nil to restore the default (no tracing).
+func SetDefaultTracer(t *trace.Tracer) {
+	if t == nil {
+		defaultTracer.Store(nil)
+		return
+	}
+	defaultTracer.Store(t)
+}
+
+// Tracer returns the store's span tracer (nil when tracing is off). Use it
+// to export spans directly: s.Tracer().WriteChrome(w).
+func (s *Store) Tracer() *trace.Tracer { return s.tracer }
+
+// defaultProfileLabels mirrors defaultTracer for Options.ProfileLabels, so
+// profiling tools (fishbench -cpuprofile) can label every store opened by
+// experiment code that doesn't plumb the option through.
+var defaultProfileLabels atomic.Bool
+
+// SetDefaultProfileLabels makes every subsequently opened Store apply
+// runtime/pprof goroutine labels as if Options.ProfileLabels were set.
+func SetDefaultProfileLabels(on bool) { defaultProfileLabels.Store(on) }
+
+// resolveTracer resolves Options.Tracer (explicit, process default, or nil)
+// plus the ProfileLabels process default, and — when tracing is on — wraps
+// the device so every read and write gets
+// its own sampled span. It mutates o in place and must run after initMetrics
+// (so the span wrapper is outermost and storage.Unwrap still reaches the
+// concrete device) and before the hybrid log is built.
+func resolveTracer(o *Options) *trace.Tracer {
+	if !o.ProfileLabels {
+		o.ProfileLabels = defaultProfileLabels.Load()
+	}
+	tr := o.Tracer
+	if tr == nil {
+		tr = defaultTracer.Load()
+	}
+	if tr == nil {
+		return nil
+	}
+	o.Tracer = tr
+	o.Device = storage.NewTraced(o.Device, tr)
+	return tr
+}
+
+// wireSpanTee forwards every finished *root* span into the metrics trace
+// pipeline as a span.<name> event, landing in the flight recorder and the
+// user's TraceSink in span-finish order. Only roots cross over: the trace
+// stream stays control-plane granular (one event per batch/scan/flush,
+// never per record), while the full tree remains in the tracer's ring for
+// /debug/fishstore/spans. When several stores share one tracer, the last
+// store opened provides the tee (same rule as the flight recorder).
+func (s *Store) wireSpanTee() {
+	if s.tracer == nil {
+		return
+	}
+	reg := s.metrics.reg
+	s.tracer.SetOnFinish(func(d trace.SpanData) {
+		if !d.Root() {
+			return
+		}
+		reg.Trace("span."+d.Name,
+			metrics.F("trace_id", d.TraceID),
+			metrics.F("duration_ns", d.Duration.Nanoseconds()))
+	})
+}
+
+// profileLabels holds prebuilt pprof label sets: switching the goroutine's
+// labels on the hot path is then a pointer swap inside the runtime rather
+// than a per-record label-set construction.
+type profileLabels struct {
+	ingest context.Context
+	// phase contexts in phaseNames order (parse, psf_eval, memcpy, index,
+	// others), each carrying operation=ingest too.
+	ingestPhase [5]context.Context
+	flush       context.Context
+	checkpoint  context.Context
+	recover     context.Context
+}
+
+func newProfileLabels() *profileLabels {
+	base := context.Background()
+	pl := &profileLabels{
+		ingest:     pprof.WithLabels(base, pprof.Labels("operation", "ingest")),
+		flush:      pprof.WithLabels(base, pprof.Labels("operation", "flush")),
+		checkpoint: pprof.WithLabels(base, pprof.Labels("operation", "checkpoint")),
+		recover:    pprof.WithLabels(base, pprof.Labels("operation", "recover")),
+	}
+	for i, name := range phaseNames {
+		pl.ingestPhase[i] = pprof.WithLabels(base,
+			pprof.Labels("operation", "ingest", "phase", name))
+	}
+	return pl
+}
+
+// setLabels applies ctx's pprof labels to the current goroutine; restoreLabels
+// clears them. Both are nil-safe on the receiver so call sites stay branchless.
+func (pl *profileLabels) set(ctx context.Context) {
+	if pl != nil {
+		pprof.SetGoroutineLabels(ctx)
+	}
+}
+
+func (pl *profileLabels) clear() {
+	if pl != nil {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+}

@@ -1,0 +1,124 @@
+package fishstore
+
+import (
+	"testing"
+	"time"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+	"fishstore/internal/trace"
+)
+
+// TestTracingDisabledOverheadBounded is the satellite acceptance check that
+// an attached-but-disabled tracer is free: interleaved fixed-work ingest
+// windows against a metrics-only store and an identical store whose tracer
+// is disabled, comparing best-of times so scheduler noise cancels. The bar
+// is 2% — the disabled path is a single atomic load per operation.
+func TestTracingDisabledOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	const (
+		windowBatches = 100
+		rounds        = 5
+		attempts      = 3
+	)
+	batch := make([][]byte, 16)
+	for i := range batch {
+		batch[i] = genEvent(i, "PushEvent", "spark")
+	}
+
+	open := func(tr *trace.Tracer) *Store {
+		s := openTestStore(t, Options{
+			PageBits: 16, MemPages: 8,
+			Device: storage.NewMem(),
+			Tracer: tr,
+		})
+		if _, _, err := s.RegisterPSF(psf.Projection("repo.name")); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	window := func(s *Store) time.Duration {
+		sess := s.NewSession()
+		defer sess.Close()
+		start := time.Now()
+		for i := 0; i < windowBatches; i++ {
+			if _, err := sess.Ingest(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	for attempt := 1; ; attempt++ {
+		tr := trace.New(trace.Options{})
+		tr.SetEnabled(false)
+		plain := open(nil)
+		traced := open(tr)
+
+		base, withTracer := time.Duration(1<<62), time.Duration(1<<62)
+		window(plain) // warm-up: page allocation, PSF setup
+		window(traced)
+		for r := 0; r < rounds; r++ {
+			if d := window(plain); d < base {
+				base = d
+			}
+			if d := window(traced); d < withTracer {
+				withTracer = d
+			}
+		}
+		plain.Close()
+		traced.Close()
+
+		overhead := float64(withTracer-base) / float64(base)
+		t.Logf("attempt %d: metrics-only %v, tracer-disabled %v, overhead %.2f%%",
+			attempt, base, withTracer, overhead*100)
+		if overhead <= 0.02 {
+			return
+		}
+		if attempt >= attempts {
+			t.Fatalf("disabled-tracer overhead %.2f%% > 2%% across %d attempts", overhead*100, attempts)
+		}
+	}
+}
+
+// TestTracingDisabledZeroAllocsPerRecord checks the disabled span path adds
+// no allocations per record: per-Ingest allocation counts with an attached,
+// disabled tracer must equal the metrics-only store's. Page sizing keeps
+// the whole measured run inside one in-memory page so no flush or eviction
+// allocates mid-measurement in either store.
+func TestTracingDisabledZeroAllocsPerRecord(t *testing.T) {
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = genEvent(i, "PushEvent", "spark")
+	}
+	const runs = 50
+
+	measure := func(tr *trace.Tracer) float64 {
+		s := openTestStore(t, Options{
+			PageBits: 21, MemPages: 4, // 8MB of memory: no flush during the run
+			Tracer: tr,
+		})
+		defer s.Close()
+		if _, _, err := s.RegisterPSF(psf.Projection("repo.name")); err != nil {
+			t.Fatal(err)
+		}
+		sess := s.NewSession()
+		defer sess.Close()
+		return testing.AllocsPerRun(runs, func() {
+			if _, err := sess.Ingest(batch); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	tr := trace.New(trace.Options{})
+	tr.SetEnabled(false)
+	plain := measure(nil)
+	disabled := measure(tr)
+	t.Logf("allocs per batch: metrics-only %.2f, tracer-disabled %.2f", plain, disabled)
+	if delta := disabled - plain; delta > 0.01 {
+		t.Fatalf("disabled tracer adds %.2f allocs per %d-record batch, want 0", delta, len(batch))
+	}
+}
