@@ -240,10 +240,19 @@ func buildScanStore(b *testing.B) (*fishstore.Store, fishstore.Property) {
 // the CRC re-validation cost on device reads can be benchmarked in
 // isolation against the identical unverified scan.
 func buildScanStoreVerify(b *testing.B, verify bool) (*fishstore.Store, fishstore.Property) {
+	return buildScanStoreOpts(b, func(o *fishstore.Options) { o.VerifyOnRead = verify })
+}
+
+// buildScanStoreOpts is buildScanStore with an options mutator, so variants
+// can disable individual read-path layers (page cache, summaries, hot chains)
+// and measure each one's contribution in isolation.
+func buildScanStoreOpts(b *testing.B, mutate func(*fishstore.Options)) (*fishstore.Store, fishstore.Property) {
 	w := harness.Table1()["yelp"]
 	dev := storage.NewSimSSD(storage.NewMem(), storage.DefaultSSDProfile())
-	opts := fishstore.Options{Parser: w.Parser, PageBits: 18, MemPages: 2, Device: dev,
-		VerifyOnRead: verify}
+	opts := fishstore.Options{Parser: w.Parser, PageBits: 18, MemPages: 2, Device: dev}
+	if mutate != nil {
+		mutate(&opts)
+	}
 	s, err := fishstore.Open(opts)
 	if err != nil {
 		b.Fatal(err)
@@ -300,13 +309,17 @@ func buildMixedScanStore(b *testing.B) (*fishstore.Store, fishstore.Property) {
 }
 
 func benchScanStore(b *testing.B, build func(*testing.B) (*fishstore.Store, fishstore.Property), mode fishstore.ScanMode) {
+	benchScanStoreOpts(b, build, fishstore.ScanOptions{Mode: mode})
+}
+
+func benchScanStoreOpts(b *testing.B, build func(*testing.B) (*fishstore.Store, fishstore.Property), sopts fishstore.ScanOptions) {
 	s, prop := build(b)
 	defer s.Close()
 	var matched int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		matched = 0
-		if _, err := s.Scan(prop, fishstore.ScanOptions{Mode: mode},
+		if _, err := s.Scan(prop, sopts,
 			func(fishstore.Record) bool { matched++; return true }); err != nil {
 			b.Fatal(err)
 		}
@@ -338,6 +351,35 @@ func benchScan(b *testing.B, mode fishstore.ScanMode) { benchScanStore(b, buildS
 func BenchmarkScanIndexPrefetch(b *testing.B)   { benchScan(b, fishstore.ScanForceIndex) }
 func BenchmarkScanIndexNoPrefetch(b *testing.B) { benchScan(b, fishstore.ScanIndexNoPrefetch) }
 func BenchmarkScanFull(b *testing.B)            { benchScan(b, fishstore.ScanForceFull) }
+
+// BenchmarkScanIndexRawPrefetch is the adaptive index scan with every
+// read-path cache disabled: pure §7.2 window speculation plus the
+// observed-latency clamp. Compare against BenchmarkScanIndexNoPrefetch —
+// with the clamp working, speculation must not lose to exact reads even
+// without the page cache's help.
+func BenchmarkScanIndexRawPrefetch(b *testing.B) {
+	benchScanStore(b, func(b *testing.B) (*fishstore.Store, fishstore.Property) {
+		return buildScanStoreOpts(b, func(o *fishstore.Options) {
+			o.PageCachePages = -1
+			o.HotChainEntries = -1
+			o.DisablePageSummaries = true
+		})
+	}, fishstore.ScanForceIndex)
+}
+
+// BenchmarkScanFullParallel sweeps the same range page-parallel (4 workers);
+// BenchmarkScanFullNoSummaries strips the per-page PSF membership summaries
+// so the summary-skip contribution to BenchmarkScanFull is visible.
+func BenchmarkScanFullParallel(b *testing.B) {
+	benchScanStoreOpts(b, buildScanStore,
+		fishstore.ScanOptions{Mode: fishstore.ScanForceFull, Parallelism: 4})
+}
+
+func BenchmarkScanFullNoSummaries(b *testing.B) {
+	benchScanStore(b, func(b *testing.B) (*fishstore.Store, fishstore.Property) {
+		return buildScanStoreOpts(b, func(o *fishstore.Options) { o.DisablePageSummaries = true })
+	}, fishstore.ScanForceFull)
+}
 
 // The same two scans with VerifyOnRead: every device record's checksum is
 // re-validated before it is surfaced. Compare against BenchmarkScanFull and

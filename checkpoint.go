@@ -358,7 +358,7 @@ func probeDurableEnd(o Options, from uint64) (pages int, end uint64, err error) 
 func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, int64, error) {
 	var replayed, replayedBytes int64
 	var cbErr error
-	err := s.visitRange(g, from, to, nil, func(addr uint64, v record.View) bool {
+	err := s.visitRange(g, from, to, nil, nil, func(addr uint64, v record.View) bool {
 		h := v.Header()
 		replayed++
 		if !h.Indirect {

@@ -220,6 +220,18 @@ func runCompare(compareList, currentList string, threshold float64) int {
 		if rep.Failed() {
 			failed = true
 		}
+		// Cross-variant orderings are checked within the current run (not
+		// against the baseline): unlike absolute throughput they are immune
+		// to runner noise, so they hold even where the ratio gate is loose.
+		if strings.Contains(filepath.Base(c), "scan") || strings.Contains(filepath.Base(c), "BENCH_scan") {
+			results := perfgate.CheckInvariants(cur, perfgate.ScanInvariants())
+			if len(results) > 0 {
+				fmt.Printf("-- cross-variant invariants (%s)\n", c)
+				if perfgate.WriteInvariants(os.Stdout, results) {
+					failed = true
+				}
+			}
+		}
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "fishbench: performance regression gate FAILED")

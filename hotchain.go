@@ -1,0 +1,181 @@
+package fishstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hotChainCache memoizes the on-device link layout of hash chains that are
+// probed repeatedly — the hot-item idea of NoKV's hotring applied to
+// FishStore's chain geometry. A chain's on-device suffix is immutable (new
+// records only prepend in memory, and the in-memory prefix is walked fresh
+// every time), so once a full walk from the first on-device key pointer has
+// been paid for, its *matching* links can be replayed directly: a re-probe
+// skips every non-matching hop instead of pointer-chasing the whole chain
+// again.
+//
+// Keying by the first on-device key-pointer address (plus the property
+// signature) makes entries survive head growth: appending records changes
+// the in-memory prefix but not the address at which the walk crosses onto
+// the device, until a flush advances HeadAddress — at which point the
+// crossing address changes, the lookup misses, and one fresh walk rebuilds
+// the entry while the stale one ages out of the LRU.
+type hotChainCache struct {
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[hotChainKey]*hotChainEntry
+	seq     int64 // LRU clock
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	installs atomic.Int64
+	evicted  atomic.Int64
+}
+
+type hotChainKey struct {
+	kptAddr uint64 // first on-device key pointer of the walk
+	sig     uint64 // property signature (prop.hash())
+}
+
+// hotChainEntry is one memoized walk: the key-pointer addresses of every
+// matching link from the crossing point down, in walk (descending) order.
+type hotChainEntry struct {
+	links []uint64
+	// floorCovered is the lowest address the building walk examined: the
+	// entry only answers queries whose From is >= it (a walk stopped at
+	// `from` knows nothing about links below). 0 when the chain end was
+	// reached.
+	floorCovered uint64
+	// probes counts lookups of this key before installation (entries are
+	// only built for chains probed more than once).
+	probes   int64
+	lastUsed int64
+}
+
+func newHotChainCache(maxEntries int) *hotChainCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &hotChainCache{
+		maxEntries: maxEntries,
+		entries:    make(map[hotChainKey]*hotChainEntry),
+	}
+}
+
+// lookup returns the memoized matching links for (kptAddr, sig) when the
+// entry covers queries from `from` upward. A miss bumps the key's probe
+// count so the *next* complete walk installs an entry (one-off scans never
+// pay the memoization cost). The returned slice is immutable.
+func (hc *hotChainCache) lookup(kptAddr, sig, from uint64) ([]uint64, bool) {
+	key := hotChainKey{kptAddr: kptAddr, sig: sig}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	e := hc.entries[key]
+	if e == nil {
+		hc.misses.Add(1)
+		return nil, false
+	}
+	if e.links == nil {
+		// Probe-counting placeholder, not yet built.
+		e.probes++
+		hc.seq++
+		e.lastUsed = hc.seq
+		hc.misses.Add(1)
+		return nil, false
+	}
+	if from < e.floorCovered {
+		hc.misses.Add(1)
+		return nil, false
+	}
+	hc.seq++
+	e.lastUsed = hc.seq
+	hc.hits.Add(1)
+	return e.links, true
+}
+
+// shouldInstall reports whether a completed walk for key is worth memoizing:
+// only once the key has been probed before (placeholder present).
+func (hc *hotChainCache) shouldInstall(kptAddr, sig uint64) bool {
+	key := hotChainKey{kptAddr: kptAddr, sig: sig}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	e := hc.entries[key]
+	if e == nil {
+		// First sighting: leave a placeholder so the next probe installs.
+		hc.evictLocked()
+		hc.seq++
+		hc.entries[key] = &hotChainEntry{probes: 1, lastUsed: hc.seq}
+		return false
+	}
+	return e.links == nil && e.probes >= 1
+}
+
+// install memoizes a complete walk. links lists the matching key-pointer
+// addresses in walk order; floorCovered is the lowest address the walk
+// examined (0 = chain end reached).
+func (hc *hotChainCache) install(kptAddr, sig uint64, links []uint64, floorCovered uint64) {
+	key := hotChainKey{kptAddr: kptAddr, sig: sig}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	e := hc.entries[key]
+	if e == nil {
+		hc.evictLocked()
+		e = &hotChainEntry{}
+		hc.entries[key] = e
+	}
+	e.links = links
+	e.floorCovered = floorCovered
+	hc.seq++
+	e.lastUsed = hc.seq
+	hc.installs.Add(1)
+}
+
+// evictLocked makes room for one more entry. Caller holds hc.mu.
+func (hc *hotChainCache) evictLocked() {
+	for len(hc.entries) >= hc.maxEntries {
+		var victim hotChainKey
+		oldest, first := int64(0), true
+		for k, e := range hc.entries {
+			if first || e.lastUsed < oldest {
+				victim, oldest, first = k, e.lastUsed, false
+			}
+		}
+		delete(hc.entries, victim)
+		hc.evicted.Add(1)
+	}
+}
+
+// invalidateBelow drops entries whose crossing point fell below the
+// truncation floor. Replays are range-clamped by the caller (Scan never
+// probes below TruncatedUntil), so this is memory hygiene, not correctness.
+func (hc *hotChainCache) invalidateBelow(floor uint64) {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	for k := range hc.entries {
+		if k.kptAddr < floor {
+			delete(hc.entries, k)
+		}
+	}
+}
+
+// HotChainStats is a snapshot of the hot-chain cache counters.
+type HotChainStats struct {
+	// Entries counts cached chains (including probe placeholders);
+	// Hits/Misses count replay lookups; Installs counts memoized walks;
+	// Evicted counts LRU victims.
+	Entries, Hits, Misses, Installs, Evicted int64
+}
+
+func (hc *hotChainCache) stats() HotChainStats {
+	hc.mu.Lock()
+	n := len(hc.entries)
+	hc.mu.Unlock()
+	return HotChainStats{
+		Entries:  int64(n),
+		Hits:     hc.hits.Load(),
+		Misses:   hc.misses.Load(),
+		Installs: hc.installs.Load(),
+		Evicted:  hc.evicted.Load(),
+	}
+}

@@ -1,0 +1,200 @@
+package pagecache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func pageWords(page uint64, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = (page&0xffffffff)<<32 | uint64(i)&0xffffffff
+	}
+	return w
+}
+
+func TestGetOrLoadReadThrough(t *testing.T) {
+	c := New(32, 8)
+	loads := 0
+	load := func() ([]uint64, error) { loads++; return pageWords(7, 8), nil }
+
+	w, hit, err := c.GetOrLoad(7, load)
+	if err != nil || hit {
+		t.Fatalf("first GetOrLoad: hit=%v err=%v", hit, err)
+	}
+	if w[3] != 7<<32|3 {
+		t.Fatalf("wrong words loaded: %x", w[3])
+	}
+	w2, hit, err := c.GetOrLoad(7, load)
+	if err != nil || !hit {
+		t.Fatalf("second GetOrLoad: hit=%v err=%v", hit, err)
+	}
+	if &w2[0] != &w[0] {
+		t.Fatal("hit returned a different slice than the fill")
+	}
+	if loads != 1 {
+		t.Fatalf("load ran %d times, want 1", loads)
+	}
+	st := c.Stats()
+	if st.Fills != 1 || st.Hits != 1 || st.Pages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := New(32, 8)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrLoad(3, func() ([]uint64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed load was cached")
+	}
+	if w, hit, err := c.GetOrLoad(3, func() ([]uint64, error) { return pageWords(3, 8), nil }); err != nil || hit || w == nil {
+		t.Fatalf("retry after failed load: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestSingleflightSharesOneLoad(t *testing.T) {
+	c := New(32, 8)
+	var loads atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, _, err := c.GetOrLoad(5, func() ([]uint64, error) {
+				loads.Add(1)
+				<-release
+				return pageWords(5, 8), nil
+			})
+			if err != nil || w == nil {
+				t.Errorf("GetOrLoad: %v", err)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the in-flight fill, then release it.
+	// (Not fully deterministic — some goroutines may start after the fill
+	// completes — but loads can only exceed 1 if singleflight is broken.)
+	close(release)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("load ran %d times, want 1", got)
+	}
+}
+
+func TestEvictionBoundsCapacity(t *testing.T) {
+	const capacity = 32
+	c := New(capacity, 8)
+	for p := uint64(0); p < 4*capacity; p++ {
+		if _, _, err := c.GetOrLoad(p, func() ([]uint64, error) { return pageWords(p, 8), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > capacity {
+		t.Fatalf("cache holds %d pages, capacity %d", got, capacity)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+}
+
+func TestClockKeepsHotPage(t *testing.T) {
+	// One shard's worth of pages, all mapping to shard 0 (multiples of 16),
+	// with page 0 re-referenced between fills: the CLOCK sweep should prefer
+	// evicting unreferenced pages.
+	c := New(32, 8) // 2 per shard
+	mk := func(p uint64) func() ([]uint64, error) {
+		return func() ([]uint64, error) { return pageWords(p, 8), nil }
+	}
+	_, _, _ = c.GetOrLoad(0, mk(0))
+	_, _, _ = c.GetOrLoad(16, mk(16))
+	c.Get(0) // set page 0's reference bit
+	_, _, _ = c.GetOrLoad(32, mk(32))
+	if c.Get(0) == nil {
+		t.Fatal("hot page 0 was evicted ahead of cold page 16")
+	}
+}
+
+func TestInvalidateBelow(t *testing.T) {
+	c := New(64, 8)
+	for p := uint64(0); p < 10; p++ {
+		if _, _, err := c.GetOrLoad(p, func() ([]uint64, error) { return pageWords(p, 8), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.InvalidateBelow(6)
+	for p := uint64(0); p < 6; p++ {
+		if c.Get(p) != nil {
+			t.Fatalf("page %d survived invalidation", p)
+		}
+	}
+	for p := uint64(6); p < 10; p++ {
+		if c.Get(p) == nil {
+			t.Fatalf("page %d above the floor was dropped", p)
+		}
+	}
+	// Pages below the floor are never re-admitted, even via GetOrLoad.
+	w, hit, err := c.GetOrLoad(2, func() ([]uint64, error) { return pageWords(2, 8), nil })
+	if err != nil || hit || w == nil {
+		t.Fatalf("below-floor GetOrLoad: hit=%v err=%v", hit, err)
+	}
+	if c.Get(2) != nil {
+		t.Fatal("below-floor page was re-admitted")
+	}
+	// The floor is monotonic: lowering it is a no-op.
+	c.InvalidateBelow(1)
+	if c.Get(5) != nil {
+		t.Fatal("monotonic floor violated")
+	}
+	if st := c.Stats(); st.Invalidated < 6 {
+		t.Fatalf("invalidated = %d, want >= 6", st.Invalidated)
+	}
+}
+
+func TestConcurrentFillInvalidate(t *testing.T) {
+	c := New(64, 8)
+	stop := make(chan struct{})
+	var inv sync.WaitGroup
+	inv.Add(1)
+	go func() {
+		defer inv.Done()
+		for f := uint64(0); ; f++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.InvalidateBelow(f % 128)
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(seed uint64) {
+			defer workers.Done()
+			for i := uint64(0); i < 2000; i++ {
+				p := (seed*2000 + i) % 128
+				_, _, _ = c.GetOrLoad(p, func() ([]uint64, error) { return pageWords(p, 8), nil })
+				c.Get(p)
+			}
+		}(uint64(w))
+	}
+	workers.Wait()
+	close(stop)
+	inv.Wait()
+	// Raise the floor past everything and verify the admission race cannot
+	// leave truncated pages behind.
+	c.InvalidateBelow(128)
+	for p := uint64(0); p < 128; p++ {
+		if c.Get(p) != nil {
+			t.Fatalf("page %d cached after final invalidation", p)
+		}
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("cache holds %d pages after full invalidation", got)
+	}
+}

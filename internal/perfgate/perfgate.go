@@ -114,6 +114,82 @@ func Compare(baseline, current []Entry, threshold float64) *Report {
 	return rep
 }
 
+// Invariant is a cross-variant ordering that must hold WITHIN one benchmark
+// run, independent of any baseline: the Faster benchmark's throughput must be
+// at least (1 − Slack) × the Slower one's. The canonical instance is the
+// adaptive prefetcher: a scan with prefetching enabled must never be slower
+// than the same scan without it — if speculation can't win, it must collapse
+// to the exact-read baseline, so losing to it means the cost model (Φ, §7.2)
+// is mis-calibrated for the device.
+type Invariant struct {
+	Name   string  // label for reports
+	Faster string  // benchmark that must not lose
+	Slower string  // benchmark it is measured against
+	Slack  float64 // tolerated shortfall fraction (0.10 = may be up to 10% slower)
+}
+
+// InvariantResult is one invariant's evaluation against a current run.
+type InvariantResult struct {
+	Invariant
+	FasterRecPerSec float64
+	SlowerRecPerSec float64
+	Skipped         bool // one of the two benchmarks is absent from the run
+	Violated        bool
+}
+
+// ScanInvariants returns the orderings enforced over BENCH_scan.json.
+func ScanInvariants() []Invariant {
+	return []Invariant{{
+		Name:   "prefetch-not-a-pessimization",
+		Faster: "BenchmarkScanIndexPrefetch",
+		Slower: "BenchmarkScanIndexNoPrefetch",
+		Slack:  0.10,
+	}}
+}
+
+// CheckInvariants evaluates invs against one run's entries. Invariants whose
+// benchmarks are absent are reported as skipped, not violated — Compare
+// already fails the gate when a baselined benchmark goes missing.
+func CheckInvariants(current []Entry, invs []Invariant) []InvariantResult {
+	byName := make(map[string]float64, len(current))
+	for _, e := range current {
+		byName[e.Name] = e.RecordsPerSec
+	}
+	results := make([]InvariantResult, 0, len(invs))
+	for _, inv := range invs {
+		r := InvariantResult{Invariant: inv}
+		f, fok := byName[inv.Faster]
+		s, sok := byName[inv.Slower]
+		if !fok || !sok {
+			r.Skipped = true
+		} else {
+			r.FasterRecPerSec, r.SlowerRecPerSec = f, s
+			r.Violated = f < s*(1-inv.Slack)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// WriteInvariants renders invariant results, one line each, and reports
+// whether any was violated.
+func WriteInvariants(w io.Writer, results []InvariantResult) (violated bool) {
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			fmt.Fprintf(w, "skip %-40s %s or %s absent from run\n", r.Name, r.Faster, r.Slower)
+		case r.Violated:
+			violated = true
+			fmt.Fprintf(w, "FAIL %-40s %s %12.0f rec/s < %s %12.0f rec/s (slack %.0f%%)\n",
+				r.Name, r.Faster, r.FasterRecPerSec, r.Slower, r.SlowerRecPerSec, r.Slack*100)
+		default:
+			fmt.Fprintf(w, "ok   %-40s %s %12.0f rec/s >= %s %12.0f rec/s\n",
+				r.Name, r.Faster, r.FasterRecPerSec, r.Slower, r.SlowerRecPerSec)
+		}
+	}
+	return violated
+}
+
 // Write renders the report as a human-readable table, one line per
 // benchmark, with FAIL/MISS/new markers.
 func (r *Report) Write(w io.Writer) {

@@ -116,3 +116,47 @@ func TestReportWriteMarksFailures(t *testing.T) {
 		t.Fatalf("expected MISS line for gone:\n%s", out)
 	}
 }
+
+func TestCheckInvariantsOrdering(t *testing.T) {
+	invs := []Invariant{{
+		Name: "pf", Faster: "Prefetch", Slower: "NoPrefetch", Slack: 0.10,
+	}}
+
+	// Faster actually faster: holds.
+	res := CheckInvariants(entries("Prefetch", 2000.0, "NoPrefetch", 1000.0), invs)
+	if len(res) != 1 || res[0].Violated || res[0].Skipped {
+		t.Fatalf("ordering that holds reported: %+v", res)
+	}
+
+	// Within slack: still holds.
+	res = CheckInvariants(entries("Prefetch", 950.0, "NoPrefetch", 1000.0), invs)
+	if res[0].Violated {
+		t.Fatalf("within-slack shortfall flagged: %+v", res[0])
+	}
+
+	// Past slack: violated.
+	res = CheckInvariants(entries("Prefetch", 500.0, "NoPrefetch", 1000.0), invs)
+	if !res[0].Violated {
+		t.Fatalf("2x pessimization not flagged: %+v", res[0])
+	}
+
+	// Missing benchmark: skipped, not violated.
+	res = CheckInvariants(entries("Prefetch", 500.0), invs)
+	if !res[0].Skipped || res[0].Violated {
+		t.Fatalf("absent slower benchmark mishandled: %+v", res[0])
+	}
+}
+
+func TestWriteInvariantsMarksViolation(t *testing.T) {
+	invs := ScanInvariants()
+	res := CheckInvariants(entries(
+		"BenchmarkScanIndexPrefetch", 100.0,
+		"BenchmarkScanIndexNoPrefetch", 1000.0), invs)
+	var sb strings.Builder
+	if !WriteInvariants(&sb, res) {
+		t.Fatal("violation not reported by WriteInvariants")
+	}
+	if !strings.Contains(sb.String(), "FAIL prefetch-not-a-pessimization") {
+		t.Fatalf("missing FAIL line:\n%s", sb.String())
+	}
+}

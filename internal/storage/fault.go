@@ -43,6 +43,11 @@ type FaultConfig struct {
 	// SyncDelay stalls every successful Sync, modeling a device with a slow
 	// flush path.
 	SyncDelay time.Duration
+	// ReadDelay stalls every read (including injected short reads), modeling
+	// real random-access latency — unlike SimSSD's virtual clock, the caller
+	// actually waits. Scan-path tests use it to exercise the observed-latency
+	// clamp against a device whose reads genuinely cost what its profile says.
+	ReadDelay time.Duration
 	// PowerCutAtWrite, when > 0, cuts power on the Nth write (1-based) from
 	// construction: that write persists only a random aligned prefix
 	// (silently — the write cache is lost) and every later write fails with
@@ -252,6 +257,9 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 
 func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
 	d.reads.Add(1)
+	if d.cfg.ReadDelay > 0 {
+		time.Sleep(d.cfg.ReadDelay)
+	}
 	d.mu.Lock()
 	if err := d.nextReadErr; err != nil {
 		d.nextReadErr = nil

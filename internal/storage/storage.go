@@ -56,6 +56,20 @@ func DefaultSSDProfile() Profile {
 	}
 }
 
+// MemProfile models reads served straight from process memory: very high
+// sequential bandwidth, sub-microsecond "random" latency, and a small queue.
+// Φ for this profile is a few KB, so the adaptive prefetcher speculates in
+// page-sized windows at most instead of the multi-megabyte windows an SSD
+// profile would justify.
+func MemProfile() Profile {
+	return Profile{
+		SeqBandwidth: 8 << 30,
+		RandLatency:  500 * time.Nanosecond,
+		SyscallCost:  100 * time.Nanosecond,
+		QueueBytes:   256 << 10,
+	}
+}
+
 // Profiler is implemented by devices that can describe their performance.
 type Profiler interface {
 	Profile() Profile
@@ -104,6 +118,10 @@ func (d *Null) WriteAt(p []byte, off int64) (int, error) {
 
 func (d *Null) ReadAt(p []byte, off int64) (int, error) { return 0, ErrReadFromNull }
 func (d *Null) Close() error                            { return nil }
+
+// Profile reports an in-memory profile: the null device has no read path at
+// all, so speculative reads can never pay for themselves.
+func (d *Null) Profile() Profile { return MemProfile() }
 
 // BytesWritten reports the total bytes discarded.
 func (d *Null) BytesWritten() int64 { return d.written.Load() }
@@ -189,6 +207,12 @@ func (d *Mem) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (d *Mem) Close() error { return nil }
+
+// Profile reports an honest in-memory profile. Without this, the adaptive
+// prefetcher falls back to DefaultSSDProfile and speculatively reads
+// multi-megabyte backward windows that cost far more than the RAM-speed
+// random reads they replace.
+func (d *Mem) Profile() Profile { return MemProfile() }
 
 // BytesWritten reports total bytes written (including overwrites).
 func (d *Mem) BytesWritten() int64 { return d.written.Load() }

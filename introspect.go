@@ -9,6 +9,7 @@ import (
 	"fishstore/internal/hashtable"
 	"fishstore/internal/introspect"
 	"fishstore/internal/metrics"
+	"fishstore/internal/pagecache"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
 )
@@ -40,6 +41,7 @@ func (s *Store) registerIntrospection() {
 	})
 	reg.RegisterDebug("psf", func() any { return s.PSFStatus() })
 	reg.RegisterDebug("scan", func() any { return s.ScanDecisions() })
+	reg.RegisterDebug("cache", func() any { return s.CacheStats() })
 	reg.RegisterDebug("log", func() any {
 		ls, err := s.LogComposition(LogSampleOptions{})
 		if err != nil {
@@ -298,6 +300,37 @@ func walkAllHeaders(words []uint64, baseAddr, limit uint64, ls *introspect.LogSn
 // addresses (the coverage intervals of on-demand indexing).
 func (s *Store) PSFStatus() psf.RegistryStatus { return s.registry.Status() }
 
+// CacheSnapshot is the read-path cache view served at /debug/fishstore/cache:
+// the page cache over immutable on-device log pages, the per-page PSF
+// membership summaries built at flush time, and the hot-chain memoization.
+// Disabled layers report Enabled=false with zeroed stats.
+type CacheSnapshot struct {
+	PageCache        pagecache.Stats `json:"page_cache"`
+	PageCacheEnabled bool            `json:"page_cache_enabled"`
+	Summaries        SummaryStats    `json:"page_summaries"`
+	SummariesEnabled bool            `json:"page_summaries_enabled"`
+	HotChains        HotChainStats   `json:"hot_chains"`
+	HotChainsEnabled bool            `json:"hot_chains_enabled"`
+}
+
+// CacheStats returns a point-in-time snapshot of the read-path caches.
+func (s *Store) CacheStats() CacheSnapshot {
+	var cs CacheSnapshot
+	if s.pcache != nil {
+		cs.PageCacheEnabled = true
+		cs.PageCache = s.pcache.Stats()
+	}
+	if s.summaries != nil {
+		cs.SummariesEnabled = true
+		cs.Summaries = s.summaries.stats()
+	}
+	if s.hotchain != nil {
+		cs.HotChainsEnabled = true
+		cs.HotChains = s.hotchain.stats()
+	}
+	return cs
+}
+
 // ScanDecisions returns the retained scan decisions, oldest first.
 func (s *Store) ScanDecisions() introspect.ScanLog {
 	if s.scanLog == nil {
@@ -333,6 +366,8 @@ func (s *Store) recordScanDecision(id psf.ID, mode ScanMode, from, to uint64, st
 		IOs:                st.IOs,
 		ReadBytes:          st.ReadBytes,
 		PrefetchHits:       st.PrefetchHits,
+		PageCacheHits:      st.PageCacheHits,
+		BloomSkips:         st.BloomSkippedPages,
 		Stopped:            st.Stopped,
 		ElapsedSeconds:     elapsed.Seconds(),
 	}

@@ -38,6 +38,7 @@ func (s *Store) ChainGapProfile(prop Property, max int) ([]ChainHop, error) {
 	var prevBase uint64
 	cur := slot.Address()
 	var cr *chainReader
+	defer func() { cr.release() }()
 
 	for cur != 0 && (max <= 0 || len(hops) < max) {
 		var view record.View
@@ -50,7 +51,7 @@ func (s *Store) ChainGapProfile(prop Property, max int) ([]ChainHop, error) {
 			view, base = v, b
 		} else {
 			if cr == nil {
-				cr = newChainReader(s.log, false, s.metrics, nil)
+				cr = newChainReader(s.log, false, nil, s.metrics, nil)
 			}
 			// On-device records are immutable; do not pin the safe epoch
 			// across the chain reader's device I/O.

@@ -14,6 +14,7 @@ import (
 	"fishstore/internal/epoch"
 	"fishstore/internal/hlog"
 	"fishstore/internal/metrics"
+	"fishstore/internal/pagecache"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
 	"fishstore/internal/trace"
@@ -93,8 +94,17 @@ type ScanStats struct {
 	// IOs / ReadBytes count device reads issued by this scan.
 	IOs, ReadBytes int64
 	// PrefetchHits is the number of chain hops served from the adaptive
-	// prefetcher's speculation buffer (random I/Os saved).
+	// prefetcher's speculation buffer or the shared page cache (random
+	// I/Os saved).
 	PrefetchHits int64
+	// PageCacheHits is the number of device-page lookups this scan served
+	// from the read-through page cache (a subset of PrefetchHits on chain
+	// walks, plus full-scan pages served without touching the device).
+	PageCacheHits int64
+	// BloomSkippedPages counts on-device pages the scan skipped entirely
+	// because their per-page PSF membership summary proved the property
+	// cannot occur on them.
+	BloomSkippedPages int64
 	// Quarantined counts device-fetched records this scan skipped because
 	// their checksum failed (Options.VerifyOnRead). Such records are never
 	// delivered to the callback and their chain links are not followed.
@@ -209,7 +219,7 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 			if sp != nil {
 				ssp = sp.Child("scan.segment.full")
 			}
-			stopped, err = s.fullScanSegment(g, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
+			stopped, err = s.fullScanSegment(g, prop, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
 		}
 		if ssp != nil {
 			ssp.SetUint("from", seg.From)
@@ -307,11 +317,16 @@ func (s *Store) planScan(id psf.ID, from, to uint64, mode ScanMode) []Segment {
 // ---- full scan ----
 
 // fullScanSegment walks every record in [from, to), parses the PSF's fields
-// of interest, evaluates the PSF, and emits matches.
-func (s *Store) fullScanSegment(g *epoch.Guard, def psf.Definition, canon []byte,
+// of interest, evaluates the PSF, and emits matches. Over ranges where the
+// PSF's index is guaranteed complete, it switches to the pointer-matching
+// fast path (identical results, no parsing, summary-driven page skips).
+func (s *Store) fullScanSegment(g *epoch.Guard, prop Property, def psf.Definition, canon []byte,
 	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	st.FullScanBytes += int64(to - from)
+	if s.rangeIndexComplete(prop.PSF, from, to) {
+		return s.fastFullScanSegment(g, prop, canon, from, to, parallelism, emit, st)
+	}
 	if parallelism > 1 {
 		return s.parallelFullScan(def, canon, from, to, parallelism, emit, st)
 	}
@@ -320,7 +335,7 @@ func (s *Store) fullScanSegment(g *epoch.Guard, def psf.Definition, canon []byte
 		return false, err
 	}
 	stopped := false
-	err = s.visitRange(g, from, to, &st.Quarantined, func(addr uint64, v record.View) bool {
+	err = s.visitRange(g, from, to, &st.Quarantined, &st.PageCacheHits, func(addr uint64, v record.View) bool {
 		st.Visited++
 		payload := v.Payload()
 		parsed, perr := psess.Parse(payload)
@@ -354,7 +369,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 	var mu sync.Mutex
 	var stopped atomic.Bool
 	var visited atomic.Int64
-	var quarantined int64 // updated atomically by visitRange across workers
+	var quarantined, cacheHits int64 // updated atomically by visitRange across workers
 	var firstErr error
 	var errMu sync.Mutex
 	var wg sync.WaitGroup
@@ -387,7 +402,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 				if hi > to {
 					hi = to
 				}
-				err := s.visitRange(wg2, lo, hi, &quarantined, func(addr uint64, v record.View) bool {
+				err := s.visitRange(wg2, lo, hi, &quarantined, &cacheHits, func(addr uint64, v record.View) bool {
 					visited.Add(1)
 					payload := v.Payload()
 					parsed, perr := psess.Parse(payload)
@@ -421,6 +436,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 	wg.Wait()
 	st.Visited += visited.Load()
 	st.Quarantined += atomic.LoadInt64(&quarantined)
+	st.PageCacheHits += atomic.LoadInt64(&cacheHits)
 	return stopped.Load(), firstErr
 }
 
@@ -430,8 +446,9 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 // pages are checksum-validated and quarantined on failure: skipped (counted
 // into quarantined, when non-nil, with an atomic add — parallel scan workers
 // share the counter) rather than delivered. In-memory pages are exempt:
-// their records are sealed only at flush time.
-func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined *int64,
+// their records are sealed only at flush time. cacheHits, when non-nil,
+// counts page reads served by the read-through page cache (atomic add).
+func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined, cacheHits *int64,
 	visit func(addr uint64, v record.View) bool) error {
 	pageSize := s.log.PageSize()
 
@@ -454,10 +471,13 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined *int64,
 			// safe epoch stalls page-frame recycling for every worker.
 			n := int(pageEnd-addr) / 8
 			g.Unprotect()
-			w, err := s.log.ReadWordsFromDevice(addr, n)
+			w, hit, err := s.devicePageWords(addr, n)
 			g.Protect()
 			if err != nil {
 				return fmt.Errorf("fishstore: full scan read at %d: %w", addr, err)
+			}
+			if hit && cacheHits != nil {
+				atomic.AddInt64(cacheHits, 1)
 			}
 			words = w
 			if s.opts.VerifyOnRead {
@@ -480,6 +500,38 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined *int64,
 		addr = pageEnd
 	}
 	return nil
+}
+
+// devicePageWords reads the n words starting at the on-device address addr,
+// through the read-through page cache when enabled (the whole page is
+// filled; addr and addr+n*8 never straddle a page boundary — visitRange
+// walks page by page). The caller must have dropped epoch protection. The
+// second result reports whether the read was served from the cache.
+func (s *Store) devicePageWords(addr uint64, n int) ([]uint64, bool, error) {
+	if s.pcache == nil {
+		w, err := s.log.ReadWordsFromDevice(addr, n)
+		return w, false, err
+	}
+	pageSize := s.log.PageSize()
+	page := s.log.PageOf(addr)
+	pw, hit, err := s.pcache.GetOrLoad(page, func() ([]uint64, error) {
+		return s.log.ReadWordsFromDevice(page*pageSize, int(pageSize/8))
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	off := s.log.OffsetOf(addr) / 8
+	return pw[off : off+uint64(n)], hit, nil
+}
+
+// scanCache returns the page cache chain walks should read through: only
+// adaptive (useAP) walks use it — the no-prefetch baseline, the verifier,
+// and the chain samplers measure the raw device path.
+func (s *Store) scanCache(useAP bool) *pagecache.Cache {
+	if !useAP {
+		return nil
+	}
+	return s.pcache
 }
 
 // quarantineRecord accounts for a device-fetched record whose checksum (or
@@ -540,7 +592,7 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		if !ok {
 			return false, nil
 		}
-		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, sp, emit, st)
+		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, parallelism, sp, emit, st)
 	}
 	var heads []uint64
 	for shard := 0; shard < shards; shard++ {
@@ -550,10 +602,10 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		}
 	}
 	if parallelism > 1 && len(heads) > 1 {
-		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, sp, emit, st)
+		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, parallelism, sp, emit, st)
 	}
 	for _, head := range heads {
-		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, sp, emit, st)
+		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, parallelism, sp, emit, st)
 		if err != nil || stopped {
 			return stopped, err
 		}
@@ -564,7 +616,8 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 // parallelChainWalk traverses shard chains concurrently (Appendix F's
 // parallel index scan), serializing emission.
 func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
-	from, to uint64, useAP bool, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
+	from, to uint64, useAP bool, parallelism int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
+	_ = parallelism // shards already run concurrently; chains walk serially within each
 
 	var mu sync.Mutex // guards emit and st
 	var stopped atomic.Bool
@@ -590,7 +643,7 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 				}
 				return ok
 			}
-			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, sp, wrapped, &local); err != nil {
+			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, 1, sp, wrapped, &local); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -603,6 +656,9 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 			st.IOs += local.IOs
 			st.ReadBytes += local.ReadBytes
 			st.PrefetchHits += local.PrefetchHits
+			st.PageCacheHits += local.PageCacheHits
+			st.BloomSkippedPages += local.BloomSkippedPages
+			st.Quarantined += local.Quarantined
 			mu.Unlock()
 		}(head)
 	}
@@ -622,6 +678,18 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 // verifier's chain phase both walk chains through this one path.
 func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
 	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
+	return s.forEachChainLinkHooked(g, head, floor, useAP, sp, st, nil, fn)
+}
+
+// forEachChainLinkHooked is forEachChainLink with an optional deviceCross
+// hook: it fires once, with the first link that must be resolved from the
+// device, *before* that resolution happens. Returning false stops the
+// generic walk there (without error), letting the caller take over the
+// on-device suffix — the hot-chain cache and the paged chain walk hang off
+// this point.
+func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
+	deviceCross func(kptAddr uint64) bool,
+	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
 
 	cur := head
 	var cr *chainReader
@@ -631,6 +699,8 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 			st.IOs += cr.ios
 			st.ReadBytes += cr.bytesRead
 			st.PrefetchHits += cr.hits
+			st.PageCacheHits += cr.cacheHits
+			cr.release()
 		}
 	}()
 
@@ -648,8 +718,15 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 			}
 			view, base = v, b
 		} else {
+			if deviceCross != nil {
+				ok := deviceCross(cur)
+				deviceCross = nil // fires at most once
+				if !ok {
+					return nil
+				}
+			}
 			if cr == nil {
-				cr = newChainReader(s.log, useAP, s.metrics, sp)
+				cr = newChainReader(s.log, useAP, s.scanCache(useAP), s.metrics, sp)
 			}
 			// Device reads target the immutable on-disk log; drop epoch
 			// protection for their duration so page recycling can proceed.
@@ -691,16 +768,61 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 // walkChain follows one hash chain from head, emitting matching records
 // whose address lies in [from, to). Entries above `to` are skipped (but
 // still traversed); traversal stops below `from`.
+//
+// At the point where the walk crosses from the in-memory prefix onto the
+// device it consults the hot-chain cache: a chain probed repeatedly replays
+// its memoized on-device links (skipping every non-matching hop), and a
+// parallel walk with a page cache hands the suffix to the two-phase paged
+// walk. A completed generic walk installs (or arms) the memoization for the
+// next probe.
 func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
-	from, to uint64, useAP bool, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
+	from, to uint64, useAP bool, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
-	stopped := false
-	var cbErr error
-	err := s.forEachChainLink(g, head, from, useAP, sp, st,
+	sig := prop.hash()
+	useHot := useAP && s.hotchain != nil
+	usePaged := useAP && par > 1 && s.pcache != nil && !s.opts.VerifyOnRead
+
+	var (
+		crossAddr uint64   // first on-device key pointer of the walk
+		hotLinks  []uint64 // memoized links to replay instead of walking
+		paged     bool     // hand the on-device suffix to the paged walk
+		collected []uint64 // matching on-device links seen by this walk
+		lastPrev  uint64   // PrevAddress behind the last processed link
+		stopped   bool
+		cbErr     error
+	)
+	lastPrev = head
+	qBefore := st.Quarantined
+
+	var hook func(cur uint64) bool
+	if useHot || usePaged {
+		hook = func(cur uint64) bool {
+			crossAddr = cur
+			if useHot {
+				if links, ok := s.hotchain.lookup(cur, sig, from); ok {
+					hotLinks = links
+					return false
+				}
+			}
+			if usePaged {
+				paged = true
+				return false
+			}
+			return true
+		}
+	}
+
+	err := s.forEachChainLinkHooked(g, head, from, useAP, sp, st, hook,
 		func(cur uint64, view record.View, base uint64, kp record.KeyPointer) bool {
+			lastPrev = kp.PrevAddress
 			h := view.Header()
 			match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&
 				bytes.Equal(view.ValueBytes(kp), canon)
+			if match && crossAddr != 0 {
+				// Below the crossing the chain is immutable: remember the
+				// matching links for memoized replay.
+				collected = append(collected, cur)
+			}
 			if match {
 				rec, merr := s.materialize(g, view, base, st)
 				if errors.Is(merr, errQuarantined) {
@@ -724,7 +846,47 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 	if err == nil {
 		err = cbErr
 	}
-	return stopped, err
+	if err != nil {
+		return stopped, err
+	}
+
+	if hotLinks != nil {
+		return s.resolveChainLinks(g, hotLinks, prop, canon, from, to, par, sp, emit, st)
+	}
+	if paged {
+		pStopped, cands, pLast, pErr := s.pagedDeviceChainWalk(g, crossAddr, prop, canon, from, to, par, sp, emit, st)
+		if pErr == nil && !pStopped && useHot && st.Quarantined == qBefore {
+			s.maybeInstallHotChain(crossAddr, sig, cands, pLast, from)
+		}
+		return pStopped, pErr
+	}
+
+	// A generic walk that covered the whole on-device suffix (chain end, or
+	// everything down to `from`) without stopping early arms or installs the
+	// hot-chain memoization.
+	if useHot && !stopped && crossAddr != 0 && st.Quarantined == qBefore &&
+		(lastPrev == 0 || lastPrev < from) {
+		s.maybeInstallHotChain(crossAddr, sig, collected, lastPrev, from)
+	}
+	return stopped, nil
+}
+
+// maybeInstallHotChain records a completed walk in the hot-chain cache: the
+// first completed walk arms the key (placeholder), the second installs the
+// memoized links. lastPrev 0 means the chain end was reached, so the entry
+// covers any From; otherwise it only covers From >= the walk's floor.
+func (s *Store) maybeInstallHotChain(crossAddr, sig uint64, links []uint64, lastPrev, from uint64) {
+	if !s.hotchain.shouldInstall(crossAddr, sig) {
+		return
+	}
+	floorCovered := from
+	if lastPrev == 0 {
+		floorCovered = 0
+	}
+	// Copy: links aliases a walk-local slice that may keep growing.
+	installed := make([]uint64, len(links))
+	copy(installed, links)
+	s.hotchain.install(crossAddr, sig, installed, floorCovered)
 }
 
 // inMemoryRecordAt resolves the record containing the key pointer at

@@ -1,0 +1,418 @@
+package fishstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fishstore/internal/epoch"
+	"fishstore/internal/psf"
+	"fishstore/internal/record"
+	"fishstore/internal/trace"
+)
+
+// rangeIndexComplete reports whether the PSF's index is guaranteed complete
+// over every address in [from, to): within such a range, ingest-time
+// evaluation produced a key pointer for exactly the records the PSF matches,
+// so scanning key pointers and re-evaluating the PSF over parsed payloads
+// give identical answers.
+func (s *Store) rangeIndexComplete(id psf.ID, from, to uint64) bool {
+	cur := from
+	for _, iv := range s.registry.Intervals(id) {
+		if cur < iv.From {
+			return false // gap before this interval
+		}
+		if cur < iv.To {
+			cur = iv.To
+		}
+		if cur >= to {
+			return true
+		}
+	}
+	return cur >= to
+}
+
+// fastFullScanSegment is the full-scan path over an index-complete range:
+// instead of parsing every record and re-evaluating the PSF, it matches
+// records by their ingest-time key pointers — and, for on-device pages with
+// a membership summary, skips whole pages that provably hold no matching
+// pointer. Results are identical to the parse path over index-complete
+// ranges (records whose parse failed at ingest got no pointer and would
+// fail the scan-side parse too; indirect index records are skipped by both
+// paths). Delivery stays in ascending address order for the serial path and
+// arbitrary order for the parallel path, matching fullScanSegment.
+func (s *Store) fastFullScanSegment(g *epoch.Guard, prop Property, canon []byte,
+	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	sig := prop.hash()
+	if parallelism > 1 {
+		return s.parallelFastFullScan(prop, canon, sig, from, to, parallelism, emit, st)
+	}
+
+	stopped := false
+	err := s.visitMatchRange(g, sig, from, to, &st.Quarantined, &st.PageCacheHits, &st.BloomSkippedPages,
+		func(addr uint64, v record.View) bool {
+			st.Visited++
+			if r, ok := s.matchByPointer(prop, canon, addr, v); ok {
+				if !emit(r) {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
+	return stopped, err
+}
+
+// matchByPointer checks whether the record at addr carries a key pointer
+// for prop with the queried value, returning the emitted record on a match.
+// Indirect (historical index) records never match — the parse-based full
+// scan skips them too.
+func (s *Store) matchByPointer(prop Property, canon []byte, addr uint64, v record.View) (Record, bool) {
+	h := v.Header()
+	if h.Indirect {
+		return Record{}, false
+	}
+	for i := 0; i < h.NumPtrs; i++ {
+		kp := v.KeyPointerAt(i)
+		if kp.PSFID != prop.PSF {
+			continue
+		}
+		// At most one pointer per PSF per record: this is the decision.
+		if bytes.Equal(v.ValueBytes(kp), canon) {
+			return Record{Address: addr, Payload: v.Payload()}, true
+		}
+		return Record{}, false
+	}
+	return Record{}, false
+}
+
+// visitMatchRange is visitRange plus per-page summary pruning: an on-device
+// page whose bloom summary proves sig absent is skipped without touching the
+// device or the page cache.
+func (s *Store) visitMatchRange(g *epoch.Guard, sig uint64, from, to uint64,
+	quarantined, cacheHits, bloomSkips *int64, visit func(addr uint64, v record.View) bool) error {
+	pageSize := s.log.PageSize()
+
+	for addr := from; addr < to; {
+		pageStart := addr &^ (pageSize - 1)
+		pageEnd := pageStart + pageSize
+		limit := to
+		if pageEnd < limit {
+			limit = pageEnd
+		}
+		g.Refresh()
+
+		if addr < s.log.HeadAddress() && s.summaries != nil {
+			if may, ok := s.summaries.mayContain(s.log.PageOf(addr), sig); ok && !may {
+				if bloomSkips != nil {
+					atomic.AddInt64(bloomSkips, 1)
+				}
+				addr = pageEnd
+				continue
+			}
+		}
+
+		vfn := visit
+		var words []uint64
+		if addr >= s.log.HeadAddress() {
+			words = s.log.PageWordsFrom(addr)
+		} else {
+			n := int(pageEnd-addr) / 8
+			g.Unprotect()
+			w, hit, err := s.devicePageWords(addr, n)
+			g.Protect()
+			if err != nil {
+				return fmt.Errorf("fishstore: fast scan read at %d: %w", addr, err)
+			}
+			if hit && cacheHits != nil {
+				atomic.AddInt64(cacheHits, 1)
+			}
+			words = w
+			if s.opts.VerifyOnRead {
+				vfn = func(addr uint64, v record.View) bool {
+					h := v.Header()
+					if reason := validateRecord(addr, h, v); reason != "" || !v.ChecksumOK() {
+						if reason == "" {
+							reason = "checksum mismatch"
+						}
+						s.quarantineRecord(addr, quarantined, reason)
+						return true
+					}
+					return visit(addr, v)
+				}
+			}
+		}
+		if !walkRecords(words, addr, limit, vfn) {
+			return nil
+		}
+		addr = pageEnd
+	}
+	return nil
+}
+
+// parallelFastFullScan distributes pages of the fast path across workers,
+// mirroring parallelFullScan's page-claim loop. Matches are emitted through
+// a mutex, in arbitrary order.
+func (s *Store) parallelFastFullScan(prop Property, canon []byte, sig uint64,
+	from, to uint64, workers int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	pageSize := s.log.PageSize()
+	firstPage := s.log.PageOf(from)
+	lastPage := s.log.PageOf(to - 1)
+	var nextPage atomic.Uint64
+	nextPage.Store(firstPage)
+
+	var mu sync.Mutex
+	var stopped atomic.Bool
+	var visited, quarantined, cacheHits, bloomSkips atomic.Int64
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wg2 := s.epoch.Acquire()
+			defer wg2.Release()
+			for !stopped.Load() {
+				p := nextPage.Add(1) - 1
+				if p > lastPage {
+					return
+				}
+				lo := p * pageSize
+				if lo < from {
+					lo = from
+				}
+				hi := (p + 1) * pageSize
+				if hi > to {
+					hi = to
+				}
+				var q, ch, bs int64
+				err := s.visitMatchRange(wg2, sig, lo, hi, &q, &ch, &bs,
+					func(addr uint64, v record.View) bool {
+						visited.Add(1)
+						if r, ok := s.matchByPointer(prop, canon, addr, v); ok {
+							mu.Lock()
+							ok := emit(r)
+							mu.Unlock()
+							if !ok {
+								stopped.Store(true)
+								return false
+							}
+						}
+						return true
+					})
+				quarantined.Add(q)
+				cacheHits.Add(ch)
+				bloomSkips.Add(bs)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st.Visited += visited.Load()
+	st.Quarantined += quarantined.Load()
+	st.PageCacheHits += cacheHits.Load()
+	st.BloomSkippedPages += bloomSkips.Load()
+	return stopped.Load(), firstErr
+}
+
+// ---- page-parallel chain walks ----
+
+// pagedDeviceChainWalk traverses the on-device suffix of a hash chain in two
+// phases: a light discovery pass that follows the chain reading only the
+// 16-byte key-pointer words per hop (collecting the links whose PSF matches),
+// then a page-parallel resolution pass that fills the distinct log pages
+// those links live on concurrently through the page cache and re-walks the
+// links from cached memory. Wall-clock device time drops from one dependent
+// read per hop to (tiny reads) + (distinct pages ÷ parallelism). Returns the
+// PSF-matching candidate links (for hot-chain memoization) and the address
+// below which the walk saw the chain continue (0 = chain end reached).
+func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property, canon []byte,
+	from, to uint64, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (stopped bool, cands []uint64, lastPrev uint64, err error) {
+
+	// Phase 1: discovery. No speculation, no cache fills — 16 bytes per hop.
+	cr := newChainReader(s.log, false, nil, s.metrics, sp)
+	defer func() {
+		st.IOs += cr.ios
+		st.ReadBytes += cr.bytesRead
+		st.PrefetchHits += cr.hits
+		cr.release()
+	}()
+	cur := start
+	hops := 0
+	for cur != 0 && cur >= from {
+		hops++
+		if hops%64 == 0 {
+			g.Refresh()
+		}
+		g.Unprotect()
+		kw, ferr := cr.fetch(cur, 16)
+		g.Protect()
+		if ferr != nil {
+			return false, nil, cur, fmt.Errorf("fishstore: chain discovery at %d: %w", cur, ferr)
+		}
+		kp := record.UnpackKeyPointer(binary.LittleEndian.Uint64(kw), binary.LittleEndian.Uint64(kw[8:]))
+		st.IndexHops++
+		if kp.PSFID == prop.PSF {
+			cands = append(cands, cur)
+		}
+		cur = kp.PrevAddress
+	}
+	lastPrev = cur
+
+	// Phase 2: resolve the candidates from page-parallel cache fills.
+	stopped, err = s.resolveChainLinks(g, cands, prop, canon, from, to, par, sp, emit, st)
+	return stopped, cands, lastPrev, err
+}
+
+// resolveChainLinks materializes and emits the matching records behind a
+// known list of candidate key-pointer addresses (descending order): the
+// replay half of the hot-chain cache and phase 2 of the paged chain walk.
+// With par > 1 and a page cache, the distinct pages are pre-filled
+// concurrently before the sequential, order-preserving emission pass.
+func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property, canon []byte,
+	from, to uint64, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	if len(links) == 0 {
+		return false, nil
+	}
+	if par > 1 && s.pcache != nil {
+		s.prefillLinkPages(links, from, par, st)
+	}
+
+	cr := newChainReader(s.log, true, s.pcache, s.metrics, sp)
+	defer func() {
+		st.IOs += cr.ios
+		st.ReadBytes += cr.bytesRead
+		st.PrefetchHits += cr.hits
+		st.PageCacheHits += cr.cacheHits
+		cr.release()
+	}()
+
+	stopped := false
+	for i, cur := range links {
+		if cur < from {
+			break // links are descending; nothing below can be in range
+		}
+		if cur >= s.log.HeadAddress() {
+			// Head never moves backwards: a memoized on-device link cannot
+			// return to memory. Defensive skip.
+			continue
+		}
+		if i%64 == 63 {
+			g.Refresh()
+		}
+		g.Unprotect()
+		v, base, err := cr.record(cur)
+		g.Protect()
+		if err != nil {
+			return false, fmt.Errorf("fishstore: chain resolve at %d: %w", cur, err)
+		}
+		if s.opts.VerifyOnRead {
+			h := v.Header()
+			reason := validateRecord(base, h, v)
+			if reason == "" && !v.ChecksumOK() {
+				reason = "checksum mismatch"
+			}
+			if reason != "" {
+				// Same contract as the sequential walk: a corrupt chain
+				// record poisons everything it points to.
+				s.quarantineRecord(base, &st.Quarantined, "chain record: "+reason)
+				return false, nil
+			}
+		}
+		st.Visited++
+		h := v.Header()
+		ptrIndex := (int((cur-base)/8) - record.HeaderWords) / record.WordsPerPointer
+		kp := v.KeyPointerAt(ptrIndex)
+		match := h.Visible && !h.Invalid && kp.PSFID == prop.PSF &&
+			bytes.Equal(v.ValueBytes(kp), canon)
+		if !match {
+			continue
+		}
+		rec, merr := s.materialize(g, v, base, st)
+		if errors.Is(merr, errQuarantined) {
+			continue
+		}
+		if merr != nil {
+			return false, merr
+		}
+		if rec.Address >= from && rec.Address < to {
+			if !emit(rec) {
+				stopped = true
+				break
+			}
+		}
+	}
+	return stopped, nil
+}
+
+// prefillLinkPages fills the distinct on-device pages behind links into the
+// page cache with up to par concurrent device reads. Fills need no epoch
+// protection (the pages are immutable); errors are left for the sequential
+// resolution pass to rediscover and report.
+func (s *Store) prefillLinkPages(links []uint64, from uint64, par int, st *ScanStats) {
+	head := s.log.HeadAddress()
+	pageSize := s.log.PageSize()
+	seen := make(map[uint64]struct{})
+	var pages []uint64
+	for _, l := range links {
+		if l < from || l >= head {
+			continue
+		}
+		p := s.log.PageOf(l)
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		if s.pcache.Get(p) != nil {
+			continue // already resident; Get also bumps its CLOCK bit
+		}
+		pages = append(pages, p)
+	}
+	if len(pages) < 2 {
+		return // nothing to parallelize
+	}
+	if par > len(pages) {
+		par = len(pages)
+	}
+	var next atomic.Int64
+	var ios, readBytes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(pages) {
+					return
+				}
+				p := pages[i]
+				_, hit, err := s.pcache.GetOrLoad(p, func() ([]uint64, error) {
+					return s.log.ReadWordsFromDevice(p*pageSize, int(pageSize/8))
+				})
+				if err == nil && !hit {
+					ios.Add(1)
+					readBytes.Add(int64(pageSize))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st.IOs += ios.Load()
+	st.ReadBytes += readBytes.Load()
+}

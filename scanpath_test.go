@@ -1,0 +1,466 @@
+package fishstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fishstore/internal/psf"
+	"fishstore/internal/storage"
+)
+
+// testChainReader builds a chainReader detached from any log, with the
+// default SSD profile, for exercising the adaptation logic directly.
+func testChainReader() *chainReader {
+	profile := storage.DefaultSSDProfile()
+	phi := uint64((profile.SyscallCost.Seconds() + profile.RandLatency.Seconds()) * profile.SeqBandwidth)
+	return &chainReader{
+		useAP:   true,
+		tau:     phi,
+		minWin:  4096,
+		maxWin:  profile.QueueBytes,
+		profile: profile,
+		avgRec:  1024,
+	}
+}
+
+func TestChainReaderWindowAdaptation(t *testing.T) {
+	cr := testChainReader()
+	recSize := 512
+
+	// Walk a chain downward with gaps well below τ: the window must open and
+	// grow geometrically up to the cap.
+	addr := uint64(100 << 20)
+	cr.adapt(addr, recSize)
+	if cr.window != 0 {
+		t.Fatalf("window opened after a single record: %d", cr.window)
+	}
+	prev := 0
+	for i := 0; i < 16; i++ {
+		addr -= uint64(recSize) + cr.tau/4 // gap = τ/4, locality
+		cr.adapt(addr, recSize)
+		if cr.window < prev {
+			t.Fatalf("window shrank under locality: %d -> %d", prev, cr.window)
+		}
+		prev = cr.window
+	}
+	if cr.window == 0 {
+		t.Fatal("window never opened under sustained locality")
+	}
+	if cr.window > cr.maxWin {
+		t.Fatalf("window %d exceeds cap %d", cr.window, cr.maxWin)
+	}
+	if cr.window != cr.maxWin {
+		t.Fatalf("window %d did not reach cap %d after 16 local hops", cr.window, cr.maxWin)
+	}
+
+	// One gap far above τ collapses speculation entirely.
+	addr -= 4 * (cr.tau + uint64(cr.avgRec))
+	cr.adapt(addr, recSize)
+	if cr.window != 0 {
+		t.Fatalf("window survived a non-local gap: %d", cr.window)
+	}
+
+	// Locality returning reopens it from the bottom, not the old cap.
+	addr -= uint64(recSize) + cr.tau/4
+	cr.adapt(addr, recSize)
+	if cr.window == 0 || cr.window > cr.minWin*4 {
+		t.Fatalf("window after collapse+reopen = %d, want small and non-zero", cr.window)
+	}
+}
+
+func TestChainReaderObservedLatencyClamp(t *testing.T) {
+	cr := testChainReader()
+
+	// Before enough samples the profile's τ rules, whatever the readings say.
+	cr.observe(time.Microsecond, 4096)
+	if got := cr.effTau(); got != cr.tau {
+		t.Fatalf("effTau clamped after 1 sample: %d != %d", got, cr.tau)
+	}
+
+	// A device answering far below the profile's random-latency floor (a
+	// simulator or RAM-backed store) must shrink both τ and the window cap.
+	for i := 0; i < 8; i++ {
+		cr.observe(time.Microsecond, 4096)
+	}
+	if got := cr.effTau(); got >= cr.tau {
+		t.Fatalf("effTau %d not clamped below profile τ %d", got, cr.tau)
+	}
+	if got := cr.effMaxWin(); got >= cr.maxWin {
+		t.Fatalf("effMaxWin %d not clamped below profile cap %d", got, cr.maxWin)
+	}
+	if got := cr.effMaxWin(); got < cr.minWin {
+		t.Fatalf("effMaxWin %d below the minimum window %d", got, cr.minWin)
+	}
+
+	// A device matching its profile keeps the profile's τ: the EWMA recovers
+	// once observed fixed costs sit at (or above) the random-latency floor.
+	slow := testChainReader()
+	for i := 0; i < 8; i++ {
+		slow.observe(slow.profile.RandLatency+slow.profile.SyscallCost, 0)
+	}
+	if got := slow.effTau(); got != slow.tau {
+		t.Fatalf("effTau clamped on an honest device: %d != %d", got, slow.tau)
+	}
+	if got := slow.effMaxWin(); got != slow.maxWin {
+		t.Fatalf("effMaxWin clamped on an honest device: %d != %d", got, slow.maxWin)
+	}
+}
+
+// buildDeviceStore ingests enough records that most of the log lives on the
+// device, returning the store, PSF id, and the number of "spark" records.
+func buildDeviceStore(t testing.TB, opts Options, n int) (*Store, psf.ID, int) {
+	t.Helper()
+	if opts.Device == nil {
+		opts.Device = storage.NewMem()
+	}
+	if opts.PageBits == 0 {
+		opts.PageBits = 13 // 8KB pages
+	}
+	if opts.MemPages == 0 {
+		opts.MemPages = 2
+	}
+	s := openTestStore(t, opts)
+	id, _, err := s.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	var batch [][]byte
+	for i := 0; i < n; i++ {
+		repo := "spark"
+		if i%3 != 0 {
+			repo = fmt.Sprintf("other%d", i%7)
+		} else {
+			want++
+		}
+		batch = append(batch, genEvent(i, "PushEvent", repo))
+		if len(batch) == 64 {
+			ingestAll(t, s, batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		ingestAll(t, s, batch)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HeadAddress() <= s.BeginAddress() {
+		t.Fatalf("log never spilled to device (head %d)", s.HeadAddress())
+	}
+	return s, id, want
+}
+
+func countScan(t testing.TB, s *Store, id psf.ID, opts ScanOptions) (int, ScanStats) {
+	t.Helper()
+	got := 0
+	st, err := s.Scan(PropertyString(id, "spark"), opts, func(Record) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, st
+}
+
+func TestScanSpeculationHitAccounting(t *testing.T) {
+	s, id, want := buildDeviceStore(t, Options{}, 1200)
+
+	// Cold adaptive index scan: device hops, correctness, and the IO ledger.
+	got, st := countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+	if got != want {
+		t.Fatalf("cold scan matched %d, want %d", got, want)
+	}
+	if st.IOs == 0 || st.ReadBytes == 0 {
+		t.Fatalf("on-device scan reported no I/O: %+v", st)
+	}
+
+	// Warm scan: the page cache holds the chain's pages now, so hops resolve
+	// without device reads and the hits surface in the stats.
+	got, st = countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+	if got != want {
+		t.Fatalf("warm scan matched %d, want %d", got, want)
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatalf("warm scan recorded no prefetch/cache hits: %+v", st)
+	}
+	if st.PageCacheHits == 0 {
+		t.Fatalf("warm scan recorded no page-cache hits: %+v", st)
+	}
+
+	// The no-prefetch baseline must not touch the cache accounting.
+	got, st = countScan(t, s, id, ScanOptions{Mode: ScanIndexNoPrefetch})
+	if got != want {
+		t.Fatalf("no-prefetch scan matched %d, want %d", got, want)
+	}
+	if st.PageCacheHits != 0 {
+		t.Fatalf("no-prefetch scan used the page cache: %+v", st)
+	}
+}
+
+func TestScanFaultDeviceInjectedLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps on every device read")
+	}
+	// A device that genuinely stalls each read: the observed fixed cost sits
+	// near the profile floor, so the clamp must stay inert and adaptive
+	// prefetching must still return exactly the right records.
+	dev := storage.NewFaultDevice(nil, storage.FaultConfig{ReadDelay: 200 * time.Microsecond})
+	s, id, want := buildDeviceStore(t, Options{Device: dev, PageCachePages: -1, HotChainEntries: -1}, 600)
+
+	got, st := countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+	if got != want {
+		t.Fatalf("scan over slow device matched %d, want %d", got, want)
+	}
+	if st.IOs == 0 {
+		t.Fatalf("scan over slow device reported no I/O: %+v", st)
+	}
+	if dev.Stats().Reads == 0 {
+		t.Fatal("fault device observed no reads")
+	}
+}
+
+func TestPageCacheConcurrentScanTruncate(t *testing.T) {
+	s, id, _ := buildDeviceStore(t, Options{}, 1500)
+	tail := s.TailAddress()
+	begin := s.BeginAddress()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{}, func(Record) bool { return true }); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{Mode: ScanForceFull, Parallelism: 2}, func(Record) bool { return true }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Ratchet the truncation point forward while scans run: every step drops
+	// cached pages and hot chains below the floor.
+	span := tail - begin
+	for i := 1; i <= 8; i++ {
+		if err := s.TruncateUntil(begin + span*uint64(i)/16); err != nil {
+			t.Error(err)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-truncation scans only surface records above the floor.
+	floor := s.TruncatedUntil()
+	if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{}, func(r Record) bool {
+		if r.Address < floor {
+			t.Errorf("record %d below truncation floor %d", r.Address, floor)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotChainReplayCorrectness(t *testing.T) {
+	s, id, want := buildDeviceStore(t, Options{}, 1200)
+
+	// Repeated probes: first arms the placeholder, second installs, third
+	// replays from the memoized links. Results must never change.
+	for i := 0; i < 5; i++ {
+		got, _ := countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+		if got != want {
+			t.Fatalf("scan %d matched %d, want %d", i, got, want)
+		}
+	}
+	if s.hotchain == nil {
+		t.Fatal("hot-chain cache disabled in default options")
+	}
+	hs := s.hotchain.stats()
+	if hs.Installs == 0 {
+		t.Fatalf("no hot-chain installs after repeated probes: %+v", hs)
+	}
+	if hs.Hits == 0 {
+		t.Fatalf("no hot-chain replays after repeated probes: %+v", hs)
+	}
+
+	// Truncating must drop below-floor links from replays too.
+	mid := s.BeginAddress() + (s.TailAddress()-s.BeginAddress())/2
+	if err := s.TruncateUntil(mid); err != nil {
+		t.Fatal(err)
+	}
+	floor := s.TruncatedUntil()
+	for i := 0; i < 3; i++ {
+		got := 0
+		if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{Mode: ScanForceIndex}, func(r Record) bool {
+			if r.Address < floor {
+				t.Fatalf("replayed record %d below floor %d", r.Address, floor)
+			}
+			got++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got >= want {
+			t.Fatalf("post-truncation scan matched %d, want fewer than %d", got, want)
+		}
+	}
+}
+
+func TestFastFullScanEquivalence(t *testing.T) {
+	// The PSF is registered before any ingestion, so its index covers the
+	// whole log and ScanForceFull takes the pointer-matching fast path. Its
+	// results must be identical to the index scan and to the parse-based
+	// full scan over the residual (index-incomplete) store.
+	s, id, want := buildDeviceStore(t, Options{}, 900)
+
+	if !s.rangeIndexComplete(id, s.BeginAddress(), s.TailAddress()) {
+		t.Fatal("index not complete over the whole log")
+	}
+
+	fullAddrs := map[uint64]bool{}
+	gotFull, st := 0, ScanStats{}
+	st, err := s.Scan(PropertyString(id, "spark"), ScanOptions{Mode: ScanForceFull}, func(r Record) bool {
+		gotFull++
+		fullAddrs[r.Address] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFull != want {
+		t.Fatalf("fast full scan matched %d, want %d", gotFull, want)
+	}
+	if st.Visited == 0 {
+		t.Fatalf("fast full scan visited nothing: %+v", st)
+	}
+
+	gotIdx := 0
+	if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{Mode: ScanForceIndex}, func(r Record) bool {
+		gotIdx++
+		if !fullAddrs[r.Address] {
+			t.Fatalf("index scan surfaced %d, absent from full scan", r.Address)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotIdx != gotFull {
+		t.Fatalf("index scan matched %d, full scan %d", gotIdx, gotFull)
+	}
+
+	// Parallel fast path agrees with the serial one.
+	gotPar := 0
+	if _, err := s.Scan(PropertyString(id, "spark"), ScanOptions{Mode: ScanForceFull, Parallelism: 4}, func(r Record) bool {
+		gotPar++
+		if !fullAddrs[r.Address] {
+			t.Fatalf("parallel full scan surfaced %d, absent from serial scan", r.Address)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotPar != gotFull {
+		t.Fatalf("parallel full scan matched %d, serial %d", gotPar, gotFull)
+	}
+
+	// A store whose PSF was registered mid-stream exercises the parse path
+	// over the uncovered prefix; counts must match a store-independent
+	// expectation (every record is visible, so: same generator, same count).
+	s2 := openTestStore(t, Options{Device: storage.NewMem(), PageBits: 13, MemPages: 2})
+	var batch [][]byte
+	want2 := 0
+	for i := 0; i < 900; i++ {
+		repo := "spark"
+		if i%3 != 0 {
+			repo = fmt.Sprintf("other%d", i%7)
+		} else {
+			want2++
+		}
+		batch = append(batch, genEvent(i, "PushEvent", repo))
+	}
+	half := len(batch) / 2
+	ingestAll(t, s2, batch[:half])
+	id2, _, err := s2.RegisterPSF(psf.Projection("repo.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s2, batch[half:])
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got2 := 0
+	if _, err := s2.Scan(PropertyString(id2, "spark"), ScanOptions{Mode: ScanForceFull}, func(Record) bool {
+		got2++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want2 {
+		t.Fatalf("parse-path full scan matched %d, want %d", got2, want2)
+	}
+}
+
+func TestPageSummarySkipsAbsentProperty(t *testing.T) {
+	s, id, _ := buildDeviceStore(t, Options{}, 1200)
+	if s.summaries == nil {
+		t.Fatal("page summaries disabled in default options")
+	}
+	if s.summaries.stats().Pages == 0 {
+		t.Fatal("no page summaries built at flush time")
+	}
+
+	// A value that appears in no record: every summarized on-device page
+	// should be skipped without reading it.
+	got := 0
+	st, err := s.Scan(PropertyString(id, "no-such-repo"), ScanOptions{Mode: ScanForceFull}, func(Record) bool {
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("absent value matched %d records", got)
+	}
+	if st.BloomSkippedPages == 0 {
+		t.Fatalf("no pages skipped via summaries: %+v", st)
+	}
+}
+
+func TestCacheStatsSnapshot(t *testing.T) {
+	s, id, _ := buildDeviceStore(t, Options{}, 900)
+	countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+	countScan(t, s, id, ScanOptions{Mode: ScanForceIndex})
+
+	cs := s.CacheStats()
+	if !cs.PageCacheEnabled || !cs.SummariesEnabled || !cs.HotChainsEnabled {
+		t.Fatalf("read-path layers disabled by default: %+v", cs)
+	}
+	if cs.PageCache.Fills == 0 {
+		t.Fatalf("page cache never filled: %+v", cs.PageCache)
+	}
+	if cs.Summaries.Pages == 0 {
+		t.Fatalf("no summaries: %+v", cs.Summaries)
+	}
+
+	off := openTestStore(t, Options{PageCachePages: -1, HotChainEntries: -1, DisablePageSummaries: true})
+	cso := off.CacheStats()
+	if cso.PageCacheEnabled || cso.SummariesEnabled || cso.HotChainsEnabled {
+		t.Fatalf("disabled layers report enabled: %+v", cso)
+	}
+}

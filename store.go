@@ -35,6 +35,7 @@ import (
 	"fishstore/internal/hlog"
 	"fishstore/internal/introspect"
 	"fishstore/internal/metrics"
+	"fishstore/internal/pagecache"
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
@@ -56,6 +57,15 @@ type Store struct {
 	// prebuilt pprof label sets (nil = no profiler attribution).
 	tracer  *trace.Tracer
 	plabels *profileLabels
+
+	// pcache is the read-through cache of immutable on-device log pages
+	// (nil when disabled); summaries holds the per-page PSF membership
+	// bloom filters built at flush time (nil when disabled); hotchain
+	// memoizes the link layout of repeatedly probed chains (nil when
+	// disabled).
+	pcache    *pagecache.Cache
+	summaries *pageSummaries
+	hotchain  *hotChainCache
 
 	subs subscriptions
 
@@ -161,12 +171,31 @@ func Open(opts Options) (*Store, error) {
 	if o.ProfileLabels {
 		s.plabels = newProfileLabels()
 	}
+	pageWords := 1 << (o.PageBits - 3)
+	if o.PageCachePages > 0 {
+		s.pcache = pagecache.New(o.PageCachePages, pageWords)
+	}
+	if o.HotChainEntries > 0 {
+		s.hotchain = newHotChainCache(o.HotChainEntries)
+	}
+	var onSealed func(page uint64, buf []byte)
+	if !o.DisablePageSummaries {
+		// Summaries are bounded to the page-cache working set plus slack, so
+		// a long-lived store doesn't accumulate a filter per flushed page.
+		maxPages := 4 * o.PageCachePages
+		if maxPages < 256 {
+			maxPages = 256
+		}
+		s.summaries = newPageSummaries(maxPages, pageWords)
+		onSealed = s.summaries.onPageSealed
+	}
 	log, err := hlog.New(hlog.Config{
 		PageBits:      o.PageBits,
 		MemPages:      o.MemPages,
 		Device:        o.Device,
 		Epoch:         em,
 		OnFlush:       s.flushHook(),
+		OnPageSealed:  onSealed,
 		Tracer:        tr,
 		ProfileLabels: o.ProfileLabels,
 	})

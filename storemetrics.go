@@ -146,7 +146,7 @@ func newStoreMetrics(reg *metrics.Registry) *storeMetrics {
 	m.prefetchCollapse = reg.Counter("fishstore_prefetch_collapses_total",
 		"Adaptive prefetch window collapses (speculation wasted).")
 	m.prefetchHits = reg.Counter("fishstore_prefetch_hits_total",
-		"Chain hops served from the speculation buffer (IOs saved).")
+		"Chain hops served from the speculation buffer or the page cache (IOs saved).")
 	m.prefetchMisses = reg.Counter("fishstore_prefetch_misses_total",
 		"Chain hops that needed a device read.")
 
@@ -294,6 +294,47 @@ func (s *Store) registerGaugeFuncs() {
 			}
 			return 0
 		})
+
+	// Read-path caches: page cache, per-page PSF summaries, hot chains.
+	if s.pcache != nil {
+		reg.GaugeFunc("fishstore_pagecache_pages",
+			"On-device log pages currently held by the read-through page cache.",
+			func() float64 { return float64(s.pcache.Stats().Pages) })
+		reg.GaugeFunc("fishstore_pagecache_hits_total",
+			"Page cache lookups served without a device read.",
+			func() float64 { return float64(s.pcache.Stats().Hits) })
+		reg.GaugeFunc("fishstore_pagecache_misses_total",
+			"Page cache lookups that loaded the page from the device.",
+			func() float64 { return float64(s.pcache.Stats().Misses) })
+		reg.GaugeFunc("fishstore_pagecache_evictions_total",
+			"Pages evicted by the CLOCK policy.",
+			func() float64 { return float64(s.pcache.Stats().Evictions) })
+		reg.GaugeFunc("fishstore_pagecache_invalidated_total",
+			"Pages dropped by truncation-driven invalidation.",
+			func() float64 { return float64(s.pcache.Stats().Invalidated) })
+	}
+	if s.summaries != nil {
+		reg.GaugeFunc("fishstore_pagesummary_pages",
+			"Flushed pages with a live PSF membership summary.",
+			func() float64 { return float64(s.summaries.stats().Pages) })
+		reg.GaugeFunc("fishstore_pagesummary_skips_total",
+			"Full-scan pages skipped because their summary excluded the property.",
+			func() float64 { return float64(s.summaries.stats().Skips) })
+		reg.GaugeFunc("fishstore_pagesummary_probes_total",
+			"Summary membership probes issued by scans.",
+			func() float64 { return float64(s.summaries.stats().Probes) })
+	}
+	if s.hotchain != nil {
+		reg.GaugeFunc("fishstore_hotchain_entries",
+			"Chains with memoized on-device link layouts (placeholders included).",
+			func() float64 { return float64(s.hotchain.stats().Entries) })
+		reg.GaugeFunc("fishstore_hotchain_hits_total",
+			"Chain walks replayed from the hot-chain cache.",
+			func() float64 { return float64(s.hotchain.stats().Hits) })
+		reg.GaugeFunc("fishstore_hotchain_misses_total",
+			"Device-crossing chain walks not served by the hot-chain cache.",
+			func() float64 { return float64(s.hotchain.stats().Misses) })
+	}
 }
 
 // Metrics returns a point-in-time snapshot of every metric family the store's

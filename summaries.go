@@ -1,0 +1,172 @@
+package fishstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fishstore/internal/bloom"
+	"fishstore/internal/hashtable"
+	"fishstore/internal/hlog"
+	"fishstore/internal/record"
+	"fishstore/internal/wordio"
+)
+
+// summaryBitsPerKey sizes per-page bloom filters (~1% false positives).
+const summaryBitsPerKey = 10
+
+// pageSummaries holds one bloom filter per flushed log page, keyed by the
+// property signatures of every key pointer on the page. A scan over an
+// index-complete range can then skip a whole on-device page when the filter
+// proves no record on it carries the queried property — the per-page
+// analogue of the LSM baseline's SSTable filters, built at the same moment
+// the checksum seal runs (page flush), when the page's content is final.
+//
+// Soundness: a filter is built from the exact record walk scans use
+// (walkRecords order, stopping at the first hole or torn record), so every
+// key pointer a scan could match on the page is in the filter. Pages without
+// a summary (flushed before this store opened, evicted for capacity, or
+// summaries disabled) are never skipped. Filters contain signatures of
+// invalidated records too — a may-contain answer only ever costs a read.
+type pageSummaries struct {
+	pageWords int
+	maxPages  int
+
+	mu    sync.RWMutex
+	pages map[uint64]*bloom.Filter
+	floor uint64 // lowest page retained; raised by truncation
+
+	built  atomic.Int64
+	keys   atomic.Int64
+	probes atomic.Int64
+	skips  atomic.Int64
+	bytes  atomic.Int64
+}
+
+func newPageSummaries(maxPages, pageWords int) *pageSummaries {
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	return &pageSummaries{
+		pageWords: pageWords,
+		maxPages:  maxPages,
+		pages:     make(map[uint64]*bloom.Filter),
+	}
+}
+
+// onPageSealed is the hlog hook: it runs on the flush goroutine with the
+// sealed staging bytes and builds the page's membership filter.
+func (ps *pageSummaries) onPageSealed(page uint64, buf []byte) {
+	words := make([]uint64, len(buf)/8)
+	wordio.BytesToWords(words, buf)
+
+	start := 0
+	if page == 0 {
+		start = int(hlog.BeginAddress / 8) // reserved prefix, never records
+	}
+	var sigs []uint64
+	off := start
+	for off < len(words) {
+		h := record.UnpackHeader(words[off])
+		if h.SizeWords <= 0 || off+h.SizeWords > len(words) {
+			break // hole or torn suffix: scans stop here too
+		}
+		if !h.Filler && h.Visible {
+			v := record.View{Words: words[off : off+h.SizeWords]}
+			for i := 0; i < h.NumPtrs; i++ {
+				kp := v.KeyPointerAt(i)
+				sigs = append(sigs, hashtable.HashProperty(kp.PSFID, v.ValueBytes(kp)))
+			}
+		}
+		off += h.SizeWords
+	}
+
+	f := bloom.New(len(sigs), summaryBitsPerKey)
+	for _, sig := range sigs {
+		f.AddHash(sig)
+	}
+
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if page < ps.floor {
+		return
+	}
+	if _, ok := ps.pages[page]; ok {
+		return
+	}
+	for len(ps.pages) >= ps.maxPages {
+		// Evict the lowest page: the cheapest victim, since cold low pages
+		// are exactly what truncation retires first.
+		lowest, first := uint64(0), true
+		for p := range ps.pages {
+			if first || p < lowest {
+				lowest, first = p, false
+			}
+		}
+		ps.bytes.Add(-int64(ps.pages[lowest].Bytes()))
+		delete(ps.pages, lowest)
+	}
+	ps.pages[page] = f
+	ps.built.Add(1)
+	ps.keys.Add(int64(len(sigs)))
+	ps.bytes.Add(int64(f.Bytes()))
+}
+
+// mayContain reports whether the property signature may occur on page, and
+// whether a summary for the page exists at all. Pages without a summary must
+// be read.
+func (ps *pageSummaries) mayContain(page uint64, sig uint64) (may, summarized bool) {
+	ps.mu.RLock()
+	f := ps.pages[page]
+	ps.mu.RUnlock()
+	if f == nil {
+		return true, false
+	}
+	ps.probes.Add(1)
+	if f.MayContainHash(sig) {
+		return true, true
+	}
+	ps.skips.Add(1)
+	return false, true
+}
+
+// invalidateBelow drops summaries for pages below floorPage (truncation).
+func (ps *pageSummaries) invalidateBelow(floorPage uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if floorPage <= ps.floor {
+		return
+	}
+	ps.floor = floorPage
+	for p, f := range ps.pages {
+		if p < floorPage {
+			ps.bytes.Add(-int64(f.Bytes()))
+			delete(ps.pages, p)
+		}
+	}
+}
+
+// SummaryStats is a snapshot of the per-page PSF summary layer.
+type SummaryStats struct {
+	// Pages is the number of pages currently summarized; Built counts
+	// filters ever built; Keys counts property signatures inserted.
+	Pages, Built, Keys int64
+	// Probes / Skips count scan-side membership queries and the pages those
+	// queries allowed scans to skip outright.
+	Probes, Skips int64
+	// Bytes approximates the summaries' memory footprint.
+	Bytes int64
+}
+
+func (ps *pageSummaries) stats() SummaryStats {
+	ps.mu.RLock()
+	n := len(ps.pages)
+	ps.mu.RUnlock()
+	return SummaryStats{
+		Pages:  int64(n),
+		Built:  ps.built.Load(),
+		Keys:   ps.keys.Load(),
+		Probes: ps.probes.Load(),
+		Skips:  ps.skips.Load(),
+		Bytes:  ps.bytes.Load(),
+	}
+}

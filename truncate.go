@@ -26,8 +26,25 @@ func (s *Store) TruncateUntil(addr uint64) error {
 			return nil // monotonic
 		}
 		if s.truncatedUntil.CompareAndSwap(old, addr) {
+			s.invalidateReadCaches(addr)
 			return nil
 		}
+	}
+}
+
+// invalidateReadCaches drops read-path cache state below the new truncation
+// point. Pages straddling the boundary stay cached — clampRange already keeps
+// scans above the floor, so their below-floor bytes are never surfaced.
+func (s *Store) invalidateReadCaches(floor uint64) {
+	floorPage := s.log.PageOf(floor)
+	if s.pcache != nil {
+		s.pcache.InvalidateBelow(floorPage)
+	}
+	if s.summaries != nil {
+		s.summaries.invalidateBelow(floorPage)
+	}
+	if s.hotchain != nil {
+		s.hotchain.invalidateBelow(floor)
 	}
 }
 
