@@ -122,6 +122,7 @@ func (s *Store) Checkpoint(dir string) error {
 	defer sp.End()
 	s.metrics.reg.Trace("checkpoint.begin", metrics.F("tail", tail))
 	fsp := sp.Child("checkpoint.flush")
+	//lint:ignore puborder the checkpoint barrier is the semantic: ingestion holds ckptMu shared and MUST quiesce until the flush lands, or the manifest's durable-below-tail claim is false
 	if err := s.log.FlushTail(); err != nil {
 		fsp.End()
 		// The device permanently refused a log write (transient faults were
@@ -132,6 +133,7 @@ func (s *Store) Checkpoint(dir string) error {
 	}
 	// The manifest claims the log is durable below tail; force the device's
 	// write cache to stable media before any artifact can make that claim.
+	//lint:ignore puborder same barrier: the sync must complete before ingestion resumes past the checkpointed tail
 	if err := storage.Sync(s.log.Device()); err != nil {
 		fsp.End()
 		s.enterDegraded(fmt.Errorf("checkpoint log sync: %w", err))

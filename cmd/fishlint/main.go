@@ -1,10 +1,22 @@
 // Command fishlint runs FishStore's repo-specific static analyzers
-// (epochguard, atomicfield, errflow, addrcompose) over the given package
-// patterns.
+// (epochguard, atomicfield, wordsat, errflow, addrcompose, puborder,
+// hotalloc, sealcover) over the given package patterns.
 //
 // Usage:
 //
-//	fishlint [-q] [-tests] ./...
+//	fishlint [flags] <package patterns>
+//
+//	-q        suppress the summary line
+//	-tests    analyze _test.go files alongside production sources
+//	-tags     comma-separated build tags to apply during loading
+//	-json     emit findings and timings as one JSON document on stdout
+//	-timing   print per-analyzer analysis time on stderr
+//	-hotalloc-baseline file
+//	          absorb hotalloc findings recorded in the committed baseline;
+//	          only new allocations fail the run
+//	-write-hotalloc-baseline file
+//	          write the current hotalloc findings as the new baseline
+//	          (run this after auditing them) and exit
 //
 // With -tests, packages are loaded in test mode: _test.go files (in-package
 // and external) are analyzed alongside the production sources — test code
@@ -22,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fishstore/internal/lint"
 )
@@ -35,8 +48,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.SetOutput(stderr)
 	quiet := flags.Bool("q", false, "suppress the summary line")
 	tests := flags.Bool("tests", false, "analyze _test.go files alongside production sources")
+	tags := flags.String("tags", "", "comma-separated build tags to apply during package loading")
+	asJSON := flags.Bool("json", false, "emit findings and timings as one JSON document on stdout")
+	timing := flags.Bool("timing", false, "print per-analyzer analysis time on stderr")
+	baselinePath := flags.String("hotalloc-baseline", "", "baseline `file` of accepted hotalloc findings to absorb")
+	writeBaseline := flags.String("write-hotalloc-baseline", "", "write current hotalloc findings to baseline `file` and exit")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: fishlint [-q] [-tests] <package patterns>\n")
+		fmt.Fprintf(stderr, "usage: fishlint [flags] <package patterns>\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -51,22 +69,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fishlint: %v\n", err)
 		return 2
 	}
-	loadFn := lint.Load
-	if *tests {
-		loadFn = lint.LoadTests
+	cfg := lint.LoadConfig{Dir: dir, Tests: *tests}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
 	}
-	pkgs, err := loadFn(dir, flags.Args()...)
+	pkgs, err := lint.LoadPkgs(cfg, flags.Args()...)
 	if err != nil {
 		fmt.Fprintf(stderr, "fishlint: %v\n", err)
 		return 2
 	}
 	res := lint.Run(pkgs, lint.Analyzers())
-	for _, f := range res.Findings {
-		fmt.Fprintln(stdout, f)
+
+	if *writeBaseline != "" {
+		var hot []lint.Finding
+		for _, f := range res.Findings {
+			if f.Analyzer == "hotalloc" {
+				hot = append(hot, f)
+			}
+		}
+		if err := lint.NewBaseline(hot, dir).Write(*writeBaseline); err != nil {
+			fmt.Fprintf(stderr, "fishlint: %v\n", err)
+			return 2
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "fishlint: wrote %d hotalloc finding(s) to %s\n", len(hot), *writeBaseline)
+		}
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "fishlint: %v\n", err)
+			return 2
+		}
+		lint.ApplyBaseline(&res, b, dir)
+	}
+
+	if *asJSON {
+		if err := lint.EncodeJSON(stdout, len(pkgs), res); err != nil {
+			fmt.Fprintf(stderr, "fishlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if *timing {
+		for _, t := range res.Timings {
+			fmt.Fprintf(stderr, "fishlint: timing: %-12s %8.1fms  (%d pkgs)\n",
+				t.Name, float64(t.Duration.Microseconds())/1000, t.Packages)
+		}
 	}
 	if !*quiet {
-		fmt.Fprintf(stderr, "fishlint: %d package(s), %d finding(s), %d suppressed\n",
-			len(pkgs), len(res.Findings), res.Suppressed)
+		fmt.Fprintf(stderr, "fishlint: %d package(s), %d finding(s), %d suppressed, %d baselined\n",
+			len(pkgs), len(res.Findings), res.Suppressed, res.Baselined)
 	}
 	if len(res.Findings) > 0 {
 		return 1

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"fishstore/internal/lint"
 )
 
 // The fixture packages live in the lint package's testdata; run() resolves
@@ -75,5 +79,98 @@ func TestPatternExpansion(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "1 package(s), 0 finding(s)") {
 		t.Errorf("stderr summary = %q, want 1 clean package", stderr)
+	}
+}
+
+// TestJSONOutput checks -json emits a single parseable document with the
+// finding fields the CI problem matcher and other tooling consume, and that
+// the human-format finding lines stay off stdout.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-q", fixtures+"/addrcomposetest")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings present)", code)
+	}
+	var doc struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Packages int `json:"packages"`
+		Timings  []struct {
+			Analyzer string `json:"analyzer"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, stdout)
+	}
+	if doc.Packages != 1 || len(doc.Findings) == 0 {
+		t.Fatalf("JSON doc = %+v, want 1 package with findings", doc)
+	}
+	for _, f := range doc.Findings {
+		if f.Analyzer != "addrcompose" || f.Line == 0 || f.File == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+	if len(doc.Timings) == 0 {
+		t.Error("JSON doc missing per-analyzer timings")
+	}
+}
+
+// TestTimingFlag checks -timing prints one stderr line per analyzer without
+// disturbing the findings stream or exit code.
+func TestTimingFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-timing", fixtures+"/suppresstest")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	n := strings.Count(stderr, "fishlint: timing:")
+	if want := len(lint.Analyzers()); n != want {
+		t.Errorf("timing lines = %d, want %d (one per analyzer)\n%s", n, want, stderr)
+	}
+}
+
+// TestTagsFlag drives the taggedtest fixture through the CLI: the build-tag
+// constrained file's seeded finding must appear only with -tags.
+func TestTagsFlag(t *testing.T) {
+	if code, stdout, _ := runCLI(t, fixtures+"/taggedtest"); code != 0 {
+		t.Fatalf("untagged run: exit %d, want 0\n%s", code, stdout)
+	}
+	code, stdout, _ := runCLI(t, "-tags", "lintfixture", fixtures+"/taggedtest")
+	if code != 1 || !strings.Contains(stdout, "tagged_on.go") {
+		t.Fatalf("tagged run: exit %d, stdout %q; want the tagged_on.go finding", code, stdout)
+	}
+}
+
+// TestHotallocBaselineFlow exercises the write-then-absorb cycle: capture the
+// hotalloc fixture's findings into a temp baseline, then re-run against it
+// and require a clean exit with every finding baselined.
+func TestHotallocBaselineFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, stderr := runCLI(t, "-write-hotalloc-baseline", path, fixtures+"/hotalloctest")
+	if code != 0 {
+		t.Fatalf("write: exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "hotalloc finding(s)") {
+		t.Errorf("write: stderr missing confirmation: %s", stderr)
+	}
+
+	code, stdout, stderr := runCLI(t, "-hotalloc-baseline", path, fixtures+"/hotalloctest")
+	if code != 0 {
+		t.Fatalf("absorb: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("absorb: findings leaked past the baseline:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "0 finding(s)") || strings.Contains(stderr, " 0 baselined") {
+		t.Errorf("absorb: summary = %q, want zero findings and a nonzero baselined count", stderr)
+	}
+
+	// A missing baseline file is a usage error, not a silent full-fail run.
+	if code, _, _ := runCLI(t, "-hotalloc-baseline", path+".nope", fixtures+"/hotalloctest"); code != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", code)
 	}
 }

@@ -67,6 +67,8 @@ func newHotChainCache(maxEntries int) *hotChainCache {
 // entry covers queries from `from` upward. A miss bumps the key's probe
 // count so the *next* complete walk installs an entry (one-off scans never
 // pay the memoization cost). The returned slice is immutable.
+//
+//fishlint:hotpath per-query chain-hop cache probe
 func (hc *hotChainCache) lookup(kptAddr, sig, from uint64) ([]uint64, bool) {
 	key := hotChainKey{kptAddr: kptAddr, sig: sig}
 	hc.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // NewAtomicField builds the atomicfield analyzer. It enforces two rules:
@@ -32,11 +33,16 @@ func NewAtomicField() *Analyzer {
 		pos token.Position
 		ref string // rendering for the message
 	}
+	// Cross-package aggregation state, merged under mu: the parallel driver
+	// runs this analyzer on several packages at once.
+	var mu sync.Mutex
 	atomicFields := make(map[types.Object]bool)
 	plainAccesses := make(map[types.Object][]access)
 
 	a.Run = func(pass *Pass) {
 		info := pass.Pkg.Info
+		localAtomic := make(map[types.Object]bool)
+		localPlain := make(map[types.Object][]access)
 		// sanctioned marks &expr operands that flow into sync/atomic calls.
 		sanctioned := make(map[ast.Expr]bool)
 		for _, file := range pass.Pkg.Files {
@@ -58,7 +64,7 @@ func NewAtomicField() *Analyzer {
 					sanctioned[target] = true
 					if sel, ok := target.(*ast.SelectorExpr); ok {
 						if f := fieldOf(info, sel); f != nil {
-							atomicFields[f] = true
+							localAtomic[f] = true
 						}
 					}
 				}
@@ -78,7 +84,7 @@ func NewAtomicField() *Analyzer {
 				if f == nil || sanctioned[ast.Unparen(ast.Expr(sel))] {
 					return true
 				}
-				plainAccesses[f] = append(plainAccesses[f], access{
+				localPlain[f] = append(localPlain[f], access{
 					pos: pass.Pkg.Fset.Position(sel.Pos()),
 					ref: exprString(sel),
 				})
@@ -94,6 +100,15 @@ func NewAtomicField() *Analyzer {
 				checkFrameAliases(pass, fd.Body, sanctioned)
 			}
 		}
+
+		mu.Lock()
+		for f := range localAtomic {
+			atomicFields[f] = true
+		}
+		for f, accs := range localPlain {
+			plainAccesses[f] = append(plainAccesses[f], accs...)
+		}
+		mu.Unlock()
 	}
 
 	a.Finish = func(report func(Finding)) {

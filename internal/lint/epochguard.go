@@ -128,7 +128,7 @@ func isGuardPtr(t types.Type) bool {
 	if !ok {
 		return false
 	}
-	return n.Obj().Name() == "Guard" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == epochPkg
+	return n.Obj().Name() == "Guard" && n.Obj().Pkg() != nil && pkgPath(n.Obj().Pkg()) == epochPkg
 }
 
 // keyOf canonicalizes a guard expression (an identifier or a selector chain

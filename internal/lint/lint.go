@@ -1,12 +1,20 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Finding is one analyzer diagnostic.
@@ -36,14 +44,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one invariant checker. Run is invoked once per package;
-// Finish, if set, runs after every package has been visited (for analyzers
-// that aggregate facts across the whole module, e.g. atomicfield).
+// Analyzer is one invariant checker. Run is invoked once per package — and,
+// under the parallel driver, concurrently for different packages, so any
+// state an instance aggregates across packages must be synchronized
+// internally. Finish, if set, runs once after every package has been visited
+// (for analyzers that aggregate facts across the whole module, e.g.
+// atomicfield and hotalloc).
 type Analyzer struct {
 	Name   string
 	Doc    string
 	Run    func(*Pass)
 	Finish func(report func(Finding))
+}
+
+// AnalyzerTiming is the accumulated analysis time of one analyzer across all
+// packages (CPU time summed over the parallel workers, plus its Finish pass).
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+	Packages int
 }
 
 // ignoreDirective is a parsed //lint:ignore comment.
@@ -54,14 +73,23 @@ type ignoreDirective struct {
 
 // Result is the outcome of a lint run.
 type Result struct {
-	// Findings are the surviving (unsuppressed) diagnostics, sorted by
-	// position, including any malformed //lint:ignore directives.
+	// Findings are the surviving (unsuppressed, unbaselined) diagnostics,
+	// sorted by position, including any malformed //lint:ignore directives.
 	Findings []Finding
 	// Suppressed counts findings silenced by //lint:ignore directives.
 	Suppressed int
+	// Baselined counts findings absorbed by a committed baseline file
+	// (ApplyBaseline); zero when no baseline is in play.
+	Baselined int
+	// Timings reports per-analyzer analysis time, sorted by descending
+	// duration. Durations are summed across packages, so under the parallel
+	// driver they exceed the wall-clock the run took.
+	Timings []AnalyzerTiming
 }
 
-// Run applies every analyzer to every package and resolves suppressions.
+// Run applies every analyzer to every package and resolves suppressions. It
+// fans the (analyzer, package) pairs out over GOMAXPROCS workers; analyzer
+// order and package order never affect the (sorted) result.
 //
 // A finding is suppressed by a comment of the form
 //
@@ -72,16 +100,50 @@ type Result struct {
 // reported as a finding, so every silenced diagnostic carries a written
 // reason in the tree.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	return RunParallel(pkgs, analyzers, runtime.GOMAXPROCS(0))
+}
+
+// RunParallel is Run with an explicit worker count (workers < 1 means 1).
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
 	var raw []Finding
-	report := func(f Finding) { raw = append(raw, f) }
-	for _, a := range analyzers {
-		for _, pkg := range pkgs {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+	report := func(f Finding) {
+		mu.Lock()
+		raw = append(raw, f)
+		mu.Unlock()
+	}
+
+	nanos := make([]atomic.Int64, len(analyzers))
+	type task struct{ ai, pi int }
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				a := analyzers[t.ai]
+				start := time.Now()
+				a.Run(&Pass{Analyzer: a, Pkg: pkgs[t.pi], report: report})
+				nanos[t.ai].Add(int64(time.Since(start)))
+			}
+		}()
+	}
+	for ai := range analyzers {
+		for pi := range pkgs {
+			tasks <- task{ai, pi}
 		}
 	}
-	for _, a := range analyzers {
+	close(tasks)
+	wg.Wait()
+	for ai, a := range analyzers {
 		if a.Finish != nil {
+			start := time.Now()
 			a.Finish(report)
+			nanos[ai].Add(int64(time.Since(start)))
 		}
 	}
 
@@ -101,8 +163,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 		res.Findings = append(res.Findings, f)
 	}
 	res.Findings = append(res.Findings, bad...)
-	sort.Slice(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i], res.Findings[j]
+	sortFindings(res.Findings)
+	for ai, a := range analyzers {
+		res.Timings = append(res.Timings, AnalyzerTiming{
+			Name:     a.Name,
+			Duration: time.Duration(nanos[ai].Load()),
+			Packages: len(pkgs),
+		})
+	}
+	sort.Slice(res.Timings, func(i, j int) bool {
+		if res.Timings[i].Duration != res.Timings[j].Duration {
+			return res.Timings[i].Duration > res.Timings[j].Duration
+		}
+		return res.Timings[i].Name < res.Timings[j].Name
+	})
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -114,8 +194,144 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 		}
 		return a.Message < b.Message
 	})
-	return res
 }
+
+// ---- baseline ----
+
+// Baseline is a committed inventory of accepted findings: CI fails only on
+// findings not in it. Keys deliberately omit line numbers, so unrelated edits
+// that shift code do not invalidate the baseline; entries are counted, so a
+// second identical allocation in the same file is still new.
+type Baseline struct {
+	Version int            `json:"version"`
+	Entries map[string]int `json:"entries"`
+}
+
+// baselineKey renders a finding as its baseline key. File paths are stored
+// relative to dir so the baseline is machine-independent.
+func baselineKey(f Finding, dir string) string {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return f.Analyzer + "\t" + file + "\t" + f.Message
+}
+
+// NewBaseline builds a baseline from findings (typically pre-filtered to one
+// analyzer).
+func NewBaseline(findings []Finding, dir string) *Baseline {
+	b := &Baseline{Version: 1, Entries: make(map[string]int)}
+	for _, f := range findings {
+		b.Entries[baselineKey(f, dir)]++
+	}
+	return b
+}
+
+// ReadBaseline loads a baseline file written by WriteBaseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Entries == nil {
+		b.Entries = make(map[string]int)
+	}
+	return b, nil
+}
+
+// WriteBaseline persists b to path, keys sorted for stable diffs.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline removes findings covered by b from res (up to each key's
+// count), incrementing res.Baselined. Findings beyond a key's count — and
+// findings with no key at all — survive: those are the regressions the
+// baseline exists to expose.
+func ApplyBaseline(res *Result, b *Baseline, dir string) {
+	if b == nil {
+		return
+	}
+	budget := make(map[string]int, len(b.Entries))
+	for k, n := range b.Entries {
+		budget[k] = n
+	}
+	kept := res.Findings[:0]
+	for _, f := range res.Findings {
+		k := baselineKey(f, dir)
+		if budget[k] > 0 {
+			budget[k]--
+			res.Baselined++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	res.Findings = kept
+}
+
+// ---- machine-readable output ----
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonTiming struct {
+	Analyzer     string  `json:"analyzer"`
+	Milliseconds float64 `json:"ms"`
+	Packages     int     `json:"packages"`
+}
+
+type jsonResult struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed int           `json:"suppressed"`
+	Baselined  int           `json:"baselined"`
+	Packages   int           `json:"packages"`
+	Timings    []jsonTiming  `json:"timings"`
+}
+
+// EncodeJSON writes res as one JSON document (the `fishlint -json` format).
+func EncodeJSON(w io.Writer, packages int, res Result) error {
+	out := jsonResult{
+		Findings:   make([]jsonFinding, 0, len(res.Findings)),
+		Suppressed: res.Suppressed,
+		Baselined:  res.Baselined,
+		Packages:   packages,
+	}
+	for _, f := range res.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	for _, t := range res.Timings {
+		out.Timings = append(out.Timings, jsonTiming{
+			Analyzer:     t.Name,
+			Milliseconds: float64(t.Duration.Microseconds()) / 1000,
+			Packages:     t.Packages,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ---- suppression directives ----
 
 // collectIgnores scans every file's comments for //lint:ignore directives,
 // keyed by filename and the line the directive sits on. Malformed
@@ -173,8 +389,8 @@ func parseIgnore(rest string) ignoreDirective {
 }
 
 // Analyzers returns a fresh instance of every fishlint analyzer. Instances
-// are stateful (atomicfield aggregates across packages), so each Run gets
-// its own set.
+// are stateful (atomicfield, wordsat and hotalloc aggregate across
+// packages), so each Run gets its own set.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NewEpochGuard(),
@@ -182,17 +398,21 @@ func Analyzers() []*Analyzer {
 		NewWordsAt(),
 		NewErrFlow(),
 		NewAddrCompose(),
+		NewPubOrder(),
+		NewHotAlloc(),
+		NewSealCover(),
 	}
 }
 
 // ---- shared type-resolution helpers used by the analyzers ----
 
-// ModulePath is the module all four analyzers treat as "ours".
+// ModulePath is the module all analyzers treat as "ours".
 const ModulePath = "fishstore"
 
 // inModule reports whether pkg (a package path) belongs to the FishStore
 // module.
 func inModulePath(path string) bool {
+	path = basePath(path) // test variants ("fishstore [fishstore.test]") count
 	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
 }
 
@@ -213,6 +433,31 @@ func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// basePath strips go list's test-variant decoration from a package path:
+// "fishstore [fishstore.test]" → "fishstore". Display names, baseline keys,
+// and exact package-path comparisons all go through this, so a -tests load
+// produces the same messages (and the same hot-call-graph edges) as a
+// production load of the same sources.
+func basePath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// pkgPath is basePath applied to a types.Package (nil-safe: "").
+func pkgPath(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return basePath(p.Path())
+}
+
+// typeString renders a type with undecorated package paths (see basePath).
+func typeString(t types.Type) string {
+	return types.TypeString(t, pkgPath)
+}
+
 // funcDisplayName renders a *types.Func as a stable, human-readable key:
 //
 //	time.Sleep
@@ -227,7 +472,7 @@ func funcDisplayName(fn *types.Func) string {
 		if fn.Pkg() == nil {
 			return fn.Name()
 		}
-		return fn.Pkg().Path() + "." + fn.Name()
+		return pkgPath(fn.Pkg()) + "." + fn.Name()
 	}
 	recv := sig.Recv().Type()
 	star := ""
@@ -239,14 +484,14 @@ func funcDisplayName(fn *types.Func) string {
 	switch t := recv.(type) {
 	case *types.Named:
 		if t.Obj().Pkg() != nil {
-			name = t.Obj().Pkg().Path() + "." + t.Obj().Name()
+			name = pkgPath(t.Obj().Pkg()) + "." + t.Obj().Name()
 		} else {
 			name = t.Obj().Name()
 		}
 	case *types.Interface:
-		name = recv.String()
+		name = typeString(recv)
 	default:
-		name = recv.String()
+		name = typeString(recv)
 	}
 	return "(" + star + name + ")." + fn.Name()
 }
@@ -273,7 +518,7 @@ func callDisplayName(info *types.Info, call *ast.CallExpr) string {
 					recv = p.Elem()
 				}
 				if n, ok := recv.(*types.Named); ok && n.Obj().Pkg() != nil {
-					return "(" + n.Obj().Pkg().Path() + "." + n.Obj().Name() + ")." + fn.Name()
+					return "(" + pkgPath(n.Obj().Pkg()) + "." + n.Obj().Name() + ")." + fn.Name()
 				}
 			}
 		}

@@ -1,14 +1,21 @@
 // Package lint is FishStore's repo-specific static-analysis suite
 // ("fishlint"). It mechanically enforces the latch-free invariants the Go
 // type system cannot express — epoch-protection discipline, atomic-access
-// consistency, error propagation from internal APIs, and carry-safe log
+// consistency, publication ordering, hot-path allocation budgets, checksum-
+// seal coverage, error propagation from internal APIs, and carry-safe log
 // address composition — each pinned to a bug class this repository has
-// already shipped and fixed once by hand (see DESIGN.md §9).
+// already shipped and fixed once by hand (see DESIGN.md §9 and §14).
 //
 // The driver is built exclusively on the standard library: packages are
 // enumerated with `go list -json -deps`, parsed with go/parser, and
 // type-checked with go/types through a source importer that walks the same
 // `go list` metadata. No golang.org/x/tools dependency is required.
+//
+// Loading is parallel: the import DAG is type-checked with one goroutine per
+// package, each blocking on a per-package completion channel until its
+// dependencies finish. The FileSet is shared (token.FileSet is safe for
+// concurrent use) so every analyzer in a run sees identical positions and
+// type objects.
 package lint
 
 import (
@@ -25,6 +32,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -42,13 +50,15 @@ type Package struct {
 // -test, go list also reports synthesized test packages: "pkg.test" (the
 // generated test main), "pkg [pkg.test]" (the package recompiled with its
 // in-package _test.go files), and "pkg_test [pkg.test]" (the external test
-// package); ForTest names the package under test, and ImportMap redirects
-// imports of the plain package to its test variant.
+// package, whose GoFiles are the original package's XTestGoFiles); ForTest
+// names the package under test, and ImportMap redirects imports of the plain
+// package to its test variant.
 type listPkg struct {
 	ImportPath string
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	ForTest    string
 	ImportMap  map[string]string
 	Standard   bool
@@ -56,14 +66,38 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
+// LoadConfig parameterizes a Load.
+type LoadConfig struct {
+	// Dir is the directory patterns resolve against.
+	Dir string
+	// Tests loads packages in test mode (go list -test): _test.go files, both
+	// in-package and external, are analyzed alongside production sources.
+	Tests bool
+	// Tags is an optional build-tag list passed to go list (-tags a,b), so
+	// build-constrained files that the default context excludes can still be
+	// brought under analysis.
+	Tags []string
+}
+
+// loadState is the per-import-path completion record: the first goroutine to
+// claim a path type-checks it; everyone else blocks on done.
+type loadState struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
 // loader resolves and type-checks packages on demand, caching by import
 // path so that every analyzer in a run sees identical type objects (the
 // atomicfield analyzer aggregates facts across packages by object identity).
+// All fields behind mu are shared across the loading goroutines.
 type loader struct {
-	dir   string
-	fset  *token.FileSet
-	meta  map[string]*listPkg
-	cache map[string]*types.Package
+	dir  string
+	fset *token.FileSet
+	meta map[string]*listPkg // immutable after construction
+
+	mu    sync.Mutex
+	state map[string]*loadState
 	pkgs  map[string]*Package // retained ASTs+Info for module-local packages
 }
 
@@ -72,7 +106,7 @@ type loader struct {
 // its transitive dependencies from source. It returns the matched packages
 // in the order the go tool reported them.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	return load(dir, false, patterns)
+	return LoadPkgs(LoadConfig{Dir: dir}, patterns...)
 }
 
 // LoadTests is Load in test mode: go list runs with -test, so every matched
@@ -81,26 +115,27 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // files plus its in-package tests, and "pkg_test [pkg.test]" the external
 // test package. The generated test mains ("pkg.test") are never analyzed.
 func LoadTests(dir string, patterns ...string) ([]*Package, error) {
-	return load(dir, true, patterns)
+	return LoadPkgs(LoadConfig{Dir: dir, Tests: true}, patterns...)
 }
 
-func load(dir string, tests bool, patterns []string) ([]*Package, error) {
+// LoadPkgs is the general entry point behind Load and LoadTests.
+func LoadPkgs(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("lint: no package patterns given")
 	}
-	targets, err := goList(dir, false, tests, patterns)
+	targets, err := goList(cfg, false, patterns)
 	if err != nil {
 		return nil, err
 	}
-	universe, err := goList(dir, true, tests, patterns)
+	universe, err := goList(cfg, true, patterns)
 	if err != nil {
 		return nil, err
 	}
 	ld := &loader{
-		dir:   dir,
+		dir:   cfg.Dir,
 		fset:  token.NewFileSet(),
 		meta:  make(map[string]*listPkg, len(universe)),
-		cache: make(map[string]*types.Package, len(universe)),
+		state: make(map[string]*loadState, len(universe)),
 		pkgs:  make(map[string]*Package),
 	}
 	for _, p := range universe {
@@ -110,14 +145,14 @@ func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 	// variant (same files plus the tests): analyzing both would duplicate
 	// every finding on the shared files.
 	subsumed := make(map[string]bool)
-	if tests {
+	if cfg.Tests {
 		for _, t := range targets {
 			if t.ForTest != "" && t.ImportPath == t.ForTest+" ["+t.ForTest+".test]" {
 				subsumed[t.ForTest] = true
 			}
 		}
 	}
-	var out []*Package
+	var wanted []*listPkg
 	for _, t := range targets {
 		if t.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
@@ -131,9 +166,29 @@ func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 		if subsumed[t.ImportPath] {
 			continue
 		}
-		if _, err := ld.load(t.ImportPath); err != nil {
+		wanted = append(wanted, t)
+	}
+	// Fan the targets out: each goroutine loads one target's dependency
+	// chain; shared dependencies are claimed exactly once through the
+	// per-path loadState and prefetched breadth-first, so the whole import
+	// DAG checks with the parallelism the machine offers.
+	var wg sync.WaitGroup
+	errs := make([]error, len(wanted))
+	for i, t := range wanted {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			_, errs[i] = ld.load(path)
+		}(i, t.ImportPath)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
+	}
+	out := make([]*Package, 0, len(wanted))
+	for _, t := range wanted {
 		pkg, ok := ld.pkgs[t.ImportPath]
 		if !ok {
 			return nil, fmt.Errorf("lint: %s: loaded but not retained", t.ImportPath)
@@ -146,18 +201,21 @@ func load(dir string, tests bool, patterns []string) ([]*Package, error) {
 // goList shells out to `go list -json` (with -deps when deps is true) and
 // decodes the JSON stream. CGO is disabled so the reported GoFiles are a
 // pure-Go, type-checkable file set.
-func goList(dir string, deps, tests bool, patterns []string) ([]*listPkg, error) {
+func goList(cfg LoadConfig, deps bool, patterns []string) ([]*listPkg, error) {
 	args := []string{"list", "-json"}
 	if deps {
 		args = append(args, "-deps")
 	}
-	if tests {
+	if cfg.Tests {
 		args = append(args, "-test")
+	}
+	if len(cfg.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
 	}
 	args = append(args, "--")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
+	cmd.Dir = cfg.Dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
@@ -185,14 +243,30 @@ func goList(dir string, deps, tests bool, patterns []string) ([]*listPkg, error)
 }
 
 // load parses and type-checks path (and, recursively through Import, its
-// dependencies), returning its types.Package.
+// dependencies), returning its types.Package. The first caller for a path
+// performs the work; concurrent callers block until it completes. The import
+// graph is acyclic, so the blocking cannot deadlock.
 func (ld *loader) load(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if pkg, ok := ld.cache[path]; ok {
-		return pkg, nil
+	ld.mu.Lock()
+	st, ok := ld.state[path]
+	if ok {
+		ld.mu.Unlock()
+		<-st.done
+		return st.pkg, st.err
 	}
+	st = &loadState{done: make(chan struct{})}
+	ld.state[path] = st
+	ld.mu.Unlock()
+	st.pkg, st.err = ld.check(path)
+	close(st.done)
+	return st.pkg, st.err
+}
+
+// check does the actual parse + type-check of one claimed path.
+func (ld *loader) check(path string) (*types.Package, error) {
 	meta, ok := ld.meta[path]
 	if !ok {
 		// Standard-library packages import their vendored copies of
@@ -204,6 +278,22 @@ func (ld *loader) load(path string) (*types.Package, error) {
 	}
 	if meta.Error != nil {
 		return nil, fmt.Errorf("lint: %s: %s", path, meta.Error.Err)
+	}
+	// Warm the imports breadth-first: spawning the claims here (instead of
+	// waiting for the type-checker to pull them one by one through Import)
+	// is what lets independent subtrees of the DAG check concurrently.
+	for _, imp := range meta.Imports {
+		if mapped, ok := meta.ImportMap[imp]; ok {
+			imp = mapped
+		}
+		if imp == "unsafe" || imp == "C" {
+			continue
+		}
+		go func(p string) {
+			// The prefetch only warms the claim: whichever package actually
+			// imports p re-surfaces the error through its own Import call.
+			_, _ = ld.load(p)
+		}(imp)
 	}
 	files := make([]*ast.File, 0, len(meta.GoFiles))
 	for _, name := range meta.GoFiles {
@@ -245,8 +335,8 @@ func (ld *loader) load(path string) (*types.Package, error) {
 	if firstErr != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
 	}
-	ld.cache[path] = pkg
 	if meta.Module != nil {
+		ld.mu.Lock()
 		ld.pkgs[path] = &Package{
 			PkgPath: path,
 			Name:    meta.Name,
@@ -256,6 +346,7 @@ func (ld *loader) load(path string) (*types.Package, error) {
 			Types:   pkg,
 			Info:    info,
 		}
+		ld.mu.Unlock()
 	}
 	return pkg, nil
 }

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewSealCover builds the sealcover analyzer: every buffer of record bytes
+// handed to a storage device must first flow through the CRC32-C sealer
+// (Appendix E durability — an unsealed page is indistinguishable from a torn
+// write at recovery, so the reader quarantines it and drops its records).
+//
+// The rule is deliberately narrow so it can be precise: in any package that
+// imports fishstore/internal/record (i.e. handles record bytes — the lsm
+// block layer has its own framing and is out of scope by construction), a
+// call to a WriteAt method on a fishstore/internal/storage device must pass
+// a buffer whose base identifier was earlier handed to one of the sealers in
+// the same function body:
+//
+//	(*fishstore/internal/hlog.Log).sealPageRecords
+//	(fishstore/internal/record.View).Seal
+//	fishstore/internal/record.SealedTrailer   (verification counts: re-writing
+//	                                           a verified page is a repair path)
+//
+// Slicing (buf[:n]) and parenthesisation are looked through; the obligation
+// sticks to the base identifier. The check is lexical, not flow-sensitive: a
+// seal anywhere in the enclosing function discharges the write. That admits
+// a seal-after-write ordering bug, but the failure mode it exists to catch —
+// a new flush path added without any seal call at all, which is how the
+// pre-quarantine corruption bug shipped — has no seal call to misorder.
+//
+// Writes of buffers that arrive pre-sealed from a caller need an explicit
+// //lint:ignore sealcover <why> with the justification naming the sealing
+// site, same as every other suppression.
+func NewSealCover() *Analyzer {
+	a := &Analyzer{
+		Name: "sealcover",
+		Doc:  "record buffers written to a storage device must pass through the CRC32-C sealer first",
+	}
+	recordPkg := ModulePath + "/internal/record"
+	storagePkg := ModulePath + "/internal/storage"
+
+	a.Run = func(pass *Pass) {
+		// Only packages handling record bytes owe the invariant; the record
+		// and storage packages implement the machinery and are exempt.
+		switch basePath(pass.Pkg.PkgPath) {
+		case recordPkg, storagePkg:
+			return
+		}
+		if !importsPackage(pass.Pkg.Types, recordPkg) {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSealCoverage(pass, info, fd.Body, storagePkg)
+			}
+		}
+	}
+	return a
+}
+
+// checkSealCoverage enforces the seal-before-write rule within one function
+// body: collect the base identifiers sealed anywhere in the body, then
+// report device writes whose buffer base is not among them.
+func checkSealCoverage(pass *Pass, info *types.Info, body *ast.BlockStmt, storagePkg string) {
+	sealed := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSealerCall(info, call) {
+			return true
+		}
+		// Every []byte argument to a sealer is discharged; the sealers take
+		// exactly one, but resolving by type keeps this robust to signature
+		// evolution.
+		for _, arg := range call.Args {
+			if t, ok := info.Types[arg]; !ok || !isByteSlice(t.Type) {
+				continue
+			}
+			if obj := sliceBaseObject(info, arg); obj != nil {
+				sealed[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isDeviceWrite(info, call, storagePkg) || len(call.Args) == 0 {
+			return true
+		}
+		buf := call.Args[0]
+		if obj := sliceBaseObject(info, buf); obj != nil && sealed[obj] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "record bytes written to the device without passing through the CRC32-C sealer: recovery will quarantine this page as torn (call sealPageRecords/Seal on %s before WriteAt)", exprString(buf))
+		return true
+	})
+}
+
+// isSealerCall reports whether call invokes one of the record sealers.
+func isSealerCall(info *types.Info, call *ast.CallExpr) bool {
+	switch callDisplayName(info, call) {
+	case "(*" + ModulePath + "/internal/hlog.Log).sealPageRecords",
+		"(" + ModulePath + "/internal/record.View).Seal",
+		"(*" + ModulePath + "/internal/record.View).Seal",
+		ModulePath + "/internal/record.SealedTrailer":
+		return true
+	}
+	return false
+}
+
+// isDeviceWrite reports whether call is a WriteAt on a storage-package type
+// (the Device interface or any concrete device/decorator — the invariant
+// holds regardless of which layer of the device stack receives the bytes).
+func isDeviceWrite(info *types.Info, call *ast.CallExpr, storagePkg string) bool {
+	name := callDisplayName(info, call)
+	if !strings.HasSuffix(name, ").WriteAt") {
+		return false
+	}
+	return strings.Contains(name, "("+storagePkg+".") ||
+		strings.Contains(name, "(*"+storagePkg+".")
+}
+
+// sliceBaseObject resolves the identifier at the base of a (possibly sliced,
+// parenthesised) buffer expression: buf, buf[:n], (buf)[a:b] all resolve to
+// buf's object.
+func sliceBaseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// importsPackage reports whether pkg directly imports path.
+func importsPackage(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, imp := range pkg.Imports() {
+		if basePath(imp.Path()) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

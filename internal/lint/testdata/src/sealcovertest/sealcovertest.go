@@ -1,0 +1,51 @@
+// Package sealcovertest seeds the flush-path shapes fishlint's sealcover
+// analyzer checks: a staging buffer of record bytes must flow through the
+// CRC32-C sealer before it reaches a storage device, or recovery will
+// quarantine the page as torn and drop its records.
+package sealcovertest
+
+import (
+	"fishstore/internal/record"
+	"fishstore/internal/storage"
+)
+
+// flushSealed stages, seals, then writes — the correct order.
+func flushSealed(dev storage.Device, h record.Header, buf []byte) error {
+	if tw, ok := record.SealedTrailer(h, buf); ok {
+		_ = tw
+	}
+	_, err := dev.WriteAt(buf, 0)
+	return err
+}
+
+// flushUnsealed ships the staging buffer with no seal call anywhere: the
+// new-flush-path-without-a-seal bug sealcover exists to catch.
+func flushUnsealed(dev storage.Device, buf []byte) error {
+	_, err := dev.WriteAt(buf, 0) // want sealcover "without passing through the CRC32-C sealer"
+	return err
+}
+
+// flushWrongBuffer seals one buffer but writes a different one; the
+// obligation is per base identifier.
+func flushWrongBuffer(dev storage.Device, h record.Header, a, b []byte) error {
+	record.SealedTrailer(h, a)
+	_, err := dev.WriteAt(b, 0) // want sealcover "without passing through the CRC32-C sealer"
+	return err
+}
+
+// flushSliced re-slices on both sides: the seal of buf[:n] discharges the
+// later write of buf[:32], because both resolve to the same base.
+func flushSliced(dev storage.Device, h record.Header, buf []byte) error {
+	if _, ok := record.SealedTrailer(h, buf[:len(buf)]); !ok {
+		return nil
+	}
+	_, err := dev.WriteAt(buf[:32], 8)
+	return err
+}
+
+// flushConcrete writes through a concrete device rather than the Device
+// interface; the invariant does not care which layer receives the bytes.
+func flushConcrete(mem *storage.Mem, buf []byte) error {
+	_, err := mem.WriteAt(buf, 0) // want sealcover "without passing through the CRC32-C sealer"
+	return err
+}

@@ -1,0 +1,10 @@
+//go:build lintfixture
+
+package taggedtest
+
+// The bare directive below is deliberately malformed (no analyzer, no
+// justification): the driver reports it as a "lint" finding, giving the
+// build-tag test a deterministic signal that this file was loaded.
+
+//lint:ignore
+func tagged() int { return untagged() }

@@ -1,0 +1,8 @@
+// Package taggedtest probes build-tag handling in the loader: the sibling
+// file tagged_on.go is constrained to the lintfixture tag and seeds a
+// malformed //lint:ignore finding, so TestLoadRespectsBuildTags can assert
+// the file (and its finding) appears exactly when the tag is supplied. No
+// // want comments here — the golden tests load without tags.
+package taggedtest
+
+func untagged() int { return 1 }

@@ -9,8 +9,19 @@ import (
 // The external test variant exercises go list -test's ImportMap: this
 // package's import of testmode resolves to the test variant.
 func TestExternalPack(t *testing.T) {
-	v, _ := testmode.PackChecked(1, 2) // want errflow "discarded with _"
+	v, _ := testmode.PackChecked(1, 2) // no errflow finding: _test.go is exempt
 	if v == 0 {
 		t.Fatal("pack lost the offset")
 	}
+	if packWide(3, 9) == 0 {
+		t.Fatal("pack lost the offset")
+	}
+}
+
+const xPageBits = 14
+
+// packWide seeds the OR-composition bug in the external test package, so a
+// finding here proves the testmode_test compilation unit really is analyzed.
+func packWide(page, offset uint64) uint64 {
+	return page<<xPageBits | offset // want addrcompose "may both set bits"
 }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // NewWordsAt builds the wordsat analyzer: the inter-procedural companion to
@@ -36,12 +37,18 @@ func NewWordsAt() *Analyzer {
 		pos  token.Position
 		name string
 	}
+	// Cross-package aggregation state, merged under mu: the parallel driver
+	// runs this analyzer on several packages at once.
+	var mu sync.Mutex
 	seeded := make(map[types.Object]bool)          // params receiving a WordsAt alias directly at some call site
 	edges := make(map[types.Object][]types.Object) // caller param -> callee params it is passed to
 	plain := make(map[types.Object][]access)       // plain element accesses on []uint64 params
 
 	a.Run = func(pass *Pass) {
 		info := pass.Pkg.Info
+		seededL := make(map[types.Object]bool)
+		edgesL := make(map[types.Object][]types.Object)
+		plainL := make(map[types.Object][]access)
 		wordsAt := "(*" + ModulePath + "/internal/hlog.Log).WordsAt"
 		for _, file := range pass.Pkg.Files {
 			for _, decl := range file.Decls {
@@ -95,7 +102,7 @@ func NewWordsAt() *Analyzer {
 						arg = ast.Unparen(arg)
 						if inner, ok := arg.(*ast.CallExpr); ok {
 							if callDisplayName(info, inner) == wordsAt {
-								seeded[dst] = true
+								seededL[dst] = true
 							}
 							continue
 						}
@@ -107,9 +114,9 @@ func NewWordsAt() *Analyzer {
 						switch {
 						case src == nil:
 						case aliases[src]:
-							seeded[dst] = true
+							seededL[dst] = true
 						case params[src]:
-							edges[src] = append(edges[src], dst)
+							edgesL[src] = append(edgesL[src], dst)
 						}
 					}
 					return true
@@ -139,7 +146,7 @@ func NewWordsAt() *Analyzer {
 					if obj == nil || !params[obj] || addressed[ast.Expr(ix)] {
 						return true
 					}
-					plain[obj] = append(plain[obj], access{
+					plainL[obj] = append(plainL[obj], access{
 						pos:  pass.Pkg.Fset.Position(ix.Pos()),
 						name: id.Name,
 					})
@@ -147,6 +154,18 @@ func NewWordsAt() *Analyzer {
 				})
 			}
 		}
+
+		mu.Lock()
+		for obj := range seededL {
+			seeded[obj] = true
+		}
+		for from, tos := range edgesL {
+			edges[from] = append(edges[from], tos...)
+		}
+		for obj, accs := range plainL {
+			plain[obj] = append(plain[obj], accs...)
+		}
+		mu.Unlock()
 	}
 
 	a.Finish = func(report func(Finding)) {

@@ -108,6 +108,8 @@ func (c *Cache) shardFor(page uint64) *shard { return &c.shards[page%shardCount]
 // Get returns the cached words of page, or nil on a miss. The returned slice
 // is an immutable snapshot shared with other readers; callers must not
 // modify it.
+//
+//fishlint:hotpath per-page read-path probe
 func (c *Cache) Get(page uint64) []uint64 {
 	s := c.shardFor(page)
 	s.mu.RLock()
@@ -128,6 +130,8 @@ func (c *Cache) Get(page uint64) []uint64 {
 // the invalidation floor is never admitted (load still runs and its result
 // is returned — the caller's read of immutable device bytes is valid, it
 // just isn't retained).
+//
+//fishlint:hotpath per-page read-path fill
 func (c *Cache) GetOrLoad(page uint64, load func() ([]uint64, error)) ([]uint64, bool, error) {
 	if w := c.Get(page); w != nil {
 		return w, true, nil

@@ -157,6 +157,8 @@ func (d *Definition) ShardCount() int {
 
 // Evaluate maps a parsed record to the PSF's value. A missing result means
 // "do not index this record for this PSF" (the null of §2.1).
+//
+//fishlint:hotpath per-record PSF evaluation (~30% of ingest, Fig 12)
 func (d *Definition) Evaluate(p *parser.Parsed) expr.Value {
 	switch d.Kind {
 	case KindProjection:
@@ -190,17 +192,25 @@ func (d *Definition) Evaluate(p *parser.Parsed) expr.Value {
 	return expr.Missing()
 }
 
+// canonTrue and canonFalse back every boolean CanonicalValue result; they
+// must never be mutated.
+var canonTrue, canonFalse = []byte{'t'}, []byte{'f'}
+
 // CanonicalValue renders a PSF value into its canonical byte form, used both
 // to compute hash signatures (§5.1) and to post-filter hash collisions
 // during chain traversal. Two values are the same property value iff their
-// canonical bytes are equal.
+// canonical bytes are equal. The returned slice may be shared: callers must
+// treat it as read-only.
 func CanonicalValue(v expr.Value) []byte {
 	switch v.Kind {
 	case expr.KindBool:
+		// Shared singletons: CanonicalValue runs per record per predicate
+		// PSF on the ingest path, and callers only read the bytes (hash,
+		// compare, copy into keys) — hotalloc caught the per-call literals.
 		if v.Bool {
-			return []byte{'t'}
+			return canonTrue
 		}
-		return []byte{'f'}
+		return canonFalse
 	case expr.KindNumber:
 		return strconv.AppendFloat(nil, v.Num, 'g', -1, 64)
 	case expr.KindString:
@@ -306,6 +316,11 @@ type Registry struct {
 	epoch *epoch.Manager
 	tail  func() uint64 // current log tail, for safe boundaries
 
+	// applyMu serializes Apply's multi-stage protocol end to end. mu guards
+	// the in-memory maps and counters and is shared with the query-path
+	// readers (Lookup, Status, Intervals); Apply never holds it across the
+	// epoch drain, so queries cannot stall behind a slow worker refresh.
+	applyMu sync.Mutex
 	mu      sync.Mutex
 	metas   [2]atomic.Pointer[Meta]
 	current atomic.Int32
@@ -381,7 +396,72 @@ type Result struct {
 // following the multi-stage protocol of Fig 7, and blocks until the new
 // metadata is visible to every ingestion worker (the PENDING -> REST
 // transition). It returns the safe boundaries.
+//
+// Locking: applyMu serializes the protocol end to end; r.mu — which the
+// query-path readers Lookup/Status/Intervals share — is held only for the
+// in-memory mutations, never across the epoch drain. Draining waits for
+// every ingestion worker to refresh its epoch, so holding r.mu there would
+// stall concurrent subset queries behind the slowest worker (the puborder
+// mutex-held-blocking-call class). Readers may therefore observe a
+// registration whose intervals are not yet recorded: Lookup returns its
+// definition and Intervals returns nothing, the same conservative view
+// callers had before Apply returned.
 func (r *Registry) Apply(changes []Change) (Result, error) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+
+	res, newIDs, newMeta, err := r.prepare(changes)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Swap the current pointer; workers start observing the new meta.
+	inactive := 1 - r.current.Load()
+	r.metas[inactive].Store(newMeta)
+	r.current.Store(inactive)
+
+	// PREPARE -> PENDING: no worker has yet *stopped* indexing deregistered
+	// properties, so the tail now is the safe deregister boundary.
+	res.SafeDeregisterBoundary = r.tail()
+	r.setState(StatePending, newMeta.Version)
+
+	done := make(chan struct{})
+	r.epoch.BumpWith(func() {
+		// PENDING -> REST: every worker has observed the new meta, so the
+		// tail now is the safe register boundary.
+		res.SafeRegisterBoundary = r.tail()
+		r.metas[1-r.current.Load()].Store(newMeta)
+		r.setState(StateRest, newMeta.Version)
+		close(done)
+	})
+	// Block until every ingestion worker has refreshed (mirrors FishStore
+	// returning boundaries to the caller). r.mu is NOT held here.
+	//lint:ignore puborder applyMu is only ever contended by other Apply calls; the protocol must hold it across the drain, and queries take r.mu, which is free here
+	r.epoch.WaitForSafe(r.epoch.Current() - 1)
+	//lint:ignore puborder same: the drain is the PENDING->REST transition Apply exists to wait for
+	<-done
+
+	// Record intervals.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range newIDs {
+		reg := r.registered[id]
+		reg.intervals = append(reg.intervals, Interval{From: res.SafeRegisterBoundary, To: math.MaxUint64})
+	}
+	for _, c := range changes {
+		if c.Register == nil {
+			reg := r.registered[c.Deregister]
+			if n := len(reg.intervals); n > 0 && reg.intervals[n-1].Open() {
+				reg.intervals[n-1].To = res.SafeDeregisterBoundary
+			}
+		}
+	}
+	return res, nil
+}
+
+// prepare runs the PREPARE phase under r.mu: validate the change list
+// against the active meta and build the successor. It does not publish.
+func (r *Registry) prepare(changes []Change) (Result, []ID, *Meta, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -399,12 +479,12 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 			def := *c.Register
 			if err := def.Validate(); err != nil {
 				r.setState(StateRest, r.version)
-				return Result{}, err
+				return Result{}, nil, nil, err
 			}
 			for _, a := range next {
 				if a.Def.Name == def.Name {
 					r.setState(StateRest, r.version)
-					return Result{}, fmt.Errorf("psf: name %q already registered", def.Name)
+					return Result{}, nil, nil, fmt.Errorf("psf: name %q already registered", def.Name)
 				}
 			}
 			id := r.nextID
@@ -424,52 +504,14 @@ func (r *Registry) Apply(changes []Change) (Result, error) {
 			}
 			if !found {
 				r.setState(StateRest, r.version)
-				return Result{}, fmt.Errorf("psf: id %d not active", c.Deregister)
+				return Result{}, nil, nil, fmt.Errorf("psf: id %d not active", c.Deregister)
 			}
 		}
 	}
 
 	r.version++
 	newMeta := &Meta{Version: r.version, PSFs: next, Fields: buildFields(next)}
-	inactive := 1 - r.current.Load()
-	r.metas[inactive].Store(newMeta)
-
-	// Swap the current pointer; workers start observing the new meta.
-	r.current.Store(inactive)
-
-	// PREPARE -> PENDING: no worker has yet *stopped* indexing deregistered
-	// properties, so the tail now is the safe deregister boundary.
-	res.SafeDeregisterBoundary = r.tail()
-	r.setState(StatePending, newMeta.Version)
-
-	done := make(chan struct{})
-	r.epoch.BumpWith(func() {
-		// PENDING -> REST: every worker has observed the new meta, so the
-		// tail now is the safe register boundary.
-		res.SafeRegisterBoundary = r.tail()
-		r.metas[1-r.current.Load()].Store(newMeta)
-		r.setState(StateRest, newMeta.Version)
-		close(done)
-	})
-	// Block until every ingestion worker has refreshed (mirrors FishStore
-	// returning boundaries to the caller).
-	r.epoch.WaitForSafe(r.epoch.Current() - 1)
-	<-done
-
-	// Record intervals.
-	for _, id := range newIDs {
-		reg := r.registered[id]
-		reg.intervals = append(reg.intervals, Interval{From: res.SafeRegisterBoundary, To: math.MaxUint64})
-	}
-	for _, c := range changes {
-		if c.Register == nil {
-			reg := r.registered[c.Deregister]
-			if n := len(reg.intervals); n > 0 && reg.intervals[n-1].Open() {
-				reg.intervals[n-1].To = res.SafeDeregisterBoundary
-			}
-		}
-	}
-	return res, nil
+	return res, newIDs, newMeta, nil
 }
 
 // Register is a convenience for a single registration.

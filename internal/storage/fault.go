@@ -174,21 +174,33 @@ func (d *FaultDevice) FlipRandomBits(n int, lo, hi int64) ([]int64, error) {
 	if hi <= lo || n <= 0 {
 		return nil, nil
 	}
+	// Only the seeded RNG needs the fault-state mutex; the flips themselves
+	// run unlocked so that n round-trips of per-bit I/O do not stall every
+	// concurrent reader and writer queued on d.mu. Bit rot is asynchronous
+	// with in-flight I/O on real media too — interleaving is the model, not
+	// a hazard.
+	type flip struct {
+		off int64
+		bit int
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	flips := make([]flip, n)
+	for i := range flips {
+		flips[i] = flip{off: lo + d.rng.Int63n(hi-lo), bit: d.rng.Intn(8)}
+	}
+	d.mu.Unlock()
+
 	flipped := make([]int64, 0, n)
 	var b [1]byte
-	for i := 0; i < n; i++ {
-		off := lo + d.rng.Int63n(hi-lo)
-		bit := d.rng.Intn(8)
-		if _, err := d.inner.ReadAt(b[:], off); err != nil {
-			return flipped, fmt.Errorf("storage: bit flip read at %d: %w", off, err)
+	for _, f := range flips {
+		if _, err := d.inner.ReadAt(b[:], f.off); err != nil {
+			return flipped, fmt.Errorf("storage: bit flip read at %d: %w", f.off, err)
 		}
-		b[0] ^= 1 << bit
-		if _, err := d.inner.WriteAt(b[:], off); err != nil {
-			return flipped, fmt.Errorf("storage: bit flip write at %d: %w", off, err)
+		b[0] ^= 1 << f.bit
+		if _, err := d.inner.WriteAt(b[:], f.off); err != nil {
+			return flipped, fmt.Errorf("storage: bit flip write at %d: %w", f.off, err)
 		}
-		flipped = append(flipped, off*8+int64(bit))
+		flipped = append(flipped, f.off*8+int64(f.bit))
 	}
 	return flipped, nil
 }

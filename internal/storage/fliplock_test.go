@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestFlipRandomBitsConcurrentWithIO is the regression test for the
+// puborder finding on FlipRandomBits: the per-bit read-modify-write loop
+// used to run with d.mu held, stalling every concurrent reader and writer
+// on the device for the whole corruption pass. The flips now run unlocked
+// (only the RNG draw holds the mutex), so injected bit rot and foreground
+// I/O proceed concurrently. Run under -race this also proves the unlocked
+// path does not touch guarded fault state.
+func TestFlipRandomBitsConcurrentWithIO(t *testing.T) {
+	d := NewFaultDevice(NewMem(), FaultConfig{Seed: 42})
+	const (
+		ioRegion = int64(0)       // foreground I/O writes [0, 4096)
+		rotLo    = int64(1 << 16) // bit rot flips [64KiB, 128KiB)
+		rotHi    = int64(1 << 17)
+	)
+	if _, err := d.WriteAt(make([]byte, rotHi), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		page := bytes.Repeat([]byte{0xAB}, 4096)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.WriteAt(page, ioRegion); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4096)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.ReadAt(buf, ioRegion); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 64; i++ {
+		if _, err := d.FlipRandomBits(4, rotLo, rotHi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiet-range functional check: with no concurrent I/O in [rotLo,
+	// rotHi), the returned positions must be exactly the bits that differ.
+	before := make([]byte, rotHi-rotLo)
+	if _, err := d.ReadAt(before, rotLo); err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := d.FlipRandomBits(16, rotLo, rotHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := make([]byte, rotHi-rotLo)
+	if _, err := d.ReadAt(after, rotLo); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), before...)
+	for _, bit := range flipped {
+		if bit/8 < rotLo || bit/8 >= rotHi {
+			t.Fatalf("flip position %d outside requested range", bit)
+		}
+		want[bit/8-rotLo] ^= 1 << (bit % 8)
+	}
+	if !bytes.Equal(after, want) {
+		t.Fatal("persisted image does not match the reported flip positions")
+	}
+}

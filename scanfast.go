@@ -71,6 +71,8 @@ func (s *Store) fastFullScanSegment(g *epoch.Guard, prop Property, canon []byte,
 // for prop with the queried value, returning the emitted record on a match.
 // Indirect (historical index) records never match — the parse-based full
 // scan skips them too.
+//
+//fishlint:hotpath per-record subset-scan match
 func (s *Store) matchByPointer(prop Property, canon []byte, addr uint64, v record.View) (Record, bool) {
 	h := v.Header()
 	if h.Indirect {
@@ -283,6 +285,8 @@ func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property
 // replay half of the hot-chain cache and phase 2 of the paged chain walk.
 // With par > 1 and a page cache, the distinct pages are pre-filled
 // concurrently before the sequential, order-preserving emission pass.
+//
+//fishlint:hotpath per-hop chain resolution on the scan path
 func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property, canon []byte,
 	from, to uint64, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 

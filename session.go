@@ -323,6 +323,8 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 // substrings of the payload become zero-copy ModePayload pointers; values
 // that are not (escaped strings, non-canonical numbers, computed values)
 // are materialized into the optional value region.
+//
+//fishlint:hotpath per-record pointer construction (ingest phase 3)
 func (sess *Session) buildPointers(payload []byte, parsed *parser.Parsed, parseFailed bool) {
 	sess.ptrSpecs = sess.ptrSpecs[:0]
 	sess.ptrHashes = sess.ptrHashes[:0]
@@ -383,6 +385,8 @@ func (sess *Session) buildPointers(payload []byte, parsed *parser.Parsed, parseF
 // linkAll runs phase 3 for every key pointer of the record. It returns
 // ok=false only in badCAS mode, where a single CAS failure forces the caller
 // to reallocate the record.
+//
+//fishlint:hotpath per-record chain linking (ingest phase 4)
 func (sess *Session) linkAll(recAddr uint64, view record.View) (bool, error) {
 	for i := range sess.ptrSpecs {
 		wi := view.PointerWordIndex(i)
