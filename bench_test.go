@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -29,6 +30,7 @@ type benchResult struct {
 	Name          string             `json:"name"`
 	RecordsPerSec float64            `json:"records_per_sec"`
 	BytesPerSec   float64            `json:"bytes_per_sec"`
+	AllocsPerOp   float64            `json:"allocs_per_op"`
 	PhaseMeansNs  map[string]float64 `json:"phase_means_ns,omitempty"`
 }
 
@@ -40,6 +42,7 @@ type scanBenchResult struct {
 	Name            string  `json:"name"`
 	Mode            string  `json:"mode"`
 	RecordsPerSec   float64 `json:"records_per_sec"` // matched records surfaced per second
+	AllocsPerOp     float64 `json:"allocs_per_op"`
 	MatchedPerScan  int64   `json:"matched_per_scan"`
 	IndexedFraction float64 `json:"indexed_fraction"`
 	PhiBytes        uint64  `json:"phi_bytes"`
@@ -50,6 +53,19 @@ var (
 	benchResults     []benchResult
 	scanBenchResults []scanBenchResult
 )
+
+// allocsPerOp measures heap allocations per benchmark iteration as the
+// Mallocs delta since before, the way testing.AllocsPerRun does — including
+// background goroutines (flush workers), which is deliberate: they are part
+// of each operation's real cost.
+func allocsPerOp(before *runtime.MemStats, n int) float64 {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if n <= 0 {
+		return 0
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
 
 func recordBenchResult(r benchResult) {
 	benchMu.Lock()
@@ -115,6 +131,8 @@ func benchIngestOpts(b *testing.B, w harness.Workload, opts fishstore.Options) {
 	sess := s.NewSession()
 	defer sess.Close()
 	b.SetBytes(bytes)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sess.Ingest(batch); err != nil {
@@ -131,6 +149,7 @@ func benchIngestOpts(b *testing.B, w harness.Workload, opts fishstore.Options) {
 		Name:          b.Name(),
 		RecordsPerSec: float64(b.N) * float64(len(batch)) / elapsed,
 		BytesPerSec:   float64(b.N) * float64(bytes) / elapsed,
+		AllocsPerOp:   allocsPerOp(&memBefore, b.N),
 	}
 	if opts.CollectPhaseStats {
 		ph := sess.Phases()
@@ -195,6 +214,23 @@ func BenchmarkIngestYelpNoChecksum(b *testing.B) {
 	benchIngestOpts(b, harness.Table1()["yelp"],
 		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled(),
 			DisableRecordChecksums: true})
+}
+
+// BenchmarkIngestYelpTelemetry / BenchmarkIngestYelpNoTelemetry bracket the
+// workload-attribution layer's cost: identical workloads with the collector
+// on (the default — per-batch sketch records plus batch-local PSF
+// accumulation) vs DisableTelemetry. Metrics are disabled in both so the
+// collector is the only difference. The acceptance bar is <3% regression,
+// enforced by perfgate.IngestInvariants in fishbench -compare.
+func BenchmarkIngestYelpTelemetry(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled()})
+}
+
+func BenchmarkIngestYelpNoTelemetry(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled(),
+			DisableTelemetry: true})
 }
 
 // BenchmarkIngestYelpPhases additionally collects the Fig 13 per-phase
@@ -316,6 +352,8 @@ func benchScanStoreOpts(b *testing.B, build func(*testing.B) (*fishstore.Store, 
 	s, prop := build(b)
 	defer s.Close()
 	var matched int64
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		matched = 0
@@ -333,6 +371,7 @@ func benchScanStoreOpts(b *testing.B, build func(*testing.B) (*fishstore.Store, 
 	res := scanBenchResult{
 		Name:           b.Name(),
 		RecordsPerSec:  float64(matched) * float64(b.N) / elapsed,
+		AllocsPerOp:    allocsPerOp(&memBefore, b.N),
 		MatchedPerScan: matched,
 	}
 	// The store's own decision log supplies the executed plan's index/full

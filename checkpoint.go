@@ -16,6 +16,7 @@ import (
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
 	"fishstore/internal/storage"
+	"fishstore/internal/telemetry"
 )
 
 // Manifest is the checkpoint metadata written alongside the hash-table
@@ -191,6 +192,7 @@ func (s *Store) Checkpoint(dir string) error {
 
 	elapsed := time.Since(start)
 	written := tableBytes + int64(len(raw))
+	s.tele.RecordOp(telemetry.OpCheckpoint, elapsed)
 	s.metrics.checkpoints.Inc()
 	s.metrics.checkpointSeconds.Observe(int64(elapsed))
 	s.metrics.checkpointBytes.Observe(written)
@@ -309,6 +311,7 @@ func Recover(dir string, ropts RecoverOptions) (*Store, RecoveryInfo, error) {
 	s.wireInternalMetrics()
 	s.wireSpanTee()
 	s.registerIntrospection()
+	s.wireWorkloadTelemetry()
 
 	// 4. Replay the suffix [m.Tail, replayEnd): scan records in address
 	// order and re-install chain heads. Prev pointers inside the records

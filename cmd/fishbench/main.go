@@ -51,9 +51,10 @@ func main() {
 		diskBW  = flag.Float64("disk-mbps", 256, "rate-limited 'SSD' write bandwidth (MB/s) for on-disk experiments")
 		metAddr = flag.String("metrics-addr", "", "serve aggregated store metrics/pprof on this address while experiments run")
 
-		compare   = flag.String("compare", "", "comma-separated baseline BENCH_*.json files; compare and exit instead of running experiments")
-		current   = flag.String("current", "", "comma-separated current-run files paired with -compare (default: baseline basenames in the working directory)")
-		threshold = flag.Float64("threshold", 0.10, "tolerated fractional slowdown before -compare fails (0.10 = 10%)")
+		compare        = flag.String("compare", "", "comma-separated baseline BENCH_*.json files; compare and exit instead of running experiments")
+		current        = flag.String("current", "", "comma-separated current-run files paired with -compare (default: baseline basenames in the working directory)")
+		threshold      = flag.Float64("threshold", 0.10, "tolerated fractional slowdown before -compare fails (0.10 = 10%)")
+		allocThreshold = flag.Float64("alloc-threshold", 0.10, "tolerated fractional allocs/op growth (plus 2 absolute) before -compare fails")
 
 		spanOut    = flag.String("span-out", "", "write spans from all experiments as Chrome trace-event JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with operation/phase pprof labels) to this file")
@@ -61,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *current, *threshold))
+		os.Exit(runCompare(*compare, *current, *threshold, *allocThreshold))
 	}
 	// Experiments run inside a helper so the -span-out and -cpuprofile
 	// defers fire even on a failing run (os.Exit skips defers).
@@ -185,7 +186,7 @@ func runExperiments(exp string, list bool, dataMB int, threads string, quick boo
 // the matching current-run file and report. currentList may be empty, in
 // which case each baseline's basename is looked up in the working directory
 // (where `go test -bench` writes BENCH_*.json).
-func runCompare(compareList, currentList string, threshold float64) int {
+func runCompare(compareList, currentList string, threshold, allocThreshold float64) int {
 	baselines := strings.Split(compareList, ",")
 	var currents []string
 	if currentList != "" {
@@ -214,7 +215,7 @@ func runCompare(compareList, currentList string, threshold float64) int {
 			fmt.Fprintf(os.Stderr, "fishbench: current %s: %v\n", c, err)
 			return 2
 		}
-		rep := perfgate.Compare(base, cur, threshold)
+		rep := perfgate.CompareAlloc(base, cur, threshold, allocThreshold)
 		fmt.Printf("== %s vs %s (threshold %.0f%%)\n", c, b, threshold*100)
 		rep.Write(os.Stdout)
 		if rep.Failed() {
@@ -223,8 +224,16 @@ func runCompare(compareList, currentList string, threshold float64) int {
 		// Cross-variant orderings are checked within the current run (not
 		// against the baseline): unlike absolute throughput they are immune
 		// to runner noise, so they hold even where the ratio gate is loose.
-		if strings.Contains(filepath.Base(c), "scan") || strings.Contains(filepath.Base(c), "BENCH_scan") {
-			results := perfgate.CheckInvariants(cur, perfgate.ScanInvariants())
+		var invs []perfgate.Invariant
+		name := filepath.Base(c)
+		switch {
+		case strings.Contains(name, "scan") || strings.Contains(name, "BENCH_scan"):
+			invs = perfgate.ScanInvariants()
+		case strings.Contains(name, "ingest") || strings.Contains(name, "BENCH_ingest"):
+			invs = perfgate.IngestInvariants()
+		}
+		if len(invs) > 0 {
+			results := perfgate.CheckInvariants(cur, invs)
 			if len(results) > 0 {
 				fmt.Printf("-- cross-variant invariants (%s)\n", c)
 				if perfgate.WriteInvariants(os.Stdout, results) {

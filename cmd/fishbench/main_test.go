@@ -29,27 +29,27 @@ func TestRunCompareGate(t *testing.T) {
 		`[{"name":"BenchmarkIngestYelp","records_per_sec":96000}]`)
 	scanOK := writeBench(t, dir, "ok_scan.json",
 		`[{"name":"BenchmarkScanIndex","mode":"index","records_per_sec":52000}]`)
-	if code := runCompare(base+","+scanBase, ok+","+scanOK, 0.10); code != 0 {
+	if code := runCompare(base+","+scanBase, ok+","+scanOK, 0.10, 0.10); code != 0 {
 		t.Fatalf("within-threshold compare exited %d, want 0", code)
 	}
 
 	// Injected 12% ingest regression must exit nonzero.
 	slow := writeBench(t, dir, "slow_ingest.json",
 		`[{"name":"BenchmarkIngestYelp","records_per_sec":88000}]`)
-	if code := runCompare(base+","+scanBase, slow+","+scanOK, 0.10); code != 1 {
+	if code := runCompare(base+","+scanBase, slow+","+scanOK, 0.10, 0.10); code != 1 {
 		t.Fatalf("regressed compare exited %d, want 1", code)
 	}
 
 	// A benchmark vanishing from the current run also trips the gate.
 	empty := writeBench(t, dir, "empty.json", `[]`)
-	if code := runCompare(base, empty, 0.10); code != 1 {
+	if code := runCompare(base, empty, 0.10, 0.10); code != 1 {
 		t.Fatalf("missing-benchmark compare exited %d, want 1", code)
 	}
 
-	if code := runCompare(filepath.Join(dir, "nope.json"), ok, 0.10); code != 2 {
+	if code := runCompare(filepath.Join(dir, "nope.json"), ok, 0.10, 0.10); code != 2 {
 		t.Fatalf("unreadable baseline exited %d, want 2", code)
 	}
-	if code := runCompare(base+","+scanBase, ok, 0.10); code != 2 {
+	if code := runCompare(base+","+scanBase, ok, 0.10, 0.10); code != 2 {
 		t.Fatalf("mismatched -compare/-current lengths exited %d, want 2", code)
 	}
 }
@@ -77,7 +77,7 @@ func TestRunCompareDefaultsCurrentToBasename(t *testing.T) {
 	}
 	defer os.Chdir(wd)
 
-	if code := runCompare(filepath.Join("baselines", "BENCH_ingest.json"), "", 0.10); code != 0 {
+	if code := runCompare(filepath.Join("baselines", "BENCH_ingest.json"), "", 0.10, 0.10); code != 0 {
 		t.Fatalf("basename-defaulted compare exited %d, want 0", code)
 	}
 }

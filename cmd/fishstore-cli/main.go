@@ -28,6 +28,10 @@
 //	# Pull operation spans from a tracing store as Chrome trace-event JSON:
 //	fishstore-cli serve -metrics-addr :9187 -spans &
 //	fishstore-cli trace -addr localhost:9187 -o spans.json
+//
+//	# Live workload attribution: per-op latency quantiles, heavy hitters,
+//	# SLO burn rates:
+//	fishstore-cli top -addr localhost:9187 -watch 2s
 package main
 
 import (
@@ -62,6 +66,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(traceMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		os.Exit(topMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	var (
 		in        = flag.String("in", "", "newline-delimited JSON input file")

@@ -14,6 +14,7 @@ import (
 	"fishstore/internal/datagen"
 	"fishstore/internal/metrics"
 	"fishstore/internal/psf"
+	"fishstore/internal/telemetry"
 	itrace "fishstore/internal/trace"
 )
 
@@ -38,6 +39,9 @@ func serveMain(args []string) {
 		spans      = fs.Bool("spans", false, "record operation spans; fetch with `fishstore-cli trace` or /debug/fishstore/spans")
 		spanSample = fs.Uint64("span-sample", 1, "with -spans, trace 1 in N root operations (1 = every operation)")
 		duration   = fs.Duration("duration", 0, "exit after this long (0 = run until SIGINT)")
+		sloIngest  = fs.Duration("slo-ingest-p99", 25*time.Millisecond, "ingest-batch p99 latency SLO for the watchdog (0 disables)")
+		sloScan    = fs.Duration("slo-scan-p95", 100*time.Millisecond, "index-scan p95 latency SLO for the watchdog (0 disables)")
+		tenant     = fs.String("tenant", "", "tenant label attributed to this process's workload")
 	)
 	fs.Parse(args)
 
@@ -65,6 +69,13 @@ func serveMain(args []string) {
 	if *spans {
 		opts.Tracer = itrace.New(itrace.Options{SampleEvery: *spanSample})
 		opts.ProfileLabels = true
+	}
+	if *sloIngest > 0 || *sloScan > 0 {
+		opts.SLO = &telemetry.SLO{IngestBatchP99: *sloIngest, IndexScanP95: *sloScan}
+	}
+	if *tenant != "" {
+		label := *tenant
+		opts.TenantLabel = func() string { return label }
 	}
 	s, err := fishstore.Open(opts)
 	if err != nil {

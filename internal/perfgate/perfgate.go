@@ -22,30 +22,35 @@ import (
 type Entry struct {
 	Name          string  `json:"name"`
 	RecordsPerSec float64 `json:"records_per_sec"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
 }
 
 // Delta is one benchmark's baseline-vs-current comparison.
 type Delta struct {
-	Name      string
-	Baseline  float64 // records/sec in the baseline; 0 when new
-	Current   float64 // records/sec in the current run; 0 when missing
-	Ratio     float64 // Current / Baseline; 0 when either side is absent
-	Missing   bool    // in baseline, absent from current run
-	New       bool    // in current run, absent from baseline
-	Regressed bool    // Current < Baseline × (1 − threshold)
+	Name            string
+	Baseline        float64 // records/sec in the baseline; 0 when new
+	Current         float64 // records/sec in the current run; 0 when missing
+	Ratio           float64 // Current / Baseline; 0 when either side is absent
+	BaselineAllocs  float64 // allocs/op in the baseline; 0 when unrecorded
+	CurrentAllocs   float64 // allocs/op in the current run
+	Missing         bool    // in baseline, absent from current run
+	New             bool    // in current run, absent from baseline
+	Regressed       bool    // Current < Baseline × (1 − threshold)
+	AllocsRegressed bool    // CurrentAllocs > BaselineAllocs × (1 + allocThreshold) + 2
 }
 
 // Report is the outcome of comparing one current file against one baseline.
 type Report struct {
-	Threshold float64
-	Deltas    []Delta
+	Threshold      float64
+	AllocThreshold float64
+	Deltas         []Delta
 }
 
-// Failed reports whether any benchmark regressed past the threshold or went
-// missing from the current run.
+// Failed reports whether any benchmark regressed past the threshold (in
+// throughput or allocations) or went missing from the current run.
 func (r *Report) Failed() bool {
 	for _, d := range r.Deltas {
-		if d.Regressed || d.Missing {
+		if d.Regressed || d.AllocsRegressed || d.Missing {
 			return true
 		}
 	}
@@ -79,26 +84,44 @@ func Parse(r io.Reader) ([]Entry, error) {
 
 // Compare diffs current against baseline. threshold is the tolerated
 // fractional slowdown: with threshold 0.10, a benchmark fails when its
-// current throughput is below 90% of the baseline. Deltas are sorted by
+// current throughput is below 90% of the baseline. Allocation counts are
+// compared with the same threshold (see CompareAlloc). Deltas are sorted by
 // name so reports are stable.
 func Compare(baseline, current []Entry, threshold float64) *Report {
+	return CompareAlloc(baseline, current, threshold, threshold)
+}
+
+// CompareAlloc is Compare with an independent allocation threshold: a
+// benchmark also fails when its allocs/op exceed baseline × (1 +
+// allocThreshold) + 2. The +2 absolute grace keeps near-zero baselines from
+// tripping on measurement noise (a stray background allocation), and a
+// baseline of 0 allocs/op means the field predates allocation tracking —
+// such entries are not gated.
+func CompareAlloc(baseline, current []Entry, threshold, allocThreshold float64) *Report {
 	if threshold < 0 {
 		threshold = 0
 	}
-	cur := make(map[string]float64, len(current))
+	if allocThreshold < 0 {
+		allocThreshold = 0
+	}
+	cur := make(map[string]Entry, len(current))
 	for _, e := range current {
-		cur[e.Name] = e.RecordsPerSec
+		cur[e.Name] = e
 	}
 	seen := make(map[string]bool, len(baseline))
-	rep := &Report{Threshold: threshold}
+	rep := &Report{Threshold: threshold, AllocThreshold: allocThreshold}
 	for _, b := range baseline {
 		seen[b.Name] = true
-		d := Delta{Name: b.Name, Baseline: b.RecordsPerSec}
+		d := Delta{Name: b.Name, Baseline: b.RecordsPerSec, BaselineAllocs: b.AllocsPerOp}
 		if c, ok := cur[b.Name]; ok {
-			d.Current = c
+			d.Current = c.RecordsPerSec
+			d.CurrentAllocs = c.AllocsPerOp
 			if b.RecordsPerSec > 0 {
-				d.Ratio = c / b.RecordsPerSec
-				d.Regressed = c < b.RecordsPerSec*(1-threshold)
+				d.Ratio = c.RecordsPerSec / b.RecordsPerSec
+				d.Regressed = c.RecordsPerSec < b.RecordsPerSec*(1-threshold)
+			}
+			if b.AllocsPerOp > 0 {
+				d.AllocsRegressed = c.AllocsPerOp > b.AllocsPerOp*(1+allocThreshold)+2
 			}
 		} else {
 			d.Missing = true
@@ -107,7 +130,8 @@ func Compare(baseline, current []Entry, threshold float64) *Report {
 	}
 	for _, c := range current {
 		if !seen[c.Name] {
-			rep.Deltas = append(rep.Deltas, Delta{Name: c.Name, Current: c.RecordsPerSec, New: true})
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: c.Name, Current: c.RecordsPerSec, CurrentAllocs: c.AllocsPerOp, New: true})
 		}
 	}
 	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
@@ -144,6 +168,19 @@ func ScanInvariants() []Invariant {
 		Faster: "BenchmarkScanIndexPrefetch",
 		Slower: "BenchmarkScanIndexNoPrefetch",
 		Slack:  0.10,
+	}}
+}
+
+// IngestInvariants returns the orderings enforced over BENCH_ingest.json.
+// The telemetry invariant is the workload-attribution layer's acceptance
+// bar: ingest with the collector on (the default) may be at most 3% slower
+// than the identical run with DisableTelemetry.
+func IngestInvariants() []Invariant {
+	return []Invariant{{
+		Name:   "telemetry-overhead-under-3pct",
+		Faster: "BenchmarkIngestYelpTelemetry",
+		Slower: "BenchmarkIngestYelpNoTelemetry",
+		Slack:  0.03,
 	}}
 }
 
@@ -202,6 +239,9 @@ func (r *Report) Write(w io.Writer) {
 		case d.Regressed:
 			fmt.Fprintf(w, "FAIL %-40s %12.0f -> %12.0f rec/s (%.1f%%, threshold %.1f%%)\n",
 				d.Name, d.Baseline, d.Current, (d.Ratio-1)*100, r.Threshold*100)
+		case d.AllocsRegressed:
+			fmt.Fprintf(w, "FAIL %-40s %10.1f -> %10.1f allocs/op (threshold %.1f%% + 2)\n",
+				d.Name, d.BaselineAllocs, d.CurrentAllocs, r.AllocThreshold*100)
 		default:
 			fmt.Fprintf(w, "ok   %-40s %12.0f -> %12.0f rec/s (%+.1f%%)\n",
 				d.Name, d.Baseline, d.Current, (d.Ratio-1)*100)

@@ -160,3 +160,72 @@ func TestWriteInvariantsMarksViolation(t *testing.T) {
 		t.Fatalf("missing FAIL line:\n%s", sb.String())
 	}
 }
+
+func allocEntries(triples ...any) []Entry {
+	var out []Entry
+	for i := 0; i < len(triples); i += 3 {
+		out = append(out, Entry{
+			Name:          triples[i].(string),
+			RecordsPerSec: triples[i+1].(float64),
+			AllocsPerOp:   triples[i+2].(float64),
+		})
+	}
+	return out
+}
+
+func TestCompareAllocWithinThresholdPasses(t *testing.T) {
+	base := allocEntries("BenchmarkIngestYelp", 100000.0, 100.0)
+	cur := allocEntries("BenchmarkIngestYelp", 100000.0, 105.0)
+	if rep := CompareAlloc(base, cur, 0.10, 0.10); rep.Failed() {
+		t.Fatalf("5%% alloc growth under a 10%% threshold must pass: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	base := allocEntries("BenchmarkIngestYelp", 100000.0, 100.0)
+	cur := allocEntries("BenchmarkIngestYelp", 100000.0, 120.0)
+	rep := CompareAlloc(base, cur, 0.10, 0.10)
+	if !rep.Failed() || !rep.Deltas[0].AllocsRegressed {
+		t.Fatalf("20%% alloc growth over a 10%% threshold must fail: %+v", rep.Deltas)
+	}
+	// The FAIL line names the allocation regression.
+	var sb strings.Builder
+	rep.Write(&sb)
+	if !strings.Contains(sb.String(), "allocs/op") || !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("report does not mark the alloc regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareAllocAbsoluteGrace(t *testing.T) {
+	// Near-zero baselines get a +2 absolute grace: 1 -> 3 passes, 1 -> 3.5
+	// fails. Zero baselines (predating alloc tracking) are not gated at all.
+	base := allocEntries("A", 1000.0, 1.0, "B", 1000.0, 0.0)
+	cur := allocEntries("A", 1000.0, 3.0, "B", 1000.0, 500.0)
+	if rep := CompareAlloc(base, cur, 0.10, 0.10); rep.Failed() {
+		t.Fatalf("within grace / ungated must pass: %+v", rep.Deltas)
+	}
+	cur = allocEntries("A", 1000.0, 3.5, "B", 1000.0, 500.0)
+	if rep := CompareAlloc(base, cur, 0.10, 0.10); !rep.Failed() {
+		t.Fatalf("3.5 allocs over a 1-alloc baseline must fail: %+v", rep.Deltas)
+	}
+}
+
+func TestIngestInvariantTelemetryOverhead(t *testing.T) {
+	// Telemetry within 3% of NoTelemetry: ok.
+	cur := entries("BenchmarkIngestYelpTelemetry", 98000.0, "BenchmarkIngestYelpNoTelemetry", 100000.0)
+	res := CheckInvariants(cur, IngestInvariants())
+	if len(res) != 1 || res[0].Skipped || res[0].Violated {
+		t.Fatalf("2%% overhead under a 3%% slack must pass: %+v", res)
+	}
+	// 5% overhead: violated.
+	cur = entries("BenchmarkIngestYelpTelemetry", 95000.0, "BenchmarkIngestYelpNoTelemetry", 100000.0)
+	res = CheckInvariants(cur, IngestInvariants())
+	if !res[0].Violated {
+		t.Fatalf("5%% overhead over a 3%% slack must fail: %+v", res)
+	}
+	// Pair absent from the run: skipped, not violated.
+	res = CheckInvariants(entries("BenchmarkIngestYelp", 1.0), IngestInvariants())
+	if !res[0].Skipped || res[0].Violated {
+		t.Fatalf("absent pair must skip: %+v", res)
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// sketchBuckets is the fixed bucket count: bucket 0 holds non-positive
+// values, bucket i (i >= 1) holds values whose bit length is i, i.e. the
+// half-open range [2^(i-1), 2^i). 63 value buckets cover every int64
+// latency in nanoseconds (~292 years), so the sketch never saturates.
+const sketchBuckets = 64
+
+// Sketch is a fixed-size mergeable quantile sketch over int64 samples
+// (latencies in nanoseconds). Recording is a few atomic adds; quantiles are
+// computed from a snapshot with linear interpolation inside the matched
+// power-of-two bucket, so the relative error is bounded by the bucket width
+// (at most 2x, in practice well under that for interpolated ranks).
+//
+// Merging adds bucket counts: because bucketing is deterministic, merging
+// two sketches recorded over disjoint sample sets yields bit-identical
+// state — and therefore identical quantiles — to one sketch recorded over
+// the union. That is the contract a scatter-gather aggregator relies on.
+//
+// All methods are safe on a nil receiver and for concurrent use.
+type Sketch struct {
+	count     atomic.Int64
+	sum       atomic.Int64
+	breaches  atomic.Int64
+	threshold atomic.Int64
+	buckets   [sketchBuckets]atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return b
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// Record adds one sample: three atomic adds, plus one load (and, for
+// samples over the SLO threshold, one more add) when a threshold is set.
+func (s *Sketch) Record(v int64) {
+	if s == nil {
+		return
+	}
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.buckets[bucketOf(v)].Add(1)
+	if t := s.threshold.Load(); t > 0 && v > t {
+		s.breaches.Add(1)
+	}
+}
+
+// SetThreshold arms SLO breach counting: samples strictly above t (in the
+// same unit as Record, nanoseconds) increment the breach counter. 0
+// disarms.
+func (s *Sketch) SetThreshold(t int64) {
+	if s == nil {
+		return
+	}
+	s.threshold.Store(t)
+}
+
+// Count returns the number of recorded samples.
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Breaches returns the number of samples that exceeded the threshold while
+// one was armed.
+func (s *Sketch) Breaches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.breaches.Load()
+}
+
+// Merge adds other's samples into s. Concurrent Records on either sketch
+// are safe; a merge concurrent with recording folds in a consistent-enough
+// view (each bucket is added atomically).
+func (s *Sketch) Merge(other *Sketch) {
+	if s == nil || other == nil {
+		return
+	}
+	s.count.Add(other.count.Load())
+	s.sum.Add(other.sum.Load())
+	s.breaches.Add(other.breaches.Load())
+	for i := range s.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			s.buckets[i].Add(n)
+		}
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded samples.
+func (s *Sketch) Quantile(q float64) float64 { return s.Snapshot().Quantile(q) }
+
+// SketchSnapshot is a point-in-time copy of a sketch's state.
+type SketchSnapshot struct {
+	Count    int64                `json:"count"`
+	Sum      int64                `json:"sum"`
+	Breaches int64                `json:"breaches,omitempty"`
+	Buckets  [sketchBuckets]int64 `json:"-"`
+}
+
+// Snapshot copies the sketch's state (bucket loads are individually atomic;
+// a snapshot taken under concurrent recording may straddle a sample, which
+// quantile interpolation tolerates).
+func (s *Sketch) Snapshot() SketchSnapshot {
+	var out SketchSnapshot
+	if s == nil {
+		return out
+	}
+	out.Count = s.count.Load()
+	out.Sum = s.sum.Load()
+	out.Breaches = s.breaches.Load()
+	for i := range s.buckets {
+		out.Buckets[i] = s.buckets[i].Load()
+	}
+	return out
+}
+
+// Mean returns the mean sample value.
+func (s SketchSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile computes the q-quantile by locating the bucket containing the
+// fractional rank q·(count−1) and interpolating linearly inside it. The
+// computation is a pure function of the bucket counts, so merged sketches
+// and union sketches agree exactly.
+func (s SketchSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1)
+	cum := 0.0
+	lastNonEmpty := 0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if rank < cum+fc {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum + 0.5) / fc
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += fc
+		lastNonEmpty = i
+	}
+	_, hi := bucketBounds(lastNonEmpty)
+	return hi
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTopKBasics(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Observe("a", 10, 100)
+	tk.Observe("b", 5, 50)
+	tk.Observe("a", 10, 100)
+	top := tk.Top(10)
+	if len(top) != 2 {
+		t.Fatalf("len = %d, want 2", len(top))
+	}
+	if top[0].Key != "a" || top[0].Records != 20 || top[0].Bytes != 200 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != "b" || top[1].Records != 5 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+}
+
+func TestTopKEviction(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Observe("a", 100, 0)
+	tk.Observe("b", 1, 0)
+	tk.Observe("c", 1, 0) // evicts b (min), inherits its count as error
+	top := tk.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("len = %d, want 2", len(top))
+	}
+	if top[0].Key != "a" {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != "c" || top[1].Records != 2 || top[1].ErrRecords != 1 {
+		t.Fatalf("evicting insert: %+v", top[1])
+	}
+}
+
+// TestTopKHeavyHitterGuarantee: with a skewed stream, the true heavy hitter
+// must survive arbitrary interleaving with noise keys.
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 1000; i++ {
+		tk.Observe("hot", 1, 10)
+		tk.Observe(fmt.Sprintf("noise-%d", i), 1, 1)
+	}
+	top := tk.Top(1)
+	if len(top) != 1 || top[0].Key != "hot" {
+		t.Fatalf("heavy hitter lost: %+v", top)
+	}
+	if top[0].Records < 1000 {
+		t.Fatalf("heavy hitter undercounted: %+v", top[0])
+	}
+}
+
+func TestTopKObserveKeyNoAllocOnHit(t *testing.T) {
+	tk := NewTopK(4)
+	key := []byte("psf=value")
+	tk.ObserveKey(key, 1, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		tk.ObserveKey(key, 1, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveKey hit path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	a, b := NewTopK(4), NewTopK(4)
+	a.Observe("x", 10, 100)
+	a.Observe("y", 5, 50)
+	b.Observe("x", 7, 70)
+	b.Observe("z", 3, 30)
+	a.Merge(b)
+	top := a.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("merged len = %d, want 3", len(top))
+	}
+	if top[0].Key != "x" || top[0].Records != 17 || top[0].Bytes != 170 {
+		t.Fatalf("merged x = %+v", top[0])
+	}
+}
+
+func TestTopKNilSafe(t *testing.T) {
+	var tk *TopK
+	tk.Observe("a", 1, 1)
+	tk.ObserveKey([]byte("a"), 1, 1)
+	tk.Merge(NewTopK(2))
+	if tk.Top(5) != nil || tk.Len() != 0 {
+		t.Fatal("nil TopK must be inert")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/parser/pjson"
 	"fishstore/internal/storage"
+	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
 
@@ -134,6 +135,28 @@ type Options struct {
 	// (bloom filters built at page-flush time) that let index-complete scans
 	// skip on-device pages containing no matching key pointers.
 	DisablePageSummaries bool
+
+	// DisableTelemetry turns off the workload-attribution layer (per-op
+	// latency sketches, PSF / property / tenant heavy hitters,
+	// /debug/fishstore/workload). Telemetry is on by default — its hot-path
+	// cost is a few atomic adds per batch — and is independent of Metrics:
+	// the sketches work with a disabled registry too.
+	DisableTelemetry bool
+
+	// TenantLabel, if set, is consulted once per ingest batch and once per
+	// scan to attribute that operation's records and bytes to a
+	// caller/tenant heavy-hitter dimension (the Record Layer-style
+	// multi-tenant accounting hook). It is called from the operation's own
+	// goroutine and must be cheap and concurrency-safe.
+	TenantLabel func() string
+
+	// SLO, if set, starts a watchdog goroutine that evaluates the given
+	// latency targets every SLO.Interval, publishes burn rates as
+	// fishstore_slo_burn gauges, emits slo.burn trace events into the
+	// flight recorder while an objective is burning, and folds the verdict
+	// into /debug/fishstore/health. Requires telemetry (ignored when
+	// DisableTelemetry is set).
+	SLO *telemetry.SLO
 
 	// ProfileLabels attaches runtime/pprof goroutine labels (operation,
 	// phase, psf, mode) to the ingest, scan, and flush paths, so CPU

@@ -9,7 +9,7 @@ import (
 	"fishstore/internal/storage"
 )
 
-func telemetry(i int, cpu float64) []byte {
+func telemetryRecord(i int, cpu float64) []byte {
 	return []byte(fmt.Sprintf(`{"seq": %d, "machine": "m%d", "cpu": %.3f}`, i, i%5, cpu))
 }
 
@@ -24,7 +24,7 @@ func TestScanRangeCoversBucketsAndPostFilters(t *testing.T) {
 	values := make([]float64, 500)
 	for i := range values {
 		values[i] = rng.Float64() * 100
-		batch = append(batch, telemetry(i, values[i]))
+		batch = append(batch, telemetryRecord(i, values[i]))
 	}
 	ingestAll(t, s, batch)
 
@@ -71,7 +71,7 @@ func TestScanRangeEmptyAndEarlyStop(t *testing.T) {
 	id, _, _ := s.RegisterPSF(psf.RangeBucket("cpu", 10))
 	var batch [][]byte
 	for i := 0; i < 100; i++ {
-		batch = append(batch, telemetry(i, float64(i)))
+		batch = append(batch, telemetryRecord(i, float64(i)))
 	}
 	ingestAll(t, s, batch)
 

@@ -17,6 +17,7 @@ import (
 	"fishstore/internal/pagecache"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
 
@@ -214,7 +215,14 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 				ssp = sp.Child("scan.segment.index")
 			}
 			useAP := opts.Mode != ScanIndexNoPrefetch
+			var segStart time.Time
+			if s.tele != nil {
+				segStart = time.Now()
+			}
 			stopped, err = s.indexScanSegment(g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, ssp, emit, &st)
+			if s.tele != nil {
+				s.tele.RecordOp(telemetry.OpIndexScan, time.Since(segStart))
+			}
 		} else {
 			if sp != nil {
 				ssp = sp.Child("scan.segment.full")
@@ -239,6 +247,14 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 	if sp != nil {
 		sp.SetInt("matched", st.Matched)
 		sp.SetInt("visited", st.Visited)
+	}
+	if tele := s.tele; tele != nil {
+		// Queried-property heavy hitters answer "which predicates do reads
+		// pay for" — the read-side complement of the ingest PSF attribution.
+		tele.ObserveQueried(def.Name+"="+string(canon), st.Matched, st.ReadBytes)
+		if lbl := s.opts.TenantLabel; lbl != nil {
+			tele.ObserveTenant(lbl(), st.Visited, st.ReadBytes)
+		}
 	}
 	return st, nil
 }
@@ -326,6 +342,12 @@ func (s *Store) fullScanSegment(g *epoch.Guard, prop Property, def psf.Definitio
 	st.FullScanBytes += int64(to - from)
 	if s.rangeIndexComplete(prop.PSF, from, to) {
 		return s.fastFullScanSegment(g, prop, canon, from, to, parallelism, emit, st)
+	}
+	if tele := s.tele; tele != nil {
+		// The fast pointer-match path times itself (fastFullScanSegment);
+		// this covers the parse-and-evaluate slow paths below.
+		start := time.Now()
+		defer func() { tele.RecordOp(telemetry.OpFullScan, time.Since(start)) }()
 	}
 	if parallelism > 1 {
 		return s.parallelFullScan(def, canon, from, to, parallelism, emit, st)

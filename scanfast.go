@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fishstore/internal/epoch"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
 
@@ -46,6 +48,14 @@ func (s *Store) rangeIndexComplete(id psf.ID, from, to uint64) bool {
 // arbitrary order for the parallel path, matching fullScanSegment.
 func (s *Store) fastFullScanSegment(g *epoch.Guard, prop Property, canon []byte,
 	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
+
+	// Pointer-match full scans count as full-scan work in the workload view
+	// even though they never parse: the operator's question is "how much of
+	// the read path bypassed the index", not "which matcher ran".
+	if tele := s.tele; tele != nil {
+		start := time.Now()
+		defer func() { tele.RecordOp(telemetry.OpFullScan, time.Since(start)) }()
+	}
 
 	sig := prop.hash()
 	if parallelism > 1 {

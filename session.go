@@ -13,6 +13,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
 
@@ -33,6 +34,14 @@ type Session struct {
 	ptrShards   []int    // shard count per pointer (1 = unsharded)
 	ptrCanons   [][]byte // canonical value copies for sharded pointers
 	valueRegion []byte
+
+	// Workload-attribution scratch (nil when telemetry is disabled):
+	// per-meta-PSF record/byte counts accumulated with plain adds on the
+	// hot path and flushed into the collector once per batch, plus a key
+	// buffer for sampled property attribution.
+	teleRecs  []int64
+	teleBytes []int64
+	teleKey   []byte
 
 	phases PhaseStats
 	closed bool
@@ -111,6 +120,13 @@ func (sess *Session) refreshMeta() error {
 	}
 	sess.meta = meta
 	sess.psess = ps
+	if sess.store.tele != nil {
+		// Any counts for the previous meta were flushed at the end of the
+		// batch that accumulated them; size fresh accumulators for the new
+		// PSF set (cold path: only on registration changes).
+		sess.teleRecs = make([]int64, len(meta.PSFs))
+		sess.teleBytes = make([]int64, len(meta.PSFs))
+	}
 	return nil
 }
 
@@ -144,9 +160,10 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		pprof.SetGoroutineLabels(pl.ingest)
 		defer pl.clear()
 	}
+	tele := sess.store.tele
 	var batchStart time.Time
 	var phasesBefore PhaseStats
-	if met.reg.Enabled() || sp != nil {
+	if met.reg.Enabled() || sp != nil || tele != nil {
 		batchStart = time.Now()
 		if timed {
 			phasesBefore = sess.phases
@@ -274,6 +291,11 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		st.Bytes += int64(len(payload))
 		st.Properties += len(sess.ptrSpecs)
 		met.recordBytes.Observe(int64(len(payload)))
+		// Sampled per-(PSF,value) heavy-hitter attribution: 1-in-N records,
+		// outside the lap windows and the hotpath-audited helpers.
+		if tele != nil && len(sess.ptrSpecs) > 0 && tele.SampleProperty() {
+			sess.observeSampledProperties(payload)
+		}
 	}
 
 	sess.phases.Records += int64(st.Records)
@@ -307,6 +329,10 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 		met.reg.TraceSlow("ingest.slow_batch", elapsed,
 			metrics.F("records", st.Records),
 			metrics.F("bytes", st.Bytes))
+	}
+	if tele != nil {
+		tele.RecordOp(telemetry.OpIngestBatch, time.Since(batchStart))
+		sess.flushBatchAttribution(tele, &st)
 	}
 	if sp != nil {
 		sp.SetInt("records", int64(st.Records))
@@ -367,6 +393,12 @@ func (sess *Session) buildPointers(payload []byte, parsed *parser.Parsed, parseF
 			}
 		}
 		sess.ptrSpecs = append(sess.ptrSpecs, ps)
+		if sess.teleRecs != nil {
+			// Batch-local attribution: plain slice-index adds here, one
+			// collector update per active PSF at batch end.
+			sess.teleRecs[i]++
+			sess.teleBytes[i] += int64(len(payload))
+		}
 		shards := a.Def.ShardCount()
 		sess.ptrShards = append(sess.ptrShards, shards)
 		if shards > 1 {
@@ -418,4 +450,62 @@ func (sess *Session) linkAll(recAddr uint64, view record.View) (bool, error) {
 // recovery replay.
 func shardOf(addr uint64, shards int) int {
 	return int((addr >> 6) % uint64(shards))
+}
+
+var (
+	teleTrue  = []byte("true")
+	teleFalse = []byte("false")
+)
+
+// observeSampledProperties attributes the current record's properties to the
+// per-(PSF,value) heavy-hitter dimension. Called for 1-in-SampleEvery
+// records, after the record is fully ingested — sess.ptrSpecs and
+// sess.valueRegion still describe it. The key buffer is session scratch, so
+// the only steady-state cost is the collector's map lookups.
+func (sess *Session) observeSampledProperties(payload []byte) {
+	tele := sess.store.tele
+	for j := range sess.ptrSpecs {
+		ps := &sess.ptrSpecs[j]
+		var name string
+		for i := range sess.meta.PSFs {
+			if sess.meta.PSFs[i].ID == ps.PSFID {
+				name = sess.meta.PSFs[i].Def.Name
+				break
+			}
+		}
+		var val []byte
+		switch ps.Mode {
+		case record.ModeBool:
+			if ps.BoolValue {
+				val = teleTrue
+			} else {
+				val = teleFalse
+			}
+		case record.ModePayload:
+			val = payload[ps.ValOffset : ps.ValOffset+ps.ValSize]
+		case record.ModeValueRegion:
+			val = sess.valueRegion[ps.ValOffset : ps.ValOffset+ps.ValSize]
+		}
+		key := append(sess.teleKey[:0], name...)
+		key = append(key, '=')
+		key = append(key, val...)
+		sess.teleKey = key
+		tele.ObservePropertyKey(key, 1, int64(len(payload)))
+	}
+}
+
+// flushBatchAttribution drains the batch-local per-PSF accumulators into the
+// collector (one locked update per active PSF per batch) and, when a
+// TenantLabel hook is configured, charges the whole batch to the caller's
+// tenant.
+func (sess *Session) flushBatchAttribution(tele *telemetry.Collector, st *IngestStats) {
+	for i := range sess.teleRecs {
+		if sess.teleRecs[i] != 0 {
+			tele.ObservePSF(sess.meta.PSFs[i].Def.Name, sess.teleRecs[i], sess.teleBytes[i])
+			sess.teleRecs[i], sess.teleBytes[i] = 0, 0
+		}
+	}
+	if lbl := sess.store.opts.TenantLabel; lbl != nil {
+		tele.ObserveTenant(lbl(), int64(st.Records), st.Bytes)
+	}
 }

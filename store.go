@@ -39,6 +39,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/storage"
+	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
 
@@ -66,6 +67,13 @@ type Store struct {
 	pcache    *pagecache.Cache
 	summaries *pageSummaries
 	hotchain  *hotChainCache
+
+	// tele is the workload-attribution collector (nil when disabled):
+	// per-operation latency sketches plus PSF / property / tenant heavy
+	// hitters. watchdog evaluates Options.SLO targets against it (nil when
+	// no SLO is configured).
+	tele     *telemetry.Collector
+	watchdog *telemetry.Watchdog
 
 	subs subscriptions
 
@@ -207,6 +215,7 @@ func Open(opts Options) (*Store, error) {
 	s.wireInternalMetrics()
 	s.wireSpanTee()
 	s.registerIntrospection()
+	s.wireWorkloadTelemetry()
 	return s, nil
 }
 
@@ -291,6 +300,10 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Stop the SLO watchdog before the log: Stop blocks until the
+	// evaluation goroutine has exited, so no tick can observe a closing
+	// store.
+	s.watchdog.Stop()
 	return s.log.Close()
 }
 

@@ -142,48 +142,50 @@ func walkDeviceLog(dev storage.Device, pageBits uint, from, to uint64,
 // validateRecord deep-checks a record's internal layout: region sizes, key
 // pointer back-offsets (which a torn write zeroes), pointer modes, value
 // bounds, and the no-forward-link invariant. Returns "" when consistent.
+//
+// Reasons are constant strings: this also runs per record on the
+// VerifyOnRead quarantine path, where a fmt.Sprintf per rejected record
+// boxes its operands on the heap (hotalloc). The record's address is
+// reported by every caller, and the specific bad values are recoverable
+// from the record image at that address.
 func validateRecord(addr uint64, h record.Header, v record.View) string {
 	first := record.HeaderWords + h.NumPtrs*record.WordsPerPointer + h.ValueWords
 	if first+h.TrailerWords() > h.SizeWords {
-		return fmt.Sprintf("pointer/value/trailer regions (%d words) exceed record size (%d words)",
-			first+h.TrailerWords(), h.SizeWords)
+		return "pointer/value/trailer regions exceed record size"
 	}
 	payloadLen := (h.SizeWords-h.TrailerWords()-first)*8 - h.PayloadPad
 	if payloadLen < 0 {
 		return "payload padding exceeds payload region"
 	}
 	if h.Indirect && payloadLen != 8 {
-		return fmt.Sprintf("indirect record with %d-byte payload", payloadLen)
+		return "indirect record payload is not a single address"
 	}
 	for i := 0; i < h.NumPtrs; i++ {
 		w := v.PointerWordIndex(i)
 		kp := v.KeyPointerAt(i)
 		if kp.Mode > record.ModeValueRegion {
-			return fmt.Sprintf("key pointer %d: invalid mode %d", i, kp.Mode)
+			return "key pointer: invalid mode"
 		}
 		if kp.OffsetWords != w {
-			return fmt.Sprintf("key pointer %d: back-offset %d does not match position %d (torn write?)",
-				i, kp.OffsetWords, w)
+			return "key pointer: back-offset does not match position (torn write?)"
 		}
 		kptAddr := addr + uint64(w)*8
 		if p := kp.PrevAddress; p != 0 {
 			if p >= kptAddr {
-				return fmt.Sprintf("key pointer %d: forward link to %d (own address %d)", i, p, kptAddr)
+				return "key pointer: forward link"
 			}
 			if p < hlog.BeginAddress || p%8 != 0 {
-				return fmt.Sprintf("key pointer %d: implausible prev address %d", i, p)
+				return "key pointer: implausible prev address"
 			}
 		}
 		switch kp.Mode {
 		case record.ModePayload:
 			if kp.ValOffset+kp.ValSize > payloadLen {
-				return fmt.Sprintf("key pointer %d: value [%d,+%d) outside %d-byte payload",
-					i, kp.ValOffset, kp.ValSize, payloadLen)
+				return "key pointer: value outside payload"
 			}
 		case record.ModeValueRegion:
 			if kp.ValOffset+kp.ValSize > h.ValueWords*8 {
-				return fmt.Sprintf("key pointer %d: value [%d,+%d) outside %d-byte value region",
-					i, kp.ValOffset, kp.ValSize, h.ValueWords*8)
+				return "key pointer: value outside value region"
 			}
 		}
 	}

@@ -1,0 +1,163 @@
+package fishstore
+
+import (
+	"fmt"
+
+	"fishstore/internal/metrics"
+	"fishstore/internal/telemetry"
+)
+
+// This file is the store-level glue for the workload-attribution layer
+// (internal/telemetry): collector and SLO-watchdog lifecycle, the
+// /debug/fishstore/workload and /debug/fishstore/health endpoints, the
+// fishstore_workload_* / fishstore_slo_* Prometheus surface, and the
+// slo.burn trace events the watchdog feeds the flight recorder.
+
+// wireWorkloadTelemetry builds the collector and watchdog per Options and
+// mounts the debug endpoints. Called from Open and Recover after the
+// metrics registry is resolved; the health endpoint is registered even with
+// telemetry disabled (it still folds in the degraded state).
+func (s *Store) wireWorkloadTelemetry() {
+	reg := s.metrics.reg
+	if !s.opts.DisableTelemetry {
+		s.tele = telemetry.New(telemetry.Config{})
+		if s.opts.SLO != nil {
+			s.watchdog = telemetry.NewWatchdog(s.tele, *s.opts.SLO, s.sloTick)
+		}
+	}
+	if s.tele != nil {
+		reg.RegisterDebug("workload", func() any { return s.WorkloadSnapshot(10) })
+	}
+	reg.RegisterDebug("health", func() any { return s.Health() })
+	s.registerWorkloadGauges()
+	// Start ticking only after the endpoints exist: the first tick may
+	// already trace.
+	s.watchdog.Start()
+}
+
+// registerWorkloadGauges exports the per-op latency quantiles and the SLO
+// burn rates as Prometheus gauges (snapshot-time evaluation; first store
+// wins on a shared registry, like every other GaugeFunc here).
+func (s *Store) registerWorkloadGauges() {
+	reg := s.metrics.reg
+	if !reg.Enabled() || s.tele == nil {
+		return
+	}
+	ops := []telemetry.Op{
+		telemetry.OpIngestBatch, telemetry.OpIndexScan,
+		telemetry.OpFullScan, telemetry.OpCheckpoint,
+	}
+	for _, op := range ops {
+		op := op
+		sk := s.tele.Op(op)
+		reg.GaugeFunc("fishstore_workload_ops_total",
+			"Operations recorded by the workload telemetry layer.",
+			func() float64 { return float64(sk.Count()) },
+			metrics.L("op", op.String()))
+		for _, q := range []struct {
+			q     float64
+			label string
+		}{{0.50, "0.50"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+			q := q
+			reg.GaugeFunc("fishstore_workload_latency_seconds",
+				"Interpolated per-operation latency quantile from the mergeable "+
+					"power-of-two sketch.",
+				func() float64 { return sk.Quantile(q.q) / 1e9 },
+				metrics.L("op", op.String()), metrics.L("quantile", q.label))
+		}
+	}
+	for _, obj := range s.watchdog.Objectives() {
+		name := obj.Name
+		reg.GaugeFunc("fishstore_slo_burn",
+			"SLO burn rate per objective: the window fraction of operations "+
+				"over target divided by the error budget (1 = budget spent "+
+				"exactly as fast as it accrues).",
+			func() float64 { return s.watchdog.Burn(name) },
+			metrics.L("slo", name))
+	}
+	reg.GaugeFunc("fishstore_slo_health",
+		"Health verdict: 0 ok, 1 degraded, 2 breach (folds in the sticky "+
+			"degraded read-only state).",
+		func() float64 {
+			switch s.Health().Status {
+			case telemetry.StatusBreach:
+				return 2
+			case telemetry.StatusDegraded:
+				return 1
+			}
+			return 0
+		})
+}
+
+// sloTick is the watchdog's per-evaluation callback: it feeds burning
+// objectives into the trace pipeline (flight recorder + TraceSink), so a
+// crash or a support bundle carries the burn timeline.
+func (s *Store) sloTick(r telemetry.Report) {
+	if r.Status == telemetry.StatusOK {
+		return
+	}
+	for _, b := range r.SLOs {
+		if b.Burn < 1 {
+			continue
+		}
+		s.metrics.reg.Trace("slo.burn",
+			metrics.F("slo", b.Name),
+			metrics.F("state", b.State),
+			metrics.F("burn", fmt.Sprintf("%.2f", b.Burn)),
+			metrics.F("window_ops", b.WindowOps),
+			metrics.F("window_breaches", b.WindowBreaches))
+	}
+}
+
+// WorkloadSnapshot returns the live workload-attribution view: per-op
+// latency quantiles plus the top-N heavy hitters per dimension (PSFs,
+// sampled properties, tenants, queried properties). Empty when telemetry is
+// disabled.
+func (s *Store) WorkloadSnapshot(topN int) *telemetry.Snapshot {
+	if s.tele == nil {
+		return nil
+	}
+	return s.tele.Snapshot(topN)
+}
+
+// Telemetry returns the store's workload collector (nil when disabled) so a
+// scatter-gather facade can Merge per-shard collectors into a cluster view.
+func (s *Store) Telemetry() *telemetry.Collector { return s.tele }
+
+// Health is the machine-readable verdict served at /debug/fishstore/health.
+type Health struct {
+	// Status is ok, degraded, or breach: the worse of the SLO watchdog's
+	// verdict and the store's sticky degraded read-only state (which is
+	// always a breach — the store can no longer persist writes).
+	Status string `json:"status"`
+	// Degraded mirrors Store.Degraded: a permanent I/O failure has flipped
+	// the store read-only.
+	Degraded      bool   `json:"degraded"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// SLO carries the watchdog's latest burn-rate report (nil when no SLO
+	// targets are configured).
+	SLO *telemetry.Report `json:"slo,omitempty"`
+}
+
+// Health computes the current health verdict.
+func (s *Store) Health() Health {
+	h := Health{Status: telemetry.StatusOK}
+	if deg, cause := s.Degraded(); deg {
+		h.Status = telemetry.StatusBreach
+		h.Degraded = true
+		h.DegradedCause = cause
+	}
+	if s.watchdog != nil {
+		r := s.watchdog.Report()
+		h.SLO = &r
+		if h.Status != telemetry.StatusBreach {
+			switch r.Status {
+			case telemetry.StatusBreach:
+				h.Status = telemetry.StatusBreach
+			case telemetry.StatusDegraded:
+				h.Status = telemetry.StatusDegraded
+			}
+		}
+	}
+	return h
+}
