@@ -233,6 +233,26 @@ func BenchmarkIngestYelpNoTelemetry(b *testing.B) {
 			DisableTelemetry: true})
 }
 
+// BenchmarkIngestYelpLimits / BenchmarkIngestYelpNoLimits bracket the
+// admission-control cost: identical workloads with a resource governor whose
+// budget is never hit (so only the fast path — a handful of atomic adds per
+// batch — is measured) vs no Limits at all. Metrics are disabled in both so
+// the governor is the only difference. The acceptance bar is <2% regression,
+// enforced by perfgate.IngestInvariants in fishbench -compare.
+func BenchmarkIngestYelpLimits(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled(),
+			Limits: &fishstore.Limits{
+				MaxInFlightIngestBytes: 1 << 30,
+				MaxConcurrentScans:     64,
+			}})
+}
+
+func BenchmarkIngestYelpNoLimits(b *testing.B) {
+	benchIngestOpts(b, harness.Table1()["yelp"],
+		fishstore.Options{PageBits: 20, MemPages: 8, Metrics: metrics.NewDisabled()})
+}
+
 // BenchmarkIngestYelpPhases additionally collects the Fig 13 per-phase
 // breakdown (and exports per-phase means into BENCH_ingest.json).
 func BenchmarkIngestYelpPhases(b *testing.B) {

@@ -1,6 +1,7 @@
 package fishstore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -102,8 +103,20 @@ func ReadManifest(dir string) (Manifest, error) {
 // with hash-table size, recovery cost with the log suffix ingested since
 // the last checkpoint.
 func (s *Store) Checkpoint(dir string) error {
+	return s.CheckpointContext(nil, dir)
+}
+
+// CheckpointContext is Checkpoint with cancellation. The cut is abandoned at
+// artifact boundaries only — a cancelled checkpoint leaves either the old
+// checkpoint directory or the new one, never a half-written cut, and the
+// store itself is untouched (the log flush that already landed simply makes
+// the next attempt cheaper).
+func (s *Store) CheckpointContext(ctx context.Context, dir string) error {
 	if s.degraded.Load() {
 		return ErrDegraded
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -111,6 +124,12 @@ func (s *Store) Checkpoint(dir string) error {
 
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+
+	// The barrier may have been held for a while by ingestion; re-check
+	// before doing any work under it.
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 
 	if pl := s.plabels; pl != nil {
 		pl.set(pl.checkpoint)
@@ -142,6 +161,12 @@ func (s *Store) Checkpoint(dir string) error {
 	}
 	fsp.End()
 
+	// The flush and sync are never abandoned mid-way (the durability barrier
+	// must hold), but the expensive table image can be skipped entirely.
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+
 	// Both artifacts are written to a temp file, fsynced, then renamed over
 	// the previous image, so a crash at any point leaves either the old
 	// checkpoint or the new one — never a half-written table or manifest.
@@ -156,6 +181,12 @@ func (s *Store) Checkpoint(dir string) error {
 	tbsp.End()
 	if err != nil {
 		return fmt.Errorf("fishstore: checkpoint table: %w", err)
+	}
+
+	// Last abandon point: the table rename already happened, but a new table
+	// under the old manifest is still a consistent checkpoint.
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 
 	snap, err := s.registry.Snapshot()
@@ -363,7 +394,7 @@ func probeDurableEnd(o Options, from uint64) (pages int, end uint64, err error) 
 func (s *Store) replaySuffix(g *epoch.Guard, from, to uint64) (int64, int64, error) {
 	var replayed, replayedBytes int64
 	var cbErr error
-	err := s.visitRange(g, from, to, nil, nil, func(addr uint64, v record.View) bool {
+	err := s.visitRange(nil, g, from, to, nil, nil, func(addr uint64, v record.View) bool {
 		h := v.Header()
 		replayed++
 		if !h.Indirect {

@@ -47,7 +47,7 @@ func (s *Store) BuildHistoricalIndex(id psf.ID, from, to uint64) (int64, error) 
 			continue
 		}
 		var appendErr error
-		err := s.visitRange(sessG, seg.From, seg.To, nil, nil, func(addr uint64, v record.View) bool {
+		err := s.visitRange(nil, sessG, seg.From, seg.To, nil, nil, func(addr uint64, v record.View) bool {
 			if v.Header().Indirect {
 				return true // never index index records
 			}

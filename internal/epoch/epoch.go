@@ -112,6 +112,25 @@ func (m *Manager) Acquire() *Guard {
 	return g
 }
 
+// LiveGuards reports how many guards are currently acquired: table slots
+// handed out by Acquire and not yet Released. Leak checks (the chaos
+// harness, cancellation tests) assert this returns to zero once every
+// session and scan is done.
+func (m *Manager) LiveGuards() int { return MaxWorkers - len(m.freeSlots) }
+
+// ProtectedSlots reports how many slots are currently inside a protected
+// region (pinning the safe epoch). A cancelled operation that forgot to
+// Unprotect shows up here long after its goroutine has exited.
+func (m *Manager) ProtectedSlots() int {
+	n := 0
+	for i := 0; i < MaxWorkers; i++ {
+		if m.table[i].local.Load() != unprotected {
+			n++
+		}
+	}
+	return n
+}
+
 // Release returns the Guard's slot to the manager. The Guard must not be
 // used afterwards.
 func (g *Guard) Release() {

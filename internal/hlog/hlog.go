@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -127,6 +128,7 @@ type Log struct {
 
 	flushMu      sync.Mutex
 	flushedPgs   map[uint64]uint64 // sealed page -> its end address, pending contiguous advance
+	failedPgs    map[uint64]bool   // sealed pages whose flush failed; retryable
 	flushErr     error
 	flushWG      sync.WaitGroup
 	onFlush      func(page uint64, err error)
@@ -162,6 +164,7 @@ func New(cfg Config) (*Log, error) {
 		device:       dev,
 		epoch:        cfg.Epoch,
 		flushedPgs:   make(map[uint64]uint64),
+		failedPgs:    make(map[uint64]bool),
 		onFlush:      cfg.OnFlush,
 		onPageSealed: cfg.OnPageSealed,
 		tracer:       cfg.Tracer,
@@ -408,6 +411,18 @@ func (l *Log) doFlush(page uint64) {
 	}
 	sp := l.tracer.StartRoot("hlog.flush")
 	sp.SetUint("page", page)
+	err := l.flushPage(page)
+	l.completeFlush(page, err)
+	sp.SetInt("bytes", int64(l.pageSize))
+	sp.SetBool("error", err != nil)
+	sp.End()
+}
+
+// flushPage serializes, seals, and writes one sealed page to the device. It
+// is safe to call again after a failed attempt: the frame cannot have been
+// recycled (prepareFrame refuses to evict a page whose flush failed), the
+// page was sealed before its flush was scheduled, and sealing is idempotent.
+func (l *Log) flushPage(page uint64) error {
 	f := l.frameIndex(page)
 	frame := l.frames[f]
 	buf := make([]byte, l.pageSize)
@@ -419,10 +434,7 @@ func (l *Log) doFlush(page uint64) {
 	if err == nil && l.onPageSealed != nil {
 		l.onPageSealed(page, buf)
 	}
-	l.completeFlush(page, err)
-	sp.SetInt("bytes", int64(l.pageSize))
-	sp.SetBool("error", err != nil)
-	sp.End()
+	return err
 }
 
 // sealPageRecords walks the record headers serialized into buf (the private
@@ -484,24 +496,36 @@ func binary8(dst []byte, w uint64) {
 // query the log freely.
 func (l *Log) completeFlush(page uint64, err error) {
 	l.flushMu.Lock()
-	if err != nil && l.flushErr == nil {
-		l.flushErr = err
-	} else {
-		l.flushedPgs[page] = l.address(page+1, 0)
-		for {
-			cur := l.flushedUntil.Load()
-			pg := l.PageOf(cur)
-			end, ok := l.flushedPgs[pg]
-			if !ok {
-				break
-			}
-			delete(l.flushedPgs, pg)
-			l.flushedUntil.Store(end)
+	if err != nil {
+		if l.flushErr == nil {
+			l.flushErr = err
 		}
+		// Remember which page failed: its frame stays pinned (prepareFrame
+		// refuses to recycle it) and RetryFailedFlushes can re-drive it once
+		// the cause — e.g. a full disk — is resolved.
+		l.failedPgs[page] = true
+	} else {
+		l.markFlushedLocked(page)
 	}
 	l.flushMu.Unlock()
 	if l.onFlush != nil {
 		l.onFlush(page, err)
+	}
+}
+
+// markFlushedLocked records page as durable and advances flushedUntil over
+// every contiguous flushed page. Caller holds flushMu.
+func (l *Log) markFlushedLocked(page uint64) {
+	l.flushedPgs[page] = l.address(page+1, 0)
+	for {
+		cur := l.flushedUntil.Load()
+		pg := l.PageOf(cur)
+		end, ok := l.flushedPgs[pg]
+		if !ok {
+			break
+		}
+		delete(l.flushedPgs, pg)
+		l.flushedUntil.Store(end)
 	}
 }
 
@@ -527,6 +551,83 @@ func (l *Log) flushError() error {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	return l.flushErr
+}
+
+// FailedFlushes returns how many sealed pages are stuck with a failed flush.
+func (l *Log) FailedFlushes() int {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return len(l.failedPgs)
+}
+
+// FlushError exposes the sticky flush error (nil when the log is healthy).
+func (l *Log) FlushError() error { return l.flushError() }
+
+// RetryFailedFlushes synchronously re-drives every sealed page whose
+// background flush failed. The frames are guaranteed still resident: a
+// frame with a failed flush can never be recycled, because prepareFrame
+// blocks on waitFlushed and then surfaces the flush error instead of
+// evicting. When every failed page lands, the sticky flush error clears and
+// the log is writable again — the disk-full recovery path. A page that
+// fails again leaves the error in place and returns it.
+func (l *Log) RetryFailedFlushes() error {
+	l.flushMu.Lock()
+	pages := make([]uint64, 0, len(l.failedPgs))
+	for p := range l.failedPgs {
+		pages = append(pages, p)
+	}
+	l.flushMu.Unlock()
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, page := range pages {
+		if err := l.flushPage(page); err != nil {
+			return fmt.Errorf("hlog: retry flush of page %d: %w", page, err)
+		}
+		l.flushMu.Lock()
+		delete(l.failedPgs, page)
+		l.markFlushedLocked(page)
+		if len(l.failedPgs) == 0 {
+			l.flushErr = nil
+		}
+		l.flushMu.Unlock()
+		if l.onFlush != nil {
+			l.onFlush(page, nil)
+		}
+	}
+	return nil
+}
+
+// RecoverTail completes an interrupted seal-and-advance. When a straddling
+// allocator hits a flush error inside sealAndAdvance, the page is already
+// sealed and its flush scheduled — only prepareFrame and the tail CAS remain
+// undone, leaving the packed tail offset beyond the page size and every
+// allocator failing. After the flush failures are resolved (see
+// RetryFailedFlushes), RecoverTail redoes the remaining two steps;
+// prepareFrame is idempotent at this point because the earlier attempt
+// aborted before mutating any state. Callers must ensure no concurrent
+// Allocate is in flight. A nil guard is allowed (RecoverTail drains the
+// epoch itself while waiting).
+func (l *Log) RecoverTail(g *epoch.Guard) error {
+	if err := l.flushError(); err != nil {
+		return err
+	}
+	page, off := unpack(l.pagedTail.Load())
+	if off <= l.pageSize {
+		return nil // tail is healthy
+	}
+	next := page + 1
+	if err := l.prepareFrame(g, next); err != nil {
+		return err
+	}
+	for {
+		cur := l.pagedTail.Load()
+		curPage, _ := unpack(cur)
+		if curPage >= next {
+			return nil
+		}
+		if l.pagedTail.CompareAndSwap(cur, pack(next, 0)) {
+			return nil
+		}
+	}
 }
 
 // FlushTail synchronously persists the current (unsealed) tail page prefix,
@@ -638,6 +739,32 @@ func (l *Log) ReadWordsFromDevice(addr Address, n int) ([]uint64, error) {
 // prefetching).
 func (l *Log) ReadBytesFromDevice(addr Address, buf []byte) error {
 	_, err := l.device.ReadAt(buf, int64(addr))
+	return err
+}
+
+// ReadWordsFromDeviceCtx is ReadWordsFromDevice with a cancellation bound:
+// a cancelled context aborts retry backoff waits in the device chain instead
+// of riding them out. A background context takes the exact ReadWordsFromDevice
+// path.
+func (l *Log) ReadWordsFromDeviceCtx(ctx context.Context, addr Address, n int) ([]uint64, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return l.ReadWordsFromDevice(addr, n)
+	}
+	buf := make([]byte, n*8)
+	if _, err := storage.ReadAtCtx(ctx, l.device, buf, int64(addr)); err != nil {
+		return nil, err
+	}
+	words := make([]uint64, n)
+	wordio.BytesToWords(words, buf)
+	return words, nil
+}
+
+// ReadBytesFromDeviceCtx is ReadBytesFromDevice with a cancellation bound.
+func (l *Log) ReadBytesFromDeviceCtx(ctx context.Context, addr Address, buf []byte) error {
+	if ctx == nil || ctx.Done() == nil {
+		return l.ReadBytesFromDevice(addr, buf)
+	}
+	_, err := storage.ReadAtCtx(ctx, l.device, buf, int64(addr))
 	return err
 }
 

@@ -61,7 +61,7 @@ func (f *FlightRecorder) WriteJSON(w io.Writer) error {
 		m["ts"] = e.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
 		m["event"] = e.Name
 		for _, fld := range e.Fields {
-			m[fld.Key] = fld.Value
+			m[fld.Key] = fld.Value()
 		}
 		raw, err := json.Marshal(m)
 		if err != nil {
@@ -106,7 +106,7 @@ func (f *FlightRecorder) Snapshot() FlightSnapshot {
 		if len(e.Fields) > 0 {
 			fe.Fields = make(map[string]any, len(e.Fields))
 			for _, fld := range e.Fields {
-				fe.Fields[fld.Key] = fld.Value
+				fe.Fields[fld.Key] = fld.Value()
 			}
 		}
 		out.Events = append(out.Events, fe)

@@ -371,8 +371,8 @@ func TestMemorySinkBounded(t *testing.T) {
 		t.Fatalf("Dropped = %d, want %d", got, emitted-max)
 	}
 	for i, e := range evs {
-		if want := emitted - max + i; e.Fields[0].Value != want {
-			t.Fatalf("event %d carries i=%v, want %d (not the newest suffix)", i, e.Fields[0].Value, want)
+		if want := emitted - max + i; e.Fields[0].Value() != want {
+			t.Fatalf("event %d carries i=%v, want %d (not the newest suffix)", i, e.Fields[0].Value(), want)
 		}
 	}
 }

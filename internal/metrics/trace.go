@@ -3,18 +3,75 @@ package metrics
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
 
-// Field is one structured key/value attached to a trace event.
+// Field is one structured key/value attached to a trace event. It is a small
+// tagged union: the typed constructors (FInt, FUint, FStr) store their value
+// inline without boxing, so hot paths can build fields allocation-free even
+// when no sink is installed and the event is dropped. Sinks read the value —
+// boxing it lazily, at emission time — through Value.
 type Field struct {
-	Key   string
-	Value any
+	Key  string
+	kind fieldKind
+	num  uint64
+	str  string
+	boxv any
 }
 
-// F builds a Field.
-func F(key string, value any) Field { return Field{Key: key, Value: value} }
+type fieldKind uint8
+
+const (
+	fieldAny fieldKind = iota
+	fieldInt
+	fieldUint
+	fieldFloat
+	fieldStr
+)
+
+// F builds a Field holding an arbitrary value. The conversion to any boxes
+// non-pointer values; on audited hot paths prefer the typed constructors.
+func F(key string, value any) Field { return Field{Key: key, boxv: value} }
+
+// FInt builds an integer Field without boxing.
+func FInt(key string, v int64) Field {
+	return Field{Key: key, kind: fieldInt, num: uint64(v)}
+}
+
+// FUint builds an unsigned integer Field without boxing.
+func FUint(key string, v uint64) Field {
+	return Field{Key: key, kind: fieldUint, num: v}
+}
+
+// FFloat builds a float Field without boxing.
+func FFloat(key string, v float64) Field {
+	return Field{Key: key, kind: fieldFloat, num: math.Float64bits(v)}
+}
+
+// FStr builds a string Field without boxing. The string itself is referenced,
+// not copied; callers on hot paths should pass stable strings.
+func FStr(key, v string) Field {
+	return Field{Key: key, kind: fieldStr, str: v}
+}
+
+// Value returns the field's value, boxing typed fields at call time. Sinks
+// call this once per emitted event, off the operation's hot path.
+func (f Field) Value() any {
+	switch f.kind {
+	case fieldInt:
+		return int64(f.num)
+	case fieldUint:
+		return f.num
+	case fieldFloat:
+		return math.Float64frombits(f.num)
+	case fieldStr:
+		return f.str
+	default:
+		return f.boxv
+	}
+}
 
 // TraceEvent is one structured control-plane event: checkpoint begin/end,
 // PSF registry state transitions, prefetch window grow/collapse, epoch
@@ -103,7 +160,7 @@ func (s *WriterSink) Emit(e TraceEvent) {
 	m["ts"] = e.Time.UTC().Format("2006-01-02T15:04:05.000000Z07:00")
 	m["event"] = e.Name
 	for _, f := range e.Fields {
-		m[f.Key] = f.Value
+		m[f.Key] = f.Value()
 	}
 	raw, err := json.Marshal(m)
 	if err != nil {

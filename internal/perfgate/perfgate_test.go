@@ -210,22 +210,51 @@ func TestCompareAllocAbsoluteGrace(t *testing.T) {
 	}
 }
 
+// invariantByName digs one named invariant's result out of a CheckInvariants
+// report (IngestInvariants carries several independent pairs).
+func invariantByName(t *testing.T, res []InvariantResult, name string) InvariantResult {
+	t.Helper()
+	for _, r := range res {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("invariant %q missing from %+v", name, res)
+	return InvariantResult{}
+}
+
 func TestIngestInvariantTelemetryOverhead(t *testing.T) {
 	// Telemetry within 3% of NoTelemetry: ok.
 	cur := entries("BenchmarkIngestYelpTelemetry", 98000.0, "BenchmarkIngestYelpNoTelemetry", 100000.0)
-	res := CheckInvariants(cur, IngestInvariants())
-	if len(res) != 1 || res[0].Skipped || res[0].Violated {
-		t.Fatalf("2%% overhead under a 3%% slack must pass: %+v", res)
+	r := invariantByName(t, CheckInvariants(cur, IngestInvariants()), "telemetry-overhead-under-3pct")
+	if r.Skipped || r.Violated {
+		t.Fatalf("2%% overhead under a 3%% slack must pass: %+v", r)
 	}
 	// 5% overhead: violated.
 	cur = entries("BenchmarkIngestYelpTelemetry", 95000.0, "BenchmarkIngestYelpNoTelemetry", 100000.0)
-	res = CheckInvariants(cur, IngestInvariants())
-	if !res[0].Violated {
-		t.Fatalf("5%% overhead over a 3%% slack must fail: %+v", res)
+	r = invariantByName(t, CheckInvariants(cur, IngestInvariants()), "telemetry-overhead-under-3pct")
+	if !r.Violated {
+		t.Fatalf("5%% overhead over a 3%% slack must fail: %+v", r)
 	}
 	// Pair absent from the run: skipped, not violated.
-	res = CheckInvariants(entries("BenchmarkIngestYelp", 1.0), IngestInvariants())
-	if !res[0].Skipped || res[0].Violated {
-		t.Fatalf("absent pair must skip: %+v", res)
+	r = invariantByName(t, CheckInvariants(entries("BenchmarkIngestYelp", 1.0), IngestInvariants()),
+		"telemetry-overhead-under-3pct")
+	if !r.Skipped || r.Violated {
+		t.Fatalf("absent pair must skip: %+v", r)
+	}
+}
+
+func TestIngestInvariantAdmissionOverhead(t *testing.T) {
+	// Governor armed-but-idle within 2% of no governor: ok.
+	cur := entries("BenchmarkIngestYelpLimits", 98500.0, "BenchmarkIngestYelpNoLimits", 100000.0)
+	r := invariantByName(t, CheckInvariants(cur, IngestInvariants()), "admission-overhead-under-2pct")
+	if r.Skipped || r.Violated {
+		t.Fatalf("1.5%% overhead under a 2%% slack must pass: %+v", r)
+	}
+	// 4% overhead: the slow path leaked into the uncontended case.
+	cur = entries("BenchmarkIngestYelpLimits", 96000.0, "BenchmarkIngestYelpNoLimits", 100000.0)
+	r = invariantByName(t, CheckInvariants(cur, IngestInvariants()), "admission-overhead-under-2pct")
+	if !r.Violated {
+		t.Fatalf("4%% overhead over a 2%% slack must fail: %+v", r)
 	}
 }

@@ -1,0 +1,63 @@
+package storage
+
+import "context"
+
+// CtxReaderAt is implemented by devices whose reads can be bounded by a
+// context: cancellation aborts retry backoff waits (and, for simulated
+// devices, injected delays) instead of letting a cancelled caller ride out
+// the full wait. The data contract matches io.ReaderAt; a context error is
+// returned wrapped so errors.Is(err, context.Canceled) works.
+type CtxReaderAt interface {
+	ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+// CtxWriterAt is the write-side analogue of CtxReaderAt.
+type CtxWriterAt interface {
+	WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+// ReadAtCtx reads from d honoring ctx: if the device (or a wrapper in its
+// Unwrap chain) supports context-aware reads, cancellation cuts the wait
+// short; otherwise the read runs to completion and only the result is
+// discarded by the caller. A nil or never-cancellable context costs nothing
+// beyond the interface check.
+func ReadAtCtx(ctx context.Context, d Device, p []byte, off int64) (int, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return d.ReadAt(p, off)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for cur := d; cur != nil; {
+		if cr, ok := cur.(CtxReaderAt); ok {
+			return cr.ReadAtCtx(ctx, p, off)
+		}
+		u, ok := cur.(interface{ Unwrap() Device })
+		if !ok {
+			break
+		}
+		cur = u.Unwrap()
+	}
+	return d.ReadAt(p, off)
+}
+
+// WriteAtCtx writes to d honoring ctx; see ReadAtCtx.
+func WriteAtCtx(ctx context.Context, d Device, p []byte, off int64) (int, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return d.WriteAt(p, off)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for cur := d; cur != nil; {
+		if cw, ok := cur.(CtxWriterAt); ok {
+			return cw.WriteAtCtx(ctx, p, off)
+		}
+		u, ok := cur.(interface{ Unwrap() Device })
+		if !ok {
+			break
+		}
+		cur = u.Unwrap()
+	}
+	return d.WriteAt(p, off)
+}

@@ -60,12 +60,25 @@ type FaultConfig struct {
 	// (from the cut write or CutNow), outside the device's mutex. The crash
 	// harness uses it to timestamp the cut in the flight recorder.
 	OnPowerCut func()
+	// CapacityBytes, when > 0, caps the device: a write whose end extends the
+	// used range (highest written end minus space reclaimed by
+	// TruncateBefore) past the cap fails whole with ErrNoSpace, like a file
+	// on a full partition. Reclaiming space with TruncateBefore lets later
+	// writes succeed again — ENOSPC here is a managed condition, not a crash.
+	CapacityBytes int64
+	// WriteDelay stalls every write, the write-side analogue of ReadDelay.
+	// Combined with SetReadDelay/SetWriteDelay this models a device that
+	// turns sustainedly slow mid-run (thermal throttling, a sick disk).
+	WriteDelay time.Duration
 }
 
 // FaultStats counts operations and injected faults.
 type FaultStats struct {
 	Writes, Reads, Syncs                int64
 	TornWrites, ShortReads, FailedSyncs int64
+	// NoSpaceWrites counts writes refused with ErrNoSpace (armed or
+	// capacity-capped).
+	NoSpaceWrites int64
 	// CutAtWrite is the ordinal of the write that carried the power cut
 	// (0 = power never cut).
 	CutAtWrite int64
@@ -79,19 +92,26 @@ type FaultDevice struct {
 	inner Device
 	cfg   FaultConfig
 
-	mu          sync.Mutex
-	rng         *rand.Rand
-	cutCounter  int64 // writes remaining before the cut; <=0 means disarmed
-	nextReadErr error
+	mu            sync.Mutex
+	rng           *rand.Rand
+	cutCounter    int64 // writes remaining before the cut; <=0 means disarmed
+	enospcCounter int64 // writes remaining before sticky ENOSPC; <=0 disarmed
+	enospcStuck   bool  // armed ENOSPC fired; cleared by ClearENOSPC/TruncateBefore
+	nextReadErr   error
+	maxEnd        int64 // highest byte offset ever written (exclusive)
+	reclaimed     int64 // bytes released by TruncateBefore
 
-	cut    atomic.Bool
-	writes atomic.Int64
-	reads  atomic.Int64
-	syncs  atomic.Int64
-	torn   atomic.Int64
-	short  atomic.Int64
-	fsyncs atomic.Int64
-	cutAt  atomic.Int64
+	cut        atomic.Bool
+	writes     atomic.Int64
+	reads      atomic.Int64
+	syncs      atomic.Int64
+	torn       atomic.Int64
+	short      atomic.Int64
+	fsyncs     atomic.Int64
+	noSpace    atomic.Int64
+	cutAt      atomic.Int64
+	readDelay  atomic.Int64 // runtime override, nanoseconds; <0 = use cfg
+	writeDelay atomic.Int64 // runtime override, nanoseconds; <0 = use cfg
 }
 
 // NewFaultDevice wraps inner (a Mem device if nil) with the fault schedule.
@@ -111,6 +131,8 @@ func NewFaultDevice(inner Device, cfg FaultConfig) *FaultDevice {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		cutCounter: cfg.PowerCutAtWrite,
 	}
+	d.readDelay.Store(-1)
+	d.writeDelay.Store(-1)
 	return d
 }
 
@@ -150,16 +172,86 @@ func (d *FaultDevice) FailNextRead(err error) {
 	d.mu.Unlock()
 }
 
+// ArmENOSPC makes the nth write from now (n >= 1) and every one after it
+// fail with ErrNoSpace until ClearENOSPC or TruncateBefore, modeling a
+// partition filling up regardless of the configured capacity.
+func (d *FaultDevice) ArmENOSPC(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.enospcCounter = n
+	d.enospcStuck = false
+	d.mu.Unlock()
+}
+
+// ClearENOSPC disarms a pending or fired ArmENOSPC injection.
+func (d *FaultDevice) ClearENOSPC() {
+	d.mu.Lock()
+	d.enospcCounter = 0
+	d.enospcStuck = false
+	d.mu.Unlock()
+}
+
+// SetReadDelay overrides the configured per-read delay at runtime (a
+// negative d restores the configured value). Use it to make a healthy device
+// turn sustainedly slow mid-run, and fast again.
+func (d *FaultDevice) SetReadDelay(delay time.Duration) { d.readDelay.Store(int64(delay)) }
+
+// SetWriteDelay overrides the configured per-write delay at runtime; see
+// SetReadDelay.
+func (d *FaultDevice) SetWriteDelay(delay time.Duration) { d.writeDelay.Store(int64(delay)) }
+
+func (d *FaultDevice) effReadDelay() time.Duration {
+	if o := d.readDelay.Load(); o >= 0 {
+		return time.Duration(o)
+	}
+	return d.cfg.ReadDelay
+}
+
+func (d *FaultDevice) effWriteDelay() time.Duration {
+	if o := d.writeDelay.Load(); o >= 0 {
+		return time.Duration(o)
+	}
+	return d.cfg.WriteDelay
+}
+
+// TruncateBefore releases the device space below off: the used-capacity
+// accounting drops by the newly reclaimed range, a stuck ArmENOSPC clears
+// (space exists again), and the reclaim is forwarded down the wrapper chain
+// so the inner device can actually free memory.
+func (d *FaultDevice) TruncateBefore(off int64) error {
+	d.mu.Lock()
+	if off > d.maxEnd {
+		off = d.maxEnd
+	}
+	if off > d.reclaimed {
+		d.reclaimed = off
+	}
+	d.enospcStuck = false
+	d.mu.Unlock()
+	return TruncateBefore(d.inner, off)
+}
+
+// SpaceUsed reports the capacity accounting: highest written end minus
+// reclaimed prefix.
+func (d *FaultDevice) SpaceUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxEnd - d.reclaimed
+}
+
 // Stats returns a snapshot of operation and fault counters.
 func (d *FaultDevice) Stats() FaultStats {
 	return FaultStats{
-		Writes:      d.writes.Load(),
-		Reads:       d.reads.Load(),
-		Syncs:       d.syncs.Load(),
-		TornWrites:  d.torn.Load(),
-		ShortReads:  d.short.Load(),
-		FailedSyncs: d.fsyncs.Load(),
-		CutAtWrite:  d.cutAt.Load(),
+		Writes:        d.writes.Load(),
+		Reads:         d.reads.Load(),
+		Syncs:         d.syncs.Load(),
+		TornWrites:    d.torn.Load(),
+		ShortReads:    d.short.Load(),
+		FailedSyncs:   d.fsyncs.Load(),
+		NoSpaceWrites: d.noSpace.Load(),
+		CutAtWrite:    d.cutAt.Load(),
 	}
 }
 
@@ -218,12 +310,41 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 	if d.cut.Load() {
 		return 0, ErrPowerCut
 	}
+	if wd := d.effWriteDelay(); wd > 0 {
+		time.Sleep(wd)
+	}
 	d.mu.Lock()
 	if d.cut.Load() { // raced with the cut write
 		d.mu.Unlock()
 		return 0, ErrPowerCut
 	}
 	ord := d.writes.Add(1)
+	// ENOSPC-class failures: an armed write ordinal (sticky until cleared or
+	// space is reclaimed) or the capacity cap. The write fails whole — the
+	// filesystem refused it, nothing reached the medium.
+	if d.enospcCounter > 0 {
+		d.enospcCounter--
+		if d.enospcCounter == 0 {
+			d.enospcStuck = true
+		}
+	}
+	outOfSpace := d.enospcStuck
+	if !outOfSpace && d.cfg.CapacityBytes > 0 {
+		end := off + int64(len(p))
+		used := d.maxEnd
+		if end > used {
+			used = end
+		}
+		outOfSpace = used-d.reclaimed > d.cfg.CapacityBytes
+	}
+	if outOfSpace {
+		d.noSpace.Add(1)
+		d.mu.Unlock()
+		return 0, ErrNoSpace
+	}
+	if end := off + int64(len(p)); end > d.maxEnd {
+		d.maxEnd = end
+	}
 	if d.cutCounter > 0 {
 		d.cutCounter--
 		if d.cutCounter == 0 {
@@ -269,8 +390,8 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 
 func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
 	d.reads.Add(1)
-	if d.cfg.ReadDelay > 0 {
-		time.Sleep(d.cfg.ReadDelay)
+	if rd := d.effReadDelay(); rd > 0 {
+		time.Sleep(rd)
 	}
 	d.mu.Lock()
 	if err := d.nextReadErr; err != nil {

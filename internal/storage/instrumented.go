@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -52,6 +53,33 @@ func (d *Instrumented) ReadAt(p []byte, off int64) (int, error) {
 func (d *Instrumented) WriteAt(p []byte, off int64) (int, error) {
 	start := time.Now()
 	n, err := d.inner.WriteAt(p, off)
+	d.writes.Add(1)
+	d.writeBytes.Add(int64(n))
+	if d.obs != nil {
+		d.obs.ObserveWrite(n, time.Since(start))
+	}
+	return n, err
+}
+
+// ReadAtCtx forwards context-aware reads to the inner device (so a Retrying
+// wrapper's backoff waits stay cancellable) while keeping the same
+// instrumentation as ReadAt.
+func (d *Instrumented) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := ReadAtCtx(ctx, d.inner, p, off)
+	d.reads.Add(1)
+	d.readBytes.Add(int64(n))
+	if d.obs != nil {
+		d.obs.ObserveRead(n, time.Since(start))
+	}
+	return n, err
+}
+
+// WriteAtCtx forwards context-aware writes to the inner device with the same
+// instrumentation as WriteAt.
+func (d *Instrumented) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := WriteAtCtx(ctx, d.inner, p, off)
 	d.writes.Add(1)
 	d.writeBytes.Add(int64(n))
 	if d.obs != nil {

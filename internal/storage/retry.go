@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -105,6 +107,15 @@ func (d *Retrying) backoff(attempt int) time.Duration {
 }
 
 func (d *Retrying) do(op string, f func() (int, error)) (int, error) {
+	return d.doCtx(context.Background(), op, f)
+}
+
+// doCtx is the retry loop with a cancellation bound: a context cancelled
+// mid-backoff aborts the wait immediately (a cancelled caller must not ride
+// out the full jittered delay) and a context already cancelled before a
+// retry skips the attempt. The last device error is preserved alongside the
+// context error so callers can still classify what the device was doing.
+func (d *Retrying) doCtx(ctx context.Context, op string, f func() (int, error)) (int, error) {
 	var n int
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -115,7 +126,31 @@ func (d *Retrying) do(op string, f func() (int, error)) (int, error) {
 		if d.policy.OnRetry != nil {
 			d.policy.OnRetry(op, attempt, err)
 		}
-		d.policy.Sleep(d.backoff(attempt))
+		if serr := d.sleep(ctx, d.backoff(attempt)); serr != nil {
+			return n, fmt.Errorf("%w (retrying %s after: %v)", serr, op, err)
+		}
+	}
+}
+
+// sleep waits out one backoff delay, aborted immediately by ctx. The test
+// hook (policy.Sleep) is only consulted for contexts that can never be
+// cancelled; a cancellable context always uses a real timer so the
+// cancellation bound holds regardless of hooks.
+func (d *Retrying) sleep(ctx context.Context, delay time.Duration) error {
+	if ctx == nil || ctx.Done() == nil {
+		d.policy.Sleep(delay)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -127,6 +162,17 @@ func (d *Retrying) WriteAt(p []byte, off int64) (int, error) {
 	// Positional writes are idempotent, so re-issuing the full range after a
 	// torn prefix is safe.
 	return d.do("write", func() (int, error) { return d.inner.WriteAt(p, off) })
+}
+
+// ReadAtCtx is ReadAt with a cancellation bound on the backoff waits (and on
+// the inner read when the inner device is itself context-aware).
+func (d *Retrying) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return d.doCtx(ctx, "read", func() (int, error) { return ReadAtCtx(ctx, d.inner, p, off) })
+}
+
+// WriteAtCtx is WriteAt with a cancellation bound on the backoff waits.
+func (d *Retrying) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return d.doCtx(ctx, "write", func() (int, error) { return WriteAtCtx(ctx, d.inner, p, off) })
 }
 
 // Sync forwards to the inner device (via the Syncer-walking helper). Sync

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -172,5 +173,111 @@ func TestFlipRandomBits(t *testing.T) {
 		if flips[i] != flips2[i] {
 			t.Fatalf("seeded flips diverge at %d: %d vs %d", i, flips[i], flips2[i])
 		}
+	}
+}
+
+func TestRetryingBackoffAbortsOnCancel(t *testing.T) {
+	mem := NewMem()
+	if _, err := mem.WriteAt(make([]byte, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Every read fails transiently, so without cancellation the caller would
+	// ride out MaxAttempts-1 full backoff waits (~6s here). The bound under
+	// test: cancelling mid-backoff returns well before the first delay ends.
+	d := NewRetrying(&flaky{inner: mem, err: ErrShortRead, failN: 1 << 30}, RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Second,
+		MaxDelay:    2 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	buf := make([]byte, 8)
+	start := time.Now()
+	_, err := d.ReadAtCtx(ctx, buf, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The device error context must survive for classification.
+	if !errors.Is(err, ErrShortRead) {
+		t.Logf("note: device error not wrapped (err=%v)", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled read took %v; backoff did not abort on cancellation", elapsed)
+	}
+}
+
+func TestRetryingCtxNotCancelledBehavesLikeReadAt(t *testing.T) {
+	mem := NewMem()
+	want := []byte("durable bytes")
+	if _, err := mem.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	slept := 0
+	d := NewRetrying(&flaky{inner: mem, err: ErrShortRead, failN: 2}, RetryPolicy{
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) { slept++ },
+	})
+	buf := make([]byte, len(want))
+	if _, err := d.ReadAtCtx(context.Background(), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatalf("read %q, want %q", buf, want)
+	}
+	if slept != 2 {
+		t.Fatalf("background context should use the Sleep hook; slept %d times, want 2", slept)
+	}
+	if got := d.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+func TestFaultDeviceENOSPCAndReclaim(t *testing.T) {
+	mem := NewMem()
+	fd := NewFaultDevice(mem, FaultConfig{CapacityBytes: 4096})
+	buf := make([]byte, 1024)
+	for i := int64(0); i < 4; i++ {
+		if _, err := fd.WriteAt(buf, i*1024); err != nil {
+			t.Fatalf("write %d within capacity failed: %v", i, err)
+		}
+	}
+	if _, err := fd.WriteAt(buf, 4096); !IsNoSpace(err) {
+		t.Fatalf("write past capacity: got %v, want ErrNoSpace", err)
+	}
+	if st := fd.Stats(); st.NoSpaceWrites != 1 {
+		t.Fatalf("NoSpaceWrites = %d, want 1", st.NoSpaceWrites)
+	}
+	// Reclaiming the first half frees capacity for the refused write.
+	if err := fd.TruncateBefore(2048); err != nil {
+		t.Fatal(err)
+	}
+	if used := fd.SpaceUsed(); used != 2048 {
+		t.Fatalf("SpaceUsed = %d after reclaim, want 2048", used)
+	}
+	if _, err := fd.WriteAt(buf, 4096); err != nil {
+		t.Fatalf("write after reclaim failed: %v", err)
+	}
+
+	// Armed ENOSPC is sticky until space is reclaimed.
+	fd2 := NewFaultDevice(NewMem(), FaultConfig{})
+	fd2.ArmENOSPC(2)
+	if _, err := fd2.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd2.WriteAt(buf, 1024); !IsNoSpace(err) {
+		t.Fatalf("armed write: got %v, want ErrNoSpace", err)
+	}
+	if _, err := fd2.WriteAt(buf, 2048); !IsNoSpace(err) {
+		t.Fatalf("ENOSPC must stay stuck: got %v", err)
+	}
+	if err := fd2.TruncateBefore(1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd2.WriteAt(buf, 2048); err != nil {
+		t.Fatalf("write after reclaim cleared ENOSPC failed: %v", err)
 	}
 }

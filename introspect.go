@@ -128,7 +128,7 @@ func (s *Store) SampleChains(opts ChainSampleOptions) (*introspect.ChainSnapshot
 		var links uint64
 		var owner psf.ID
 		truncated := false
-		err := s.forEachChainLink(g, h, floor, false, nil, &st,
+		err := s.forEachChainLink(nil, g, h, floor, false, nil, &st,
 			func(cur uint64, _ record.View, _ uint64, kp record.KeyPointer) bool {
 				if links == 0 {
 					owner = kp.PSFID
@@ -402,4 +402,12 @@ func (s *Store) DumpFlight(w io.Writer) error {
 		return nil
 	}
 	return s.metrics.flight.DumpLocked(w)
+}
+
+// EpochInUse reports the store's live epoch guards (acquired and not yet
+// released) and how many of them are currently pinning the safe epoch.
+// Leak checks assert both return to zero once every session is closed and
+// every scan — including cancelled ones — has returned.
+func (s *Store) EpochInUse() (live, protected int) {
+	return s.epoch.LiveGuards(), s.epoch.ProtectedSlots()
 }

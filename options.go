@@ -164,6 +164,72 @@ type Options struct {
 	// workers inherit their scan's labels. Adds a few runtime label swaps
 	// per record on the ingest path; leave off unless profiling.
 	ProfileLabels bool
+
+	// Limits, if set, enables the store-level resource governor: ingest
+	// batches count against MaxInFlightIngestBytes (over-limit callers block
+	// up to MaxWait, then fail with ErrBusy), scans count against
+	// MaxConcurrentScans, tenants can be given weighted shares of the ingest
+	// budget, and — when the SLO watchdog reports a breach — scans submitted
+	// with a negative ScanOptions.Priority are shed with ErrBusy. nil keeps
+	// the historical unbounded behaviour. The admission fast path is a pair
+	// of atomic adds; the governor allocates only when an operation actually
+	// has to wait.
+	Limits *Limits
+
+	// Retention, if set, bounds the live log footprint and arms the
+	// disk-full recovery path: an ENOSPC-class flush failure puts the store
+	// into the managed ErrLogFull state (instead of sticky degraded mode),
+	// and RecoverLogSpace — invoked automatically on the next ingest when
+	// AutoRecover is set — truncates the oldest log pages down to
+	// MaxLiveBytes, reclaims the device space, re-drives the failed flushes,
+	// and resumes ingestion.
+	Retention *Retention
+}
+
+// Limits configures the resource governor; see Options.Limits. The zero
+// value of any field means "unlimited" for that dimension.
+type Limits struct {
+	// MaxInFlightIngestBytes caps the total raw bytes of ingest batches
+	// admitted and not yet returned. A batch that would exceed the cap waits
+	// up to MaxWait for capacity, then fails with ErrBusy.
+	MaxInFlightIngestBytes int64
+
+	// MaxConcurrentScans caps concurrently running scans (Lookup counts as a
+	// scan). Over-limit scans wait up to MaxWait, then fail with ErrBusy.
+	MaxConcurrentScans int64
+
+	// MaxWait bounds how long an over-limit operation blocks for capacity
+	// before failing with ErrBusy. Zero means fail fast. The operation's
+	// context, when it expires sooner, wins.
+	MaxWait time.Duration
+
+	// TenantShares divides MaxInFlightIngestBytes between tenants (keyed by
+	// the value Options.TenantLabel returns): each named tenant may hold at
+	// most share/totalShares of the ingest-byte budget. Tenants not in the
+	// map (and all traffic when TenantLabel is unset) are limited only by
+	// the global cap. The map is read-only after Open.
+	TenantShares map[string]int64
+
+	// ShedScansOnBreach, when true, rejects scans whose ScanOptions.Priority
+	// is negative with ErrBusy while the SLO watchdog (Options.SLO) reports
+	// a breach — load-shedding the work the caller marked discardable first.
+	ShedScansOnBreach bool
+}
+
+// Retention configures retention-driven space reclamation; see
+// Options.Retention.
+type Retention struct {
+	// MaxLiveBytes is the target live log footprint (tail minus truncation
+	// point). RecoverLogSpace truncates whole pages from the oldest end of
+	// the log until the footprint is at most this. 0 disables
+	// retention-driven truncation (RecoverLogSpace then only reclaims what
+	// the caller already truncated manually).
+	MaxLiveBytes uint64
+
+	// AutoRecover makes the next ingest after an ErrLogFull transition run
+	// RecoverLogSpace automatically, so a capped device oscillates between
+	// filling and reclaiming instead of failing until an operator steps in.
+	AutoRecover bool
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -203,6 +269,19 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.HotChainEntries == 0 {
 		out.HotChainEntries = 128
+	}
+	if out.Limits != nil {
+		if out.Limits.MaxInFlightIngestBytes < 0 || out.Limits.MaxConcurrentScans < 0 {
+			return out, errors.New("fishstore: Limits caps must be >= 0")
+		}
+		for tenant, share := range out.Limits.TenantShares {
+			if share <= 0 {
+				return out, errors.New("fishstore: TenantShares[" + tenant + "] must be > 0")
+			}
+		}
+		if len(out.Limits.TenantShares) > 0 && out.Limits.MaxInFlightIngestBytes == 0 {
+			return out, errors.New("fishstore: TenantShares requires MaxInFlightIngestBytes")
+		}
 	}
 	return out, nil
 }

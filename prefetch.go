@@ -1,6 +1,7 @@
 package fishstore
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"time"
@@ -48,6 +49,7 @@ import (
 // every later hop and scan can alias zero-copy.
 type chainReader struct {
 	log     *hlog.Log
+	ctx     context.Context // nil = never cancelled; checked by device reads
 	useAP   bool
 	cache   *pagecache.Cache // nil = raw device reads (baseline, verifier, profiler)
 	tau     uint64
@@ -99,10 +101,11 @@ func costModel(log *hlog.Log) (phi uint64, profile storage.Profile) {
 	return phi, profile
 }
 
-func newChainReader(log *hlog.Log, useAP bool, cache *pagecache.Cache, met *storeMetrics, sp *trace.Span) *chainReader {
+func newChainReader(ctx context.Context, log *hlog.Log, useAP bool, cache *pagecache.Cache, met *storeMetrics, sp *trace.Span) *chainReader {
 	phi, profile := costModel(log)
 	cr := &chainReader{
 		log:     log,
+		ctx:     ctx,
 		useAP:   useAP,
 		cache:   cache,
 		minWin:  4096,
@@ -290,7 +293,7 @@ func (cr *chainReader) pageWords(page uint64) ([]uint64, error) {
 			iosp.SetInt("window", int64(cr.window))
 		}
 		start := time.Now()
-		words, err := cr.log.ReadWordsFromDevice(page*uint64(pageSize), pageSize/8)
+		words, err := cr.log.ReadWordsFromDeviceCtx(cr.ctx, page*uint64(pageSize), pageSize/8)
 		iosp.End()
 		if err != nil {
 			return nil, err
@@ -352,10 +355,10 @@ func (cr *chainReader) adapt(base uint64, size int) {
 			if cr.window > prev {
 				m.prefetchGrows.Inc()
 				m.reg.Trace("prefetch.grow",
-					metrics.F("window", cr.window), metrics.F("gap", gap))
+					metrics.FInt("window", int64(cr.window)), metrics.FUint("gap", gap))
 			} else {
 				m.prefetchCollapse.Inc()
-				m.reg.Trace("prefetch.collapse", metrics.F("gap", gap))
+				m.reg.Trace("prefetch.collapse", metrics.FUint("gap", gap))
 			}
 		}
 	}
@@ -402,7 +405,7 @@ func (cr *chainReader) fetch(addr uint64, n int) ([]byte, error) {
 		iosp.SetInt("window", int64(cr.window))
 	}
 	t0 := time.Now()
-	err := cr.log.ReadBytesFromDevice(start, cr.buf)
+	err := cr.log.ReadBytesFromDeviceCtx(cr.ctx, start, cr.buf)
 	iosp.End()
 	if err != nil {
 		return nil, err

@@ -51,7 +51,7 @@ func (s *Store) ChainGapProfile(prop Property, max int) ([]ChainHop, error) {
 			view, base = v, b
 		} else {
 			if cr == nil {
-				cr = newChainReader(s.log, false, nil, s.metrics, nil)
+				cr = newChainReader(nil, s.log, false, nil, s.metrics, nil)
 			}
 			// On-device records are immutable; do not pin the safe epoch
 			// across the chain reader's device I/O.

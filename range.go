@@ -84,7 +84,7 @@ func (s *Store) Iterate(from, to uint64, cb func(r Record) bool) error {
 	from, to = s.clampRange(from, to)
 	g := s.epoch.Acquire()
 	defer g.Release()
-	return s.visitRange(g, from, to, nil, nil, func(addr uint64, v record.View) bool {
+	return s.visitRange(nil, g, from, to, nil, nil, func(addr uint64, v record.View) bool {
 		if v.Header().Indirect {
 			return true // skip historical index records
 		}

@@ -73,6 +73,11 @@ type ScanOptions struct {
 	// Parallelism > 1 splits full-scan segments page-wise across that many
 	// goroutines (Appendix F). Callback invocations are serialized.
 	Parallelism int
+	// Priority orders scans for load shedding: while the SLO watchdog
+	// reports a breach and Limits.ShedScansOnBreach is set, scans with a
+	// negative priority are refused with ErrBusy. Zero (the default) and
+	// positive priorities are never shed.
+	Priority int
 }
 
 // Segment is one piece of a scan plan.
@@ -122,8 +127,27 @@ type ScanStats struct {
 // early. Full-scan segments deliver records in ascending address order;
 // index segments follow hash chains and deliver in descending order.
 func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (ScanStats, error) {
-	from, to := s.clampRange(opts.From, opts.To)
+	return s.ScanContext(nil, prop, opts, cb)
+}
+
+// ScanContext is Scan with deadline/cancellation propagation: ctx aborts a
+// governor admission wait, is polled at page and chain-hop boundaries on
+// every execution path (serial, parallel, fast pointer-match, paged chain
+// walk), and is threaded into device reads so retry backoff waits abort too.
+// A cancelled scan returns ctx's error with the stats accumulated so far;
+// epochs, the page cache, and prefetch state are left consistent.
+func (s *Store) ScanContext(ctx context.Context, prop Property, opts ScanOptions, cb func(r Record) bool) (ScanStats, error) {
 	var st ScanStats
+	if g := s.gov; g != nil {
+		if err := g.admitScan(ctx, opts.Priority); err != nil {
+			return st, err
+		}
+		defer g.releaseScan()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return st, err
+	}
+	from, to := s.clampRange(opts.From, opts.To)
 	if from >= to {
 		return st, nil
 	}
@@ -206,6 +230,9 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 	}
 
 	for _, seg := range st.Plan {
+		if err := ctxErr(ctx); err != nil {
+			return st, err
+		}
 		var stopped bool
 		var err error
 		var ssp *trace.Span
@@ -219,7 +246,7 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 			if s.tele != nil {
 				segStart = time.Now()
 			}
-			stopped, err = s.indexScanSegment(g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, ssp, emit, &st)
+			stopped, err = s.indexScanSegment(ctx, g, prop, canon, seg.From, seg.To, useAP, opts.Parallelism, ssp, emit, &st)
 			if s.tele != nil {
 				s.tele.RecordOp(telemetry.OpIndexScan, time.Since(segStart))
 			}
@@ -227,7 +254,7 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 			if sp != nil {
 				ssp = sp.Child("scan.segment.full")
 			}
-			stopped, err = s.fullScanSegment(g, prop, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
+			stopped, err = s.fullScanSegment(ctx, g, prop, def, canon, seg.From, seg.To, opts.Parallelism, emit, &st)
 		}
 		if ssp != nil {
 			ssp.SetUint("from", seg.From)
@@ -263,6 +290,12 @@ func (s *Store) Scan(prop Property, opts ScanOptions, cb func(r Record) bool) (S
 // point-lookup over the live indexed interval, served from memory when the
 // log suffix is resident). cb semantics match Scan.
 func (s *Store) Lookup(prop Property, cb func(r Record) bool) (ScanStats, error) {
+	return s.LookupContext(nil, prop, cb)
+}
+
+// LookupContext is Lookup with deadline/cancellation propagation (see
+// ScanContext).
+func (s *Store) LookupContext(ctx context.Context, prop Property, cb func(r Record) bool) (ScanStats, error) {
 	ivs := s.registry.Intervals(prop.PSF)
 	if len(ivs) == 0 {
 		return ScanStats{}, fmt.Errorf("fishstore: PSF %d has no indexed interval", prop.PSF)
@@ -272,7 +305,16 @@ func (s *Store) Lookup(prop Property, cb func(r Record) bool) (ScanStats, error)
 	if last.Open() {
 		to = 0 // tail
 	}
-	return s.Scan(prop, ScanOptions{From: last.From, To: to, Mode: ScanForceIndex}, cb)
+	return s.ScanContext(ctx, prop, ScanOptions{From: last.From, To: to, Mode: ScanForceIndex}, cb)
+}
+
+// ctxErr polls a scan/ingest context at an operation-internal cancellation
+// point. nil and non-cancellable contexts cost a nil check.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func (s *Store) clampRange(from, to uint64) (uint64, uint64) {
@@ -336,12 +378,12 @@ func (s *Store) planScan(id psf.ID, from, to uint64, mode ScanMode) []Segment {
 // of interest, evaluates the PSF, and emits matches. Over ranges where the
 // PSF's index is guaranteed complete, it switches to the pointer-matching
 // fast path (identical results, no parsing, summary-driven page skips).
-func (s *Store) fullScanSegment(g *epoch.Guard, prop Property, def psf.Definition, canon []byte,
+func (s *Store) fullScanSegment(ctx context.Context, g *epoch.Guard, prop Property, def psf.Definition, canon []byte,
 	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	st.FullScanBytes += int64(to - from)
 	if s.rangeIndexComplete(prop.PSF, from, to) {
-		return s.fastFullScanSegment(g, prop, canon, from, to, parallelism, emit, st)
+		return s.fastFullScanSegment(ctx, g, prop, canon, from, to, parallelism, emit, st)
 	}
 	if tele := s.tele; tele != nil {
 		// The fast pointer-match path times itself (fastFullScanSegment);
@@ -350,14 +392,14 @@ func (s *Store) fullScanSegment(g *epoch.Guard, prop Property, def psf.Definitio
 		defer func() { tele.RecordOp(telemetry.OpFullScan, time.Since(start)) }()
 	}
 	if parallelism > 1 {
-		return s.parallelFullScan(def, canon, from, to, parallelism, emit, st)
+		return s.parallelFullScan(ctx, def, canon, from, to, parallelism, emit, st)
 	}
 	psess, err := s.pf.NewSession(def.Fields)
 	if err != nil {
 		return false, err
 	}
 	stopped := false
-	err = s.visitRange(g, from, to, &st.Quarantined, &st.PageCacheHits, func(addr uint64, v record.View) bool {
+	err = s.visitRange(ctx, g, from, to, &st.Quarantined, &st.PageCacheHits, func(addr uint64, v record.View) bool {
 		st.Visited++
 		payload := v.Payload()
 		parsed, perr := psess.Parse(payload)
@@ -379,7 +421,7 @@ func (s *Store) fullScanSegment(g *epoch.Guard, prop Property, def psf.Definitio
 
 // parallelFullScan distributes pages of [from, to) across workers
 // (Appendix F). Matches are emitted through a mutex, in arbitrary order.
-func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
+func (s *Store) parallelFullScan(ctx context.Context, def psf.Definition, canon []byte,
 	from, to uint64, workers int, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	pageSize := s.log.PageSize()
@@ -412,6 +454,14 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 				return
 			}
 			for !stopped.Load() {
+				if err := ctxErr(ctx); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
 				p := nextPage.Add(1) - 1
 				if p > lastPage {
 					return
@@ -424,7 +474,7 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 				if hi > to {
 					hi = to
 				}
-				err := s.visitRange(wg2, lo, hi, &quarantined, &cacheHits, func(addr uint64, v record.View) bool {
+				err := s.visitRange(ctx, wg2, lo, hi, &quarantined, &cacheHits, func(addr uint64, v record.View) bool {
 					visited.Add(1)
 					payload := v.Payload()
 					parsed, perr := psess.Parse(payload)
@@ -470,11 +520,14 @@ func (s *Store) parallelFullScan(def psf.Definition, canon []byte,
 // share the counter) rather than delivered. In-memory pages are exempt:
 // their records are sealed only at flush time. cacheHits, when non-nil,
 // counts page reads served by the read-through page cache (atomic add).
-func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined, cacheHits *int64,
+func (s *Store) visitRange(ctx context.Context, g *epoch.Guard, from, to uint64, quarantined, cacheHits *int64,
 	visit func(addr uint64, v record.View) bool) error {
 	pageSize := s.log.PageSize()
 
 	for addr := from; addr < to; {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		pageStart := addr &^ (pageSize - 1)
 		pageEnd := pageStart + pageSize
 		limit := to
@@ -493,7 +546,7 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined, cacheHi
 			// safe epoch stalls page-frame recycling for every worker.
 			n := int(pageEnd-addr) / 8
 			g.Unprotect()
-			w, hit, err := s.devicePageWords(addr, n)
+			w, hit, err := s.devicePageWords(ctx, addr, n)
 			g.Protect()
 			if err != nil {
 				return fmt.Errorf("fishstore: full scan read at %d: %w", addr, err)
@@ -509,7 +562,7 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined, cacheHi
 						if reason == "" {
 							reason = "checksum mismatch"
 						}
-						s.quarantineRecord(addr, quarantined, reason)
+						s.quarantineRecord(addr, quarantined, "full-scan", reason)
 						return true // skip the record, continue the walk
 					}
 					return visit(addr, v)
@@ -529,15 +582,15 @@ func (s *Store) visitRange(g *epoch.Guard, from, to uint64, quarantined, cacheHi
 // filled; addr and addr+n*8 never straddle a page boundary — visitRange
 // walks page by page). The caller must have dropped epoch protection. The
 // second result reports whether the read was served from the cache.
-func (s *Store) devicePageWords(addr uint64, n int) ([]uint64, bool, error) {
+func (s *Store) devicePageWords(ctx context.Context, addr uint64, n int) ([]uint64, bool, error) {
 	if s.pcache == nil {
-		w, err := s.log.ReadWordsFromDevice(addr, n)
+		w, err := s.log.ReadWordsFromDeviceCtx(ctx, addr, n)
 		return w, false, err
 	}
 	pageSize := s.log.PageSize()
 	page := s.log.PageOf(addr)
 	pw, hit, err := s.pcache.GetOrLoad(page, func() ([]uint64, error) {
-		return s.log.ReadWordsFromDevice(page*pageSize, int(pageSize/8))
+		return s.log.ReadWordsFromDeviceCtx(ctx, page*pageSize, int(pageSize/8))
 	})
 	if err != nil {
 		return nil, false, err
@@ -559,15 +612,18 @@ func (s *Store) scanCache(useAP bool) *pagecache.Cache {
 // quarantineRecord accounts for a device-fetched record whose checksum (or
 // structure) failed under VerifyOnRead: it is counted, traced with its
 // address so the flight recorder pins where the log is damaged, and never
-// surfaced. quarantined may be nil (callers without scan stats).
-func (s *Store) quarantineRecord(addr uint64, quarantined *int64, reason string) {
+// surfaced. quarantined may be nil (callers without scan stats). where names
+// the read path that hit the record ("full-scan", "chain", "indirect-target")
+// and is a separate trace field so hot callers never concatenate strings.
+func (s *Store) quarantineRecord(addr uint64, quarantined *int64, where, reason string) {
 	if quarantined != nil {
 		atomic.AddInt64(quarantined, 1)
 	}
 	s.metrics.corruptRecords.Inc()
 	s.metrics.reg.Trace("scan.quarantine",
-		metrics.F("address", addr),
-		metrics.F("reason", reason))
+		metrics.FUint("address", addr),
+		metrics.FStr("where", where),
+		metrics.FStr("reason", reason))
 }
 
 // walkRecords iterates the records laid out in words (whose first word is
@@ -604,7 +660,7 @@ func walkRecords(words []uint64, baseAddr, limit uint64, visit func(addr uint64,
 // subset hash index. For sharded PSFs (Appendix F) every shard chain is
 // traversed; with opts-level parallelism the shards run concurrently with
 // serialized emission.
-func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
+func (s *Store) indexScanSegment(ctx context.Context, g *epoch.Guard, prop Property, canon []byte,
 	from, to uint64, useAP bool, parallelism int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	def, _ := s.registry.Lookup(prop.PSF)
@@ -614,7 +670,7 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		if !ok {
 			return false, nil
 		}
-		return s.walkChain(g, slot.Address(), prop, canon, from, to, useAP, parallelism, sp, emit, st)
+		return s.walkChain(ctx, g, slot.Address(), prop, canon, from, to, useAP, parallelism, sp, emit, st)
 	}
 	var heads []uint64
 	for shard := 0; shard < shards; shard++ {
@@ -624,10 +680,13 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 		}
 	}
 	if parallelism > 1 && len(heads) > 1 {
-		return s.parallelChainWalk(heads, prop, canon, from, to, useAP, parallelism, sp, emit, st)
+		return s.parallelChainWalk(ctx, heads, prop, canon, from, to, useAP, parallelism, sp, emit, st)
 	}
 	for _, head := range heads {
-		stopped, err := s.walkChain(g, head, prop, canon, from, to, useAP, parallelism, sp, emit, st)
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
+		stopped, err := s.walkChain(ctx, g, head, prop, canon, from, to, useAP, parallelism, sp, emit, st)
 		if err != nil || stopped {
 			return stopped, err
 		}
@@ -637,7 +696,7 @@ func (s *Store) indexScanSegment(g *epoch.Guard, prop Property, canon []byte,
 
 // parallelChainWalk traverses shard chains concurrently (Appendix F's
 // parallel index scan), serializing emission.
-func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
+func (s *Store) parallelChainWalk(ctx context.Context, heads []uint64, prop Property, canon []byte,
 	from, to uint64, useAP bool, parallelism int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 	_ = parallelism // shards already run concurrently; chains walk serially within each
 
@@ -665,7 +724,7 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 				}
 				return ok
 			}
-			if _, err := s.walkChain(wg2, head, prop, canon, from, to, useAP, 1, sp, wrapped, &local); err != nil {
+			if _, err := s.walkChain(ctx, wg2, head, prop, canon, from, to, useAP, 1, sp, wrapped, &local); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -698,9 +757,9 @@ func (s *Store) parallelChainWalk(heads []uint64, prop Property, canon []byte,
 // is added to st; when sp is a live span, each device read the chain reader
 // issues becomes a scan.io child under it. Index scans and the log
 // verifier's chain phase both walk chains through this one path.
-func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
+func (s *Store) forEachChainLink(ctx context.Context, g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
 	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
-	return s.forEachChainLinkHooked(g, head, floor, useAP, sp, st, nil, fn)
+	return s.forEachChainLinkHooked(ctx, g, head, floor, useAP, sp, st, nil, fn)
 }
 
 // forEachChainLinkHooked is forEachChainLink with an optional deviceCross
@@ -709,7 +768,7 @@ func (s *Store) forEachChainLink(g *epoch.Guard, head uint64, floor uint64, useA
 // generic walk there (without error), letting the caller take over the
 // on-device suffix — the hot-chain cache and the paged chain walk hang off
 // this point.
-func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
+func (s *Store) forEachChainLinkHooked(ctx context.Context, g *epoch.Guard, head uint64, floor uint64, useAP bool, sp *trace.Span, st *ScanStats,
 	deviceCross func(kptAddr uint64) bool,
 	fn func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool) error {
 
@@ -729,6 +788,11 @@ func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64
 	for cur != 0 && cur >= floor {
 		hops++
 		if hops%64 == 0 {
+			// The epoch-refresh cadence doubles as the cancellation-poll
+			// cadence: both want "often, but not per in-memory hop".
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			g.Refresh()
 		}
 		var view record.View
@@ -748,7 +812,7 @@ func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64
 				}
 			}
 			if cr == nil {
-				cr = newChainReader(s.log, useAP, s.scanCache(useAP), s.metrics, sp)
+				cr = newChainReader(ctx, s.log, useAP, s.scanCache(useAP), s.metrics, sp)
 			}
 			// Device reads target the immutable on-disk log; drop epoch
 			// protection for their duration so page recycling can proceed.
@@ -768,7 +832,7 @@ func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64
 					// Quarantine AND terminate the walk: the prev pointer we
 					// would follow lives in this corrupt record, so every
 					// address it yields is untrustworthy.
-					s.quarantineRecord(b, &st.Quarantined, "chain record: "+reason)
+					s.quarantineRecord(b, &st.Quarantined, "chain", reason)
 					return nil
 				}
 			}
@@ -797,7 +861,7 @@ func (s *Store) forEachChainLinkHooked(g *epoch.Guard, head uint64, floor uint64
 // parallel walk with a page cache hands the suffix to the two-phase paged
 // walk. A completed generic walk installs (or arms) the memoization for the
 // next probe.
-func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []byte,
+func (s *Store) walkChain(ctx context.Context, g *epoch.Guard, head uint64, prop Property, canon []byte,
 	from, to uint64, useAP bool, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	sig := prop.hash()
@@ -834,7 +898,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 		}
 	}
 
-	err := s.forEachChainLinkHooked(g, head, from, useAP, sp, st, hook,
+	err := s.forEachChainLinkHooked(ctx, g, head, from, useAP, sp, st, hook,
 		func(cur uint64, view record.View, base uint64, kp record.KeyPointer) bool {
 			lastPrev = kp.PrevAddress
 			h := view.Header()
@@ -846,7 +910,7 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 				collected = append(collected, cur)
 			}
 			if match {
-				rec, merr := s.materialize(g, view, base, st)
+				rec, merr := s.materialize(ctx, g, view, base, st)
 				if errors.Is(merr, errQuarantined) {
 					return true // indirect target corrupt: skip, keep walking
 				}
@@ -873,10 +937,10 @@ func (s *Store) walkChain(g *epoch.Guard, head uint64, prop Property, canon []by
 	}
 
 	if hotLinks != nil {
-		return s.resolveChainLinks(g, hotLinks, prop, canon, from, to, par, sp, emit, st)
+		return s.resolveChainLinks(ctx, g, hotLinks, prop, canon, from, to, par, sp, emit, st)
 	}
 	if paged {
-		pStopped, cands, pLast, pErr := s.pagedDeviceChainWalk(g, crossAddr, prop, canon, from, to, par, sp, emit, st)
+		pStopped, cands, pLast, pErr := s.pagedDeviceChainWalk(ctx, g, crossAddr, prop, canon, from, to, par, sp, emit, st)
 		if pErr == nil && !pStopped && useHot && st.Quarantined == qBefore {
 			s.maybeInstallHotChain(crossAddr, sig, cands, pLast, from)
 		}
@@ -933,7 +997,7 @@ func (s *Store) offsetWordsOf(v record.View, kptAddr, base uint64) uint64 {
 
 // materialize turns a matched view into a Record, resolving historical
 // indirection (Appendix A) if needed.
-func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *ScanStats) (Record, error) {
+func (s *Store) materialize(ctx context.Context, g *epoch.Guard, view record.View, base uint64, st *ScanStats) (Record, error) {
 	h := view.Header()
 	if !h.Indirect {
 		return Record{Address: base, Payload: view.Payload()}, nil
@@ -941,7 +1005,7 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 	// Indirect record: payload is the 8-byte address of the data record.
 	pl := view.Payload()
 	if len(pl) != 8 {
-		return Record{}, fmt.Errorf("fishstore: indirect record at %d has %d-byte payload", base, len(pl))
+		return Record{}, errBadIndirect(base)
 	}
 	target := binary.LittleEndian.Uint64(pl)
 	var tv record.View
@@ -953,18 +1017,18 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 		// The target is below HeadAddress, hence immutable on device; do
 		// not hold the epoch across the reads.
 		g.Unprotect()
-		hw, err := s.log.ReadWordsFromDevice(target, 1)
+		hw, err := s.log.ReadWordsFromDeviceCtx(ctx, target, 1)
 		g.Protect()
 		if err != nil {
 			return Record{}, err
 		}
 		th := record.UnpackHeader(hw[0])
 		if s.opts.VerifyOnRead && th.SizeWords == 0 {
-			s.quarantineRecord(target, &st.Quarantined, "indirect target: empty header")
+			s.quarantineRecord(target, &st.Quarantined, "indirect-target", "empty header")
 			return Record{}, errQuarantined
 		}
 		g.Unprotect()
-		words, err := s.log.ReadWordsFromDevice(target, th.SizeWords)
+		words, err := s.log.ReadWordsFromDeviceCtx(ctx, target, th.SizeWords)
 		g.Protect()
 		if err != nil {
 			return Record{}, err
@@ -978,12 +1042,21 @@ func (s *Store) materialize(g *epoch.Guard, view record.View, base uint64, st *S
 				reason = "checksum mismatch"
 			}
 			if reason != "" {
-				s.quarantineRecord(target, &st.Quarantined, "indirect target: "+reason)
+				s.quarantineRecord(target, &st.Quarantined, "indirect-target", reason)
 				return Record{}, errQuarantined
 			}
 		}
 	}
 	return Record{Address: target, Payload: tv.Payload()}, nil
+}
+
+// errBadIndirect is the address of an indirect record whose payload is not
+// the expected 8-byte target address. A typed error (like errEmptyHeader)
+// keeps the construction allocation-free on the audited chain-walk path.
+type errBadIndirect uint64
+
+func (e errBadIndirect) Error() string {
+	return "fishstore: indirect record payload is not an 8-byte address"
 }
 
 // errQuarantined is the internal sentinel materialize returns when

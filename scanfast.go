@@ -2,6 +2,7 @@ package fishstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,7 +47,7 @@ func (s *Store) rangeIndexComplete(id psf.ID, from, to uint64) bool {
 // fail the scan-side parse too; indirect index records are skipped by both
 // paths). Delivery stays in ascending address order for the serial path and
 // arbitrary order for the parallel path, matching fullScanSegment.
-func (s *Store) fastFullScanSegment(g *epoch.Guard, prop Property, canon []byte,
+func (s *Store) fastFullScanSegment(ctx context.Context, g *epoch.Guard, prop Property, canon []byte,
 	from, to uint64, parallelism int, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	// Pointer-match full scans count as full-scan work in the workload view
@@ -59,11 +60,11 @@ func (s *Store) fastFullScanSegment(g *epoch.Guard, prop Property, canon []byte,
 
 	sig := prop.hash()
 	if parallelism > 1 {
-		return s.parallelFastFullScan(prop, canon, sig, from, to, parallelism, emit, st)
+		return s.parallelFastFullScan(ctx, prop, canon, sig, from, to, parallelism, emit, st)
 	}
 
 	stopped := false
-	err := s.visitMatchRange(g, sig, from, to, &st.Quarantined, &st.PageCacheHits, &st.BloomSkippedPages,
+	err := s.visitMatchRange(ctx, g, sig, from, to, &st.Quarantined, &st.PageCacheHits, &st.BloomSkippedPages,
 		func(addr uint64, v record.View) bool {
 			st.Visited++
 			if r, ok := s.matchByPointer(prop, canon, addr, v); ok {
@@ -105,11 +106,14 @@ func (s *Store) matchByPointer(prop Property, canon []byte, addr uint64, v recor
 // visitMatchRange is visitRange plus per-page summary pruning: an on-device
 // page whose bloom summary proves sig absent is skipped without touching the
 // device or the page cache.
-func (s *Store) visitMatchRange(g *epoch.Guard, sig uint64, from, to uint64,
+func (s *Store) visitMatchRange(ctx context.Context, g *epoch.Guard, sig uint64, from, to uint64,
 	quarantined, cacheHits, bloomSkips *int64, visit func(addr uint64, v record.View) bool) error {
 	pageSize := s.log.PageSize()
 
 	for addr := from; addr < to; {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		pageStart := addr &^ (pageSize - 1)
 		pageEnd := pageStart + pageSize
 		limit := to
@@ -135,7 +139,7 @@ func (s *Store) visitMatchRange(g *epoch.Guard, sig uint64, from, to uint64,
 		} else {
 			n := int(pageEnd-addr) / 8
 			g.Unprotect()
-			w, hit, err := s.devicePageWords(addr, n)
+			w, hit, err := s.devicePageWords(ctx, addr, n)
 			g.Protect()
 			if err != nil {
 				return fmt.Errorf("fishstore: fast scan read at %d: %w", addr, err)
@@ -151,7 +155,7 @@ func (s *Store) visitMatchRange(g *epoch.Guard, sig uint64, from, to uint64,
 						if reason == "" {
 							reason = "checksum mismatch"
 						}
-						s.quarantineRecord(addr, quarantined, reason)
+						s.quarantineRecord(addr, quarantined, "full-scan", reason)
 						return true
 					}
 					return visit(addr, v)
@@ -169,7 +173,7 @@ func (s *Store) visitMatchRange(g *epoch.Guard, sig uint64, from, to uint64,
 // parallelFastFullScan distributes pages of the fast path across workers,
 // mirroring parallelFullScan's page-claim loop. Matches are emitted through
 // a mutex, in arbitrary order.
-func (s *Store) parallelFastFullScan(prop Property, canon []byte, sig uint64,
+func (s *Store) parallelFastFullScan(ctx context.Context, prop Property, canon []byte, sig uint64,
 	from, to uint64, workers int, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	pageSize := s.log.PageSize()
@@ -192,6 +196,14 @@ func (s *Store) parallelFastFullScan(prop Property, canon []byte, sig uint64,
 			wg2 := s.epoch.Acquire()
 			defer wg2.Release()
 			for !stopped.Load() {
+				if err := ctxErr(ctx); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
 				p := nextPage.Add(1) - 1
 				if p > lastPage {
 					return
@@ -205,7 +217,7 @@ func (s *Store) parallelFastFullScan(prop Property, canon []byte, sig uint64,
 					hi = to
 				}
 				var q, ch, bs int64
-				err := s.visitMatchRange(wg2, sig, lo, hi, &q, &ch, &bs,
+				err := s.visitMatchRange(ctx, wg2, sig, lo, hi, &q, &ch, &bs,
 					func(addr uint64, v record.View) bool {
 						visited.Add(1)
 						if r, ok := s.matchByPointer(prop, canon, addr, v); ok {
@@ -252,11 +264,11 @@ func (s *Store) parallelFastFullScan(prop Property, canon []byte, sig uint64,
 // read per hop to (tiny reads) + (distinct pages ÷ parallelism). Returns the
 // PSF-matching candidate links (for hot-chain memoization) and the address
 // below which the walk saw the chain continue (0 = chain end reached).
-func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property, canon []byte,
+func (s *Store) pagedDeviceChainWalk(ctx context.Context, g *epoch.Guard, start uint64, prop Property, canon []byte,
 	from, to uint64, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (stopped bool, cands []uint64, lastPrev uint64, err error) {
 
 	// Phase 1: discovery. No speculation, no cache fills — 16 bytes per hop.
-	cr := newChainReader(s.log, false, nil, s.metrics, sp)
+	cr := newChainReader(ctx, s.log, false, nil, s.metrics, sp)
 	defer func() {
 		st.IOs += cr.ios
 		st.ReadBytes += cr.bytesRead
@@ -268,6 +280,9 @@ func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property
 	for cur != 0 && cur >= from {
 		hops++
 		if hops%64 == 0 {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return false, nil, cur, cerr
+			}
 			g.Refresh()
 		}
 		g.Unprotect()
@@ -286,7 +301,7 @@ func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property
 	lastPrev = cur
 
 	// Phase 2: resolve the candidates from page-parallel cache fills.
-	stopped, err = s.resolveChainLinks(g, cands, prop, canon, from, to, par, sp, emit, st)
+	stopped, err = s.resolveChainLinks(ctx, g, cands, prop, canon, from, to, par, sp, emit, st)
 	return stopped, cands, lastPrev, err
 }
 
@@ -297,17 +312,17 @@ func (s *Store) pagedDeviceChainWalk(g *epoch.Guard, start uint64, prop Property
 // concurrently before the sequential, order-preserving emission pass.
 //
 //fishlint:hotpath per-hop chain resolution on the scan path
-func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property, canon []byte,
+func (s *Store) resolveChainLinks(ctx context.Context, g *epoch.Guard, links []uint64, prop Property, canon []byte,
 	from, to uint64, par int, sp *trace.Span, emit func(Record) bool, st *ScanStats) (bool, error) {
 
 	if len(links) == 0 {
 		return false, nil
 	}
 	if par > 1 && s.pcache != nil {
-		s.prefillLinkPages(links, from, par, st)
+		s.prefillLinkPages(ctx, links, from, par, st)
 	}
 
-	cr := newChainReader(s.log, true, s.pcache, s.metrics, sp)
+	cr := newChainReader(ctx, s.log, true, s.pcache, s.metrics, sp)
 	defer func() {
 		st.IOs += cr.ios
 		st.ReadBytes += cr.bytesRead
@@ -327,6 +342,9 @@ func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property,
 			continue
 		}
 		if i%64 == 63 {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return false, cerr
+			}
 			g.Refresh()
 		}
 		g.Unprotect()
@@ -344,7 +362,7 @@ func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property,
 			if reason != "" {
 				// Same contract as the sequential walk: a corrupt chain
 				// record poisons everything it points to.
-				s.quarantineRecord(base, &st.Quarantined, "chain record: "+reason)
+				s.quarantineRecord(base, &st.Quarantined, "chain", reason)
 				return false, nil
 			}
 		}
@@ -357,7 +375,7 @@ func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property,
 		if !match {
 			continue
 		}
-		rec, merr := s.materialize(g, v, base, st)
+		rec, merr := s.materialize(ctx, g, v, base, st)
 		if errors.Is(merr, errQuarantined) {
 			continue
 		}
@@ -374,59 +392,102 @@ func (s *Store) resolveChainLinks(g *epoch.Guard, links []uint64, prop Property,
 	return stopped, nil
 }
 
+// maxPrefillPages bounds how many pages one resolve pass prefills, so the
+// page list fits a fixed stack buffer and the resolve hot path allocates
+// nothing for its own prefetch bookkeeping. Anything past the bound is
+// loaded on demand by the sequential resolution pass.
+const maxPrefillPages = 256
+
+// prefillState is the shared work queue for a prefill fan-out: workers claim
+// page indices via next and accumulate I/O stats for the caller.
+type prefillState struct {
+	pages     []uint64
+	next      atomic.Int64
+	ios       atomic.Int64
+	readBytes atomic.Int64
+}
+
+// prefillWorker carries one worker's fill target so the page-cache fill
+// callback is a reusable method value (bound once per worker) rather than a
+// fresh closure per page.
+type prefillWorker struct {
+	s        *Store
+	ctx      context.Context
+	pageSize uint64
+	page     uint64
+}
+
+func (w *prefillWorker) fill() ([]uint64, error) {
+	return w.s.log.ReadWordsFromDeviceCtx(w.ctx, w.page*w.pageSize, int(w.pageSize/8))
+}
+
+// prefillLoop is the per-goroutine prefill drain. A named method, not a
+// closure: the spawning path is transitively hot via resolveChainLinks.
+func (s *Store) prefillLoop(ctx context.Context, ps *prefillState, pageSize uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := prefillWorker{s: s, ctx: ctx, pageSize: pageSize}
+	fill := w.fill
+	for {
+		i := int(ps.next.Add(1) - 1)
+		if i >= len(ps.pages) {
+			return
+		}
+		if ctxErr(ctx) != nil {
+			return // cancelled: remaining pages load on demand later
+		}
+		w.page = ps.pages[i]
+		_, hit, err := s.pcache.GetOrLoad(w.page, fill)
+		if err == nil && !hit {
+			ps.ios.Add(1)
+			ps.readBytes.Add(int64(pageSize))
+		}
+	}
+}
+
 // prefillLinkPages fills the distinct on-device pages behind links into the
 // page cache with up to par concurrent device reads. Fills need no epoch
 // protection (the pages are immutable); errors are left for the sequential
 // resolution pass to rediscover and report.
-func (s *Store) prefillLinkPages(links []uint64, from uint64, par int, st *ScanStats) {
+func (s *Store) prefillLinkPages(ctx context.Context, links []uint64, from uint64, par int, st *ScanStats) {
 	head := s.log.HeadAddress()
 	pageSize := s.log.PageSize()
-	seen := make(map[uint64]struct{})
-	var pages []uint64
+	// Links arrive in descending address order (chains are prepend-only), so
+	// their pages are monotonically non-increasing: comparing against the
+	// previous page dedups without a set.
+	var buf [maxPrefillPages]uint64
+	n := 0
+	last := ^uint64(0)
 	for _, l := range links {
 		if l < from || l >= head {
 			continue
 		}
 		p := s.log.PageOf(l)
-		if _, ok := seen[p]; ok {
+		if p == last {
 			continue
 		}
-		seen[p] = struct{}{}
+		last = p
 		if s.pcache.Get(p) != nil {
 			continue // already resident; Get also bumps its CLOCK bit
 		}
-		pages = append(pages, p)
+		buf[n] = p
+		n++
+		if n == maxPrefillPages {
+			break
+		}
 	}
-	if len(pages) < 2 {
+	if n < 2 {
 		return // nothing to parallelize
 	}
-	if par > len(pages) {
-		par = len(pages)
+	if par > n {
+		par = n
 	}
-	var next atomic.Int64
-	var ios, readBytes atomic.Int64
+	ps := prefillState{pages: buf[:n]}
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(pages) {
-					return
-				}
-				p := pages[i]
-				_, hit, err := s.pcache.GetOrLoad(p, func() ([]uint64, error) {
-					return s.log.ReadWordsFromDevice(p*pageSize, int(pageSize/8))
-				})
-				if err == nil && !hit {
-					ios.Add(1)
-					readBytes.Add(int64(pageSize))
-				}
-			}
-		}()
+		go s.prefillLoop(ctx, &ps, pageSize, &wg)
 	}
 	wg.Wait()
-	st.IOs += ios.Load()
-	st.ReadBytes += readBytes.Load()
+	st.IOs += ps.ios.Load()
+	st.ReadBytes += ps.readBytes.Load()
 }

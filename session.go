@@ -2,6 +2,7 @@ package fishstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime/pprof"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"fishstore/internal/parser"
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
+	"fishstore/internal/storage"
 	"fishstore/internal/telemetry"
 	"fishstore/internal/trace"
 )
@@ -134,11 +136,46 @@ func (sess *Session) refreshMeta() error {
 // (1) parsing and PSF evaluation, (2) record space allocation, (3) subset
 // hash index update, (4) record visibility.
 func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
+	return sess.IngestContext(nil, batch)
+}
+
+// IngestContext is Ingest with deadline/cancellation propagation: the batch
+// is checked against ctx between records, a governor admission wait aborts
+// when ctx expires, and ctx is threaded into retrying device I/O. Records
+// ingested before cancellation stay ingested (the returned stats count
+// them); the log, index, and epochs are left consistent.
+func (sess *Session) IngestContext(ctx context.Context, batch [][]byte) (IngestStats, error) {
 	if sess.closed {
 		return IngestStats{}, ErrClosed
 	}
 	if sess.store.degraded.Load() {
 		return IngestStats{}, ErrDegraded
+	}
+	if err := sess.store.maybeRecoverLogSpace(); err != nil {
+		return IngestStats{}, err
+	}
+	// Admission happens before the checkpoint barrier and epoch protection:
+	// a blocked batch must not stall checkpoints or page recycling.
+	if g := sess.store.gov; g != nil {
+		var tenant string
+		if lbl := sess.store.opts.TenantLabel; lbl != nil {
+			tenant = lbl()
+		}
+		var admitted int64
+		for _, p := range batch {
+			admitted += int64(len(p))
+		}
+		if err := g.admitIngest(ctx, tenant, admitted); err != nil {
+			return IngestStats{}, err
+		}
+		defer g.releaseIngest(tenant, admitted)
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return IngestStats{}, err
+		}
+		done = ctx.Done()
 	}
 	sess.store.ckptMu.RLock()
 	defer sess.store.ckptMu.RUnlock()
@@ -181,6 +218,15 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 	}
 
 	for _, payload := range batch {
+		if done != nil {
+			// Between-record cancellation point: the cheapest place where the
+			// log, index, and epoch state are all quiescent for this session.
+			select {
+			case <-done:
+				return st, ctx.Err()
+			default:
+			}
+		}
 		if timed {
 			mark = time.Now()
 		}
@@ -240,6 +286,13 @@ func (sess *Session) Ingest(batch [][]byte) (IngestStats, error) {
 			alloc, err := sess.store.log.Allocate(sess.guard, spec.SizeWords())
 			if err != nil {
 				csp.End()
+				if storage.IsNoSpace(err) {
+					// A full device surfaces here as a failed-flush frame that
+					// can never be recycled. Managed state, not degradation:
+					// reclaim space and the log resumes.
+					sess.store.enterLogFull(err)
+					return st, fmt.Errorf("%w: %v", ErrLogFull, err)
+				}
 				return st, err
 			}
 			spec.Write(alloc.Words)

@@ -101,6 +101,18 @@ type Store struct {
 	degraded      atomic.Bool
 	degradedCause atomic.Pointer[string]
 
+	// logFull flips when an ENOSPC-class flush failure fills the device.
+	// Unlike degraded it is recoverable: RecoverLogSpace (manual, or
+	// automatic with Options.Retention.AutoRecover) truncates retired log
+	// prefix, reclaims the space, and clears the flag.
+	logFull           atomic.Bool
+	logFullCause      atomic.Pointer[string]
+	logFullRecoveries atomic.Int64
+	reclaimMu         sync.Mutex // serializes RecoverLogSpace attempts
+
+	// gov is the admission-control governor (nil when Options.Limits unset).
+	gov *governor
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -179,6 +191,9 @@ func Open(opts Options) (*Store, error) {
 	if o.ProfileLabels {
 		s.plabels = newProfileLabels()
 	}
+	if o.Limits != nil {
+		s.gov = newGovernor(o.Limits, met)
+	}
 	pageWords := 1 << (o.PageBits - 3)
 	if o.PageCachePages > 0 {
 		s.pcache = pagecache.New(o.PageCachePages, pageWords)
@@ -231,6 +246,13 @@ func (s *Store) flushHook() func(page uint64, err error) {
 		if err != nil {
 			s.metrics.reg.Trace("hlog.flush",
 				metrics.F("page", page), metrics.F("error", err.Error()))
+			if storage.IsNoSpace(err) {
+				// A full disk is a managed condition, not a dead device:
+				// the sealed page is retained in its frame and re-driven by
+				// RecoverLogSpace after retention truncation reclaims room.
+				s.enterLogFull(fmt.Errorf("page %d flush: %w", page, err))
+				return
+			}
 			s.enterDegraded(fmt.Errorf("page %d flush: %w", page, err))
 			return
 		}
@@ -385,12 +407,19 @@ type Stats struct {
 	// into read-only mode; DegradedCause describes the failure.
 	Degraded      bool
 	DegradedCause string
+	// LogFull is true while the store is refusing ingestion because the
+	// device is out of space (recoverable via RecoverLogSpace);
+	// LogFullRecoveries counts successful recoveries over the store's life.
+	LogFull           bool
+	LogFullCause      string
+	LogFullRecoveries int64
 }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	live, tail := s.liveLogBytes()
 	deg, cause := s.Degraded()
+	full, fullCause := s.LogFull()
 	return Stats{
 		IngestedRecords:    s.ingestedRecords.Load(),
 		IngestedBytes:      s.ingestedBytes.Load(),
@@ -402,6 +431,9 @@ func (s *Store) Stats() Stats {
 		TableStats:         s.table.Stats(),
 		Degraded:           deg,
 		DegradedCause:      cause,
+		LogFull:            full,
+		LogFullCause:       fullCause,
+		LogFullRecoveries:  s.logFullRecoveries.Load(),
 	}
 }
 
@@ -438,7 +470,14 @@ func (s *Store) Flush() error {
 	if s.degraded.Load() {
 		return ErrDegraded
 	}
+	if s.logFull.Load() {
+		return ErrLogFull
+	}
 	if err := s.log.FlushTail(); err != nil {
+		if storage.IsNoSpace(err) {
+			s.enterLogFull(fmt.Errorf("flush tail: %w", err))
+			return fmt.Errorf("%w: %v", ErrLogFull, err)
+		}
 		s.enterDegraded(fmt.Errorf("flush tail: %w", err))
 		return err
 	}

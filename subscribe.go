@@ -1,12 +1,42 @@
 package fishstore
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"fishstore/internal/psf"
 	"fishstore/internal/record"
 )
+
+// SubscribePolicy selects what happens when a subscriber's channel buffer is
+// full at delivery time.
+type SubscribePolicy int
+
+const (
+	// DropNewest (the default) discards the just-ingested record: slow
+	// consumers never stall ingestion and keep the oldest buffered window.
+	DropNewest SubscribePolicy = iota
+	// DropOldest evicts the oldest buffered record to admit the new one:
+	// slow consumers never stall ingestion and keep the freshest window.
+	DropOldest
+	// Block stalls the ingesting session until the subscriber drains or the
+	// subscription is cancelled: lossless, but a stuck consumer becomes
+	// ingestion backpressure. Pair it with SubscribeOptions.Context so an
+	// abandoned consumer cannot wedge ingestion forever.
+	Block
+)
+
+// SubscribeOptions configures SubscribeWith.
+type SubscribeOptions struct {
+	// Buffer is the delivery-channel capacity (default 64).
+	Buffer int
+	// Policy is the full-buffer behaviour (default DropNewest).
+	Policy SubscribePolicy
+	// Context, when non-nil, cancels the subscription when it is done —
+	// including waking any Block-policy delivery stalled on the buffer.
+	Context context.Context
+}
 
 // Subscription delivers records matching a property as they are ingested —
 // FishStore's streaming-query hook (§2.3 "Streaming queries"): the
@@ -16,6 +46,8 @@ type Subscription struct {
 	prop   Property
 	canon  []byte
 	ch     chan Record
+	policy SubscribePolicy
+	done   chan struct{} // closed by Cancel; wakes Block-policy senders
 	drops  atomic.Int64
 	once   sync.Once
 	closed atomic.Bool
@@ -25,13 +57,16 @@ type Subscription struct {
 func (sub *Subscription) Records() <-chan Record { return sub.ch }
 
 // Dropped reports how many records were discarded because the subscriber
-// fell behind its buffer.
+// fell behind its buffer (under either drop policy; Block never drops).
 func (sub *Subscription) Dropped() int64 { return sub.drops.Load() }
 
 // Cancel detaches the subscription and closes its channel.
 func (sub *Subscription) Cancel() {
 	sub.once.Do(func() {
 		sub.closed.Store(true)
+		// Wake Block-policy senders first: they hold the subscription set's
+		// read lock, which remove needs to take exclusively.
+		close(sub.done)
 		sub.store.subs.remove(sub)
 		close(sub.ch)
 	})
@@ -46,22 +81,35 @@ type subscriptions struct {
 }
 
 // Subscribe registers a streaming subscription for prop with the given
-// channel buffer. Delivery is best-effort: if the buffer is full the record
-// is dropped and counted, so slow consumers never stall ingestion.
+// channel buffer and the default DropNewest policy: if the buffer is full
+// the record is dropped and counted, so slow consumers never stall
+// ingestion.
 func (s *Store) Subscribe(prop Property, buffer int) *Subscription {
+	return s.SubscribeWith(prop, SubscribeOptions{Buffer: buffer})
+}
+
+// SubscribeWith registers a streaming subscription with an explicit
+// slow-subscriber policy.
+func (s *Store) SubscribeWith(prop Property, opts SubscribeOptions) *Subscription {
+	buffer := opts.Buffer
 	if buffer < 1 {
 		buffer = 64
 	}
 	sub := &Subscription{
-		store: s,
-		prop:  prop,
-		canon: psf.CanonicalValue(prop.Value),
-		ch:    make(chan Record, buffer),
+		store:  s,
+		prop:   prop,
+		canon:  psf.CanonicalValue(prop.Value),
+		ch:     make(chan Record, buffer),
+		policy: opts.Policy,
+		done:   make(chan struct{}),
 	}
 	s.subs.mu.Lock()
 	s.subs.list = append(s.subs.list, sub)
 	s.subs.mu.Unlock()
 	s.subs.count.Add(1)
+	if ctx := opts.Context; ctx != nil {
+		context.AfterFunc(ctx, sub.Cancel)
+	}
 	return sub
 }
 
@@ -99,14 +147,47 @@ func (subs *subscriptions) notify(s *Store, addr uint64, view record.View,
 				continue
 			}
 			rec := Record{Address: addr, Payload: append([]byte(nil), payload...)}
-			select {
-			case sub.ch <- rec:
-			default:
-				sub.drops.Add(1)
-			}
+			sub.deliver(s, rec)
 			break
 		}
 	}
+}
+
+// deliver sends rec per the subscription's policy. It runs under the
+// subscription set's read lock, which is what makes the channel operations
+// safe against a concurrent Cancel: close(ch) happens only after remove has
+// taken the write lock, i.e. strictly after every in-flight deliver.
+func (sub *Subscription) deliver(s *Store, rec Record) {
+	select {
+	case sub.ch <- rec:
+		return
+	default:
+	}
+	switch sub.policy {
+	case DropOldest:
+		select {
+		case <-sub.ch: // evict the oldest buffered record
+			sub.noteDrop(s)
+		default: // the consumer drained concurrently; nothing to evict
+		}
+		select {
+		case sub.ch <- rec:
+		default:
+			sub.noteDrop(s) // lost the slot race to another ingesting session
+		}
+	case Block:
+		select {
+		case sub.ch <- rec:
+		case <-sub.done: // cancelled mid-stall; the record is moot
+		}
+	default: // DropNewest
+		sub.noteDrop(s)
+	}
+}
+
+func (sub *Subscription) noteDrop(s *Store) {
+	sub.drops.Add(1)
+	s.metrics.subDropped.Inc()
 }
 
 // specMatchesCanon compares a pointer spec's value bytes with a canonical

@@ -319,7 +319,7 @@ func (s *Store) VerifyLog(opts VerifyOptions) (VerifyReport, error) {
 		lowest := ^uint64(0)
 		// Links below `from` terminate the walk (the chain floor): records
 		// below a truncation point are gone and cannot be checked.
-		werr := s.forEachChainLink(g, head, from, false, nil, &st,
+		werr := s.forEachChainLink(nil, g, head, from, false, nil, &st,
 			func(kptAddr uint64, view record.View, base uint64, kp record.KeyPointer) bool {
 				if kptAddr >= lowest {
 					corrupt = &Corruption{

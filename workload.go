@@ -93,6 +93,11 @@ func (s *Store) registerWorkloadGauges() {
 // objectives into the trace pipeline (flight recorder + TraceSink), so a
 // crash or a support bundle carries the burn timeline.
 func (s *Store) sloTick(r telemetry.Report) {
+	if g := s.gov; g != nil {
+		// The governor sheds negative-priority scans while this is true
+		// (Limits.ShedScansOnBreach).
+		g.noteHealth(r.Status == telemetry.StatusBreach)
+	}
 	if r.Status == telemetry.StatusOK {
 		return
 	}
@@ -134,6 +139,11 @@ type Health struct {
 	// the store read-only.
 	Degraded      bool   `json:"degraded"`
 	DegradedCause string `json:"degraded_cause,omitempty"`
+	// LogFull mirrors Store.LogFull: the device is out of space and ingestion
+	// is refused until space is reclaimed (a recoverable state, reported as
+	// degraded rather than breach).
+	LogFull      bool   `json:"log_full,omitempty"`
+	LogFullCause string `json:"log_full_cause,omitempty"`
 	// SLO carries the watchdog's latest burn-rate report (nil when no SLO
 	// targets are configured).
 	SLO *telemetry.Report `json:"slo,omitempty"`
@@ -146,6 +156,13 @@ func (s *Store) Health() Health {
 		h.Status = telemetry.StatusBreach
 		h.Degraded = true
 		h.DegradedCause = cause
+	}
+	if full, cause := s.LogFull(); full {
+		h.LogFull = true
+		h.LogFullCause = cause
+		if h.Status == telemetry.StatusOK {
+			h.Status = telemetry.StatusDegraded
+		}
 	}
 	if s.watchdog != nil {
 		r := s.watchdog.Report()
